@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Consolidation experiment: pairs of Table V workloads sharing one VM
+ * under round-robin scheduling — the cloud-consolidation scenario the
+ * paper's introduction motivates. Shows how frequent guest context
+ * switches shift the technique ranking and how the sptr cache
+ * (Section IV) restores agile's advantage.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/scheduler.hh"
+
+namespace
+{
+
+using namespace ap;
+
+ConsolidationResult
+run(const std::string &a, const std::string &b, VirtMode mode,
+    bool hw_opts, std::uint64_t ops)
+{
+    WorkloadParams pa = defaultParamsFor(a);
+    WorkloadParams pb = defaultParamsFor(b);
+    pa.footprintBytes /= 2;
+    pb.footprintBytes /= 2;
+    pa.operations = pb.operations = ops;
+    // Size the machine for both footprints.
+    WorkloadParams sizing = pa;
+    sizing.footprintBytes = pa.footprintBytes + pb.footprintBytes;
+    SimConfig cfg =
+        configFor(mode, PageSize::Size4K, sizing, hw_opts);
+    Machine machine(cfg);
+    auto wa = makeWorkload(a, pa);
+    auto wb = makeWorkload(b, pb);
+    Scheduler sched(machine, 2'000);
+    sched.add(*wa);
+    sched.add(*wb);
+    return sched.run();
+}
+
+void
+row(const std::string &a, const std::string &b, std::uint64_t ops)
+{
+    std::printf("%-22s", (a + "+" + b).c_str());
+    struct
+    {
+        VirtMode mode;
+        bool hw;
+    } configs[] = {{VirtMode::Nested, false},
+                   {VirtMode::Shadow, false},
+                   {VirtMode::Agile, false},
+                   {VirtMode::Agile, true}};
+    for (auto &c : configs) {
+        ConsolidationResult r = run(a, b, c.mode, c.hw, ops);
+        std::printf(" %9.1f%%", r.machine.totalOverhead() * 100);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 500'000;
+    std::printf("Consolidated pairs (round-robin, 2k-step quanta); "
+                "total overhead per technique\n\n");
+    std::printf("%-22s %10s %10s %10s %10s\n", "pair", "nested",
+                "shadow", "agile", "agile+hw");
+    row("graph500", "memcached", ops);
+    row("mcf", "dedup", ops);
+    row("canneal", "gcc", ops);
+    std::printf("\nThe hardware sptr cache removes the per-quantum "
+                "context-switch traps that\notherwise erode agile's "
+                "advantage under consolidation (Section IV).\n");
+    return 0;
+}

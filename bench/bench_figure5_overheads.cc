@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 5: execution-time overheads split
+ * into page-walk and VMM-intervention segments for every Table V
+ * workload under base native (B), nested (N), shadow (S), and agile
+ * (A) paging, at both 4 KB and 2 MB pages.
+ *
+ * Usage: bench_figure5_overheads [--ops N] [--csv] [--workload NAME]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::uint64_t ops = 0;
+    bool csv = false;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+            ops = std::stoull(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--csv")) {
+            csv = true;
+        } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
+            only = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--ops N] [--csv] [--workload NAME]\n";
+            return 1;
+        }
+    }
+
+    std::vector<ap::RunResult> runs;
+    const ap::VirtMode modes[] = {ap::VirtMode::Native,
+                                  ap::VirtMode::Nested,
+                                  ap::VirtMode::Shadow,
+                                  ap::VirtMode::Agile};
+    const ap::PageSize sizes[] = {ap::PageSize::Size4K,
+                                  ap::PageSize::Size2M};
+    for (const std::string &wl : ap::workloadNames()) {
+        if (!only.empty() && wl != only)
+            continue;
+        for (ap::PageSize ps : sizes) {
+            for (ap::VirtMode mode : modes) {
+                ap::ExperimentSpec spec;
+                spec.workload = wl;
+                spec.mode = mode;
+                spec.pageSize = ps;
+                spec.operations = ops;
+                runs.push_back(ap::runExperiment(spec));
+                std::cerr << "." << std::flush;
+            }
+        }
+    }
+    std::cerr << "\n";
+
+    if (csv) {
+        ap::printCsv(std::cout, runs);
+        return 0;
+    }
+    ap::printFigure5(std::cout, runs);
+
+    // The headline comparison: agile vs the best of its constituents.
+    std::cout << "\nSummary (4K): agile vs best(N,S)\n";
+    for (std::size_t i = 0; i + 3 < runs.size(); i += 8) {
+        const ap::RunResult &nested = runs[i + 1];
+        const ap::RunResult &shadow = runs[i + 2];
+        const ap::RunResult &agile = runs[i + 3];
+        double best = std::min(nested.slowdown(), shadow.slowdown());
+        double gain = (best - agile.slowdown()) / agile.slowdown() * 100;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "  %-10s agile %+5.1f%% vs best",
+                      agile.workload.c_str(), gain);
+        std::cout << buf << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces the paper's SHSP discussion (Section VII-C): selective
+ * hardware/software paging approximates the best of nested and shadow
+ * per workload, while agile paging exceeds it — the temporal-only
+ * switch cannot help workloads whose churn is *spatially* confined.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 1'000'000;
+
+    std::printf("SHSP vs agile paging (4K pages)\n\n");
+    std::printf("%-11s %8s %8s %8s %8s %8s   %s\n", "workload", "nested",
+                "shadow", "best", "SHSP", "agile", "agile vs SHSP");
+    double geo = 1.0;
+    int n = 0;
+    for (const std::string &wl : ap::workloadNames()) {
+        auto run = [&](ap::VirtMode mode) {
+            ap::ExperimentSpec spec;
+            spec.workload = wl;
+            spec.mode = mode;
+            spec.operations = ops;
+            return ap::runExperiment(spec);
+        };
+        double nested = run(ap::VirtMode::Nested).slowdown();
+        double shadow = run(ap::VirtMode::Shadow).slowdown();
+        double shsp = run(ap::VirtMode::Shsp).slowdown();
+        double agile = run(ap::VirtMode::Agile).slowdown();
+        double best = std::min(nested, shadow);
+        double vs = (shsp - agile) / agile * 100.0;
+        std::printf("%-11s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%   "
+                    "%+5.1f%%\n",
+                    wl.c_str(), (nested - 1) * 100, (shadow - 1) * 100,
+                    (best - 1) * 100, (shsp - 1) * 100,
+                    (agile - 1) * 100, vs);
+        geo *= shsp / agile;
+        ++n;
+    }
+    std::printf("\nGeometric-mean speedup of agile over SHSP: %+0.1f%%\n",
+                (std::pow(geo, 1.0 / n) - 1.0) * 100.0);
+    std::printf("Paper: SHSP ~= best of the two techniques; agile "
+                "exceeds it by >12%% on average.\n");
+    return 0;
+}

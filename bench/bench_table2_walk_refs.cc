@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Regenerates the paper's Table II (memory references per page walk at
+ * every degree of nesting) and the Fig. 1/Fig. 3 chronological access
+ * sequences, measured from the hardware walker with caches disabled.
+ *
+ * Also times the simulator's walk paths with google-benchmark so the
+ * implementation cost of each state machine is visible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "mem/page_table.hh"
+#include "tlb/nested_tlb.hh"
+#include "tlb/pwc.hh"
+#include "vmm/guest_pt_space.hh"
+#include "vmm/vmm.hh"
+#include "walker/walker.hh"
+
+namespace
+{
+
+using namespace ap;
+
+/** Self-contained walk environment with caches off. */
+struct WalkEnv
+{
+    WalkEnv()
+        : mem(1 << 16),
+          pwc(&root, 32, 4, false),
+          ntlb(&root, 64, 4, false),
+          vmm(&root, mem,
+              VmmConfig{4096, 1 << 15, PageSize::Size4K, TrapCosts{}, 0},
+              &ntlb),
+          walker(&root, mem, pwc, ntlb),
+          gspace(vmm),
+          gpt(gspace, "gPT"),
+          sspace(mem, TableOwner::ShadowPt),
+          spt(sspace, "sPT")
+    {
+        ctx.asid = 1;
+        ctx.gptRoot = gpt.root();
+        ctx.gptRootBacking = vmm.ensurePtBacked(gpt.root());
+        ctx.hptRoot = vmm.hostPtRoot();
+        ctx.sptRoot = spt.root();
+    }
+
+    /** Map one guest page, backed, plus a full shadow leaf. */
+    void
+    mapAll(Addr va)
+    {
+        FrameId g = vmm.allocGuestDataFrame();
+        gpt.map(va, g, PageSize::Size4K, true);
+        vmm.ensureDataBacked(g);
+        spt.map(va, vmm.backing(g), PageSize::Size4K, true);
+    }
+
+    /** Replace the shadow path with a switching entry at @p depth. */
+    void
+    plantSwitch(Addr va, unsigned depth)
+    {
+        FrameId next = gpt.tableFrame(va, depth + 1);
+        spt.invalidateEntry(va, depth);
+        Pte *spte = spt.ensurePath(va, depth);
+        *spte = Pte{};
+        spte->valid = true;
+        spte->switching = true;
+        spte->pfn = vmm.ensurePtBacked(next);
+    }
+
+    stats::StatGroup root{"bench"};
+    PhysMem mem;
+    PageWalkCache pwc;
+    NestedTlb ntlb;
+    Vmm vmm;
+    Walker walker;
+    GuestPtSpace gspace;
+    RadixPageTable gpt;
+    HostPtSpace sspace;
+    RadixPageTable spt;
+    TranslationContext ctx;
+};
+
+void
+printTable2()
+{
+    WalkEnv env;
+    const Addr va = 0x123456789000;
+    env.mapAll(va);
+
+    struct Row
+    {
+        const char *label;
+        VirtMode mode;
+        int plant_depth; // -1: none, -2: rootSwitch, -3: fullNested
+    } rows[] = {
+        {"Shadow only (Fig 3a)", VirtMode::Agile, -1},
+        {"Switched at 4th level (Fig 3b)", VirtMode::Agile, 2},
+        {"Switched at 3rd level (Fig 3c)", VirtMode::Agile, 1},
+        {"Switched at 2nd level (Fig 3d)", VirtMode::Agile, 0},
+        {"Switched at 1st level (Fig 3e)", VirtMode::Agile, -2},
+        {"Nested only (Fig 3f)", VirtMode::Agile, -3},
+    };
+
+    std::printf("\nTable II: memory references per walk by degree of "
+                "nesting (no PWC/nTLB)\n");
+    std::printf("%-34s %6s   %s\n", "degree", "refs",
+                "chronological accesses");
+    for (const Row &row : rows) {
+        WalkEnv e;
+        e.mapAll(va);
+        e.ctx.mode = row.mode;
+        if (row.plant_depth >= 0) {
+            e.plantSwitch(va, static_cast<unsigned>(row.plant_depth));
+        } else if (row.plant_depth == -2) {
+            e.ctx.rootSwitch = true;
+        } else if (row.plant_depth == -3) {
+            e.ctx.fullNested = true;
+        }
+        e.walker.setTracing(true);
+        WalkResult r = e.walker.walk(e.ctx, va, false);
+        ap_assert(r.ok(), "bench walk faulted");
+        std::printf("%-34s %6u   ", row.label, r.refs);
+        for (const WalkAccess &a : r.trace)
+            std::printf("%s[%u] ", walkTableName(a.table), a.depth);
+        std::printf("\n");
+    }
+
+    // The base-native row for comparison.
+    WalkEnv e;
+    HostPtSpace nspace(e.mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    FrameId f = e.mem.allocData(0);
+    npt.map(va, f, PageSize::Size4K, true);
+    TranslationContext nctx;
+    nctx.mode = VirtMode::Native;
+    nctx.nativeRoot = npt.root();
+    e.walker.setTracing(true);
+    WalkResult r = e.walker.walk(nctx, va, false);
+    std::printf("%-34s %6u   (1D reference)\n", "Base native", r.refs);
+}
+
+// ---------------------------------------------------------------------
+// google-benchmark timings of the walk state machines themselves
+// ---------------------------------------------------------------------
+
+void
+BM_NativeWalk(benchmark::State &state)
+{
+    WalkEnv env;
+    HostPtSpace nspace(env.mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    npt.map(0x1000, env.mem.allocData(0), PageSize::Size4K, true);
+    TranslationContext ctx;
+    ctx.mode = VirtMode::Native;
+    ctx.nativeRoot = npt.root();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(env.walker.walk(ctx, 0x1000, false));
+}
+BENCHMARK(BM_NativeWalk);
+
+void
+BM_ShadowWalk(benchmark::State &state)
+{
+    WalkEnv env;
+    env.mapAll(0x1000);
+    env.ctx.mode = VirtMode::Shadow;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(env.walker.walk(env.ctx, 0x1000, false));
+}
+BENCHMARK(BM_ShadowWalk);
+
+void
+BM_NestedWalk(benchmark::State &state)
+{
+    WalkEnv env;
+    env.mapAll(0x1000);
+    env.ctx.mode = VirtMode::Nested;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(env.walker.walk(env.ctx, 0x1000, false));
+}
+BENCHMARK(BM_NestedWalk);
+
+void
+BM_AgileWalkSwitchLeaf(benchmark::State &state)
+{
+    WalkEnv env;
+    env.mapAll(0x1000);
+    env.plantSwitch(0x1000, 2);
+    env.ctx.mode = VirtMode::Agile;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(env.walker.walk(env.ctx, 0x1000, false));
+}
+BENCHMARK(BM_AgileWalkSwitchLeaf);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    printTable2();
+    std::printf("\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * apsim: the general-purpose simulator driver.
+ *
+ *   ./apsim [options] <workload> [workload ...]
+ *
+ * Runs one workload (or several, consolidated round-robin) under one
+ * configuration and prints the run summary; --stats dumps the full
+ * gem5-style statistics tree.
+ *
+ * Options (key=value, see sim/config.hh): mode=, page=, pwc=, ntlb=,
+ * hw_opts=, unsync=, back_policy=, walk_ref_cycles=, verify=, ...
+ * plus --ops N, --footprint MB, --seed N, --quantum N, --stats.
+ */
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/scheduler.hh"
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+
+    std::vector<std::string> workload_names;
+    std::uint64_t ops = 0;
+    std::uint64_t footprint_mb = 0;
+    std::uint64_t seed = 42;
+    std::uint64_t quantum = 2'000;
+    bool dump_stats = false;
+    std::vector<std::string> options;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--ops" && i + 1 < argc) {
+            ops = std::stoull(argv[++i]);
+        } else if (arg == "--footprint" && i + 1 < argc) {
+            footprint_mb = std::stoull(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::stoull(argv[++i]);
+        } else if (arg == "--quantum" && i + 1 < argc) {
+            quantum = std::stoull(argv[++i]);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg.find('=') != std::string::npos) {
+            options.push_back(arg);
+        } else {
+            workload_names.push_back(arg);
+        }
+    }
+    if (workload_names.empty()) {
+        std::cerr << "usage: apsim [options] <workload> [workload ...]\n"
+                  << "workloads:";
+        for (const auto &n : ap::workloadNames())
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 1;
+    }
+
+    // Build per-workload parameters and a machine sized for the sum.
+    std::vector<ap::WorkloadParams> params;
+    ap::Addr total_footprint = 0;
+    for (const std::string &name : workload_names) {
+        ap::WorkloadParams p = ap::defaultParamsFor(name);
+        if (ops)
+            p.operations = ops;
+        if (footprint_mb)
+            p.footprintBytes = footprint_mb << 20;
+        p.seed = seed;
+        params.push_back(p);
+        total_footprint += p.footprintBytes;
+    }
+    ap::WorkloadParams sizing = params[0];
+    sizing.footprintBytes = total_footprint;
+    ap::SimConfig cfg = ap::configFor(ap::VirtMode::Agile,
+                                      ap::PageSize::Size4K, sizing);
+    for (const std::string &opt : options) {
+        if (!cfg.applyOption(opt)) {
+            std::cerr << "unknown option: " << opt << "\n";
+            return 1;
+        }
+    }
+
+    ap::Machine machine(cfg);
+    std::vector<std::unique_ptr<ap::Workload>> workloads;
+    for (std::size_t i = 0; i < workload_names.size(); ++i) {
+        auto w = ap::makeWorkload(workload_names[i], params[i]);
+        if (!w) {
+            std::cerr << "unknown workload: " << workload_names[i]
+                      << "\n";
+            return 1;
+        }
+        workloads.push_back(std::move(w));
+    }
+
+    ap::RunResult result;
+    if (workloads.size() == 1) {
+        result = machine.run(*workloads[0]);
+    } else {
+        ap::Scheduler sched(machine, quantum);
+        for (auto &w : workloads)
+            sched.add(*w);
+        ap::ConsolidationResult c = sched.run();
+        result = c.machine;
+        result.workload = "consolidated";
+        std::cout << "context switches: " << c.contextSwitches << "\n";
+    }
+
+    std::vector<ap::RunResult> rs{result};
+    ap::printFigure5(std::cout, rs);
+    std::cout << std::fixed << std::setprecision(2);
+    std::cout << "\nTLB misses: " << result.tlbMisses
+              << ", walks: " << result.walks
+              << ", avg refs/walk: " << result.avgWalkRefs
+              << ", VM exits: " << result.traps << "\n";
+    std::cout << "mode coverage (shadow/8/12/16/20/nested):";
+    for (double c : result.coverage)
+        std::cout << " " << c * 100 << "%";
+    std::cout << "\n";
+
+    if (dump_stats) {
+        std::cout << "\n";
+        machine.dump(std::cout);
+    }
+    return 0;
+}

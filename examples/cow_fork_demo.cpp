@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Copy-on-write and content-based page sharing demo (paper Section V).
+ *
+ * Drives the machine directly through its public API: a parent process
+ * maps a file-backed region, forks a worker, both sides write (breaking
+ * guest COW), then the VMM's sharing scan merges identical pages and
+ * later writes break *host* COW. Prints the trap bill under shadow,
+ * nested, and agile paging — the scenario where the paper says "the
+ * overhead of copy-on-write is very high with shadow paging and will
+ * benefit from the nested mode provided by agile paging".
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace ap;
+
+void
+runScenario(VirtMode mode)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.hostMemFrames = 1 << 16;
+    cfg.guestPtFrames = 1 << 12;
+    cfg.guestDataFrames = 1 << 15;
+    Machine m(cfg);
+
+    ProcId parent = m.spawnProcess();
+    const unsigned kPages = 512;
+
+    // A file-backed data set mapped twice (two views of the same
+    // file): pages have stable content the VMM can deduplicate.
+    Addr data = m.mmap(kPages * kPageBytes, true, true, /*file*/ 7);
+    Addr view2 = m.mmap(kPages * kPageBytes, true, true, /*file*/ 7);
+    for (unsigned i = 0; i < kPages; ++i)
+        m.touch(data + i * kPageBytes, true);
+    for (unsigned i = 0; i < kPages; ++i)
+        m.touch(view2 + i * kPageBytes, false);
+
+    // Fork a worker: all mappings become copy-on-write.
+    ProcId child = m.guestOs().fork(parent);
+    ap_assert(child != 0, "fork failed");
+
+    // The worker rewrites a quarter of the data set (guest COW breaks
+    // in the child)...
+    m.switchTo(child);
+    for (unsigned i = 0; i < kPages / 4; ++i)
+        m.touch(data + i * kPageBytes, true);
+    // ...and the parent touches another quarter (COW breaks there too).
+    m.switchTo(parent);
+    for (unsigned i = kPages / 2; i < kPages / 2 + kPages / 4; ++i)
+        m.touch(data + i * kPageBytes, true);
+    m.guestOs().exitProcess(child);
+
+    // The VMM scans for identical content (the two file views match
+    // page for page), then the guest rewrites shared pages through the
+    // second view — host-level COW breaks.
+    m.sharePagesScan();
+    for (unsigned i = 0; i < kPages / 2; ++i)
+        m.touch(view2 + i * kPageBytes, true);
+
+    RunResult r = m.snapshot("cow_demo");
+    std::printf("%-8s guest-COW=%4.0f host-COW=%4lu traps=%5lu "
+                "trap-cycles=%8lu\n",
+                virtModeName(mode), m.guestOs().cowBreaks.value(),
+                static_cast<unsigned long>(
+                    r.trapByKind[std::size_t(TrapKind::HostCow)]),
+                static_cast<unsigned long>(r.traps),
+                static_cast<unsigned long>(r.trapCycles));
+}
+
+} // namespace
+
+int
+main()
+{
+    ap::setQuietLogging(true);
+    std::printf("fork + copy-on-write + content-based sharing, per "
+                "technique:\n\n");
+    runScenario(ap::VirtMode::Nested);
+    runScenario(ap::VirtMode::Shadow);
+    runScenario(ap::VirtMode::Agile);
+    std::printf("\nShadow paging mediates every PT update in the COW "
+                "storm; agile paging\nmoves the written regions to "
+                "nested mode and converges toward nested's bill.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Policy explorer: sweeps the agile paging policy knobs (interval
+ * length, write-burst threshold, back-policy, hysteresis) on one
+ * workload and prints the overhead surface — the tool you would use
+ * to re-tune Section III-C's policies for a new workload.
+ *
+ *   ./policy_explorer [workload] [ops]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace ap;
+
+double
+run(const std::string &wl, std::uint64_t ops, Tick interval,
+    std::uint32_t threshold, BackPolicy back, std::uint32_t hysteresis)
+{
+    WorkloadParams params = defaultParamsFor(wl);
+    params.operations = ops;
+    SimConfig cfg = configFor(VirtMode::Agile, PageSize::Size4K, params);
+    cfg.policyIntervalOps = interval;
+    cfg.policy.writeThreshold = threshold;
+    cfg.policy.backPolicy = back;
+    cfg.policy.promoteAfterCleanIntervals = hysteresis;
+    Machine machine(cfg);
+    auto w = makeWorkload(wl, params);
+    return machine.run(*w).totalOverhead();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::string wl = argc > 1 ? argv[1] : "dedup";
+    std::uint64_t ops = argc > 2 ? std::stoull(argv[2]) : 600'000;
+
+    std::printf("agile policy sweep on %s (%lu ops); cells are total "
+                "overhead\n\n",
+                wl.c_str(), static_cast<unsigned long>(ops));
+
+    std::printf("interval sweep (threshold=2, dirty-scan, "
+                "hysteresis=8):\n");
+    for (ap::Tick interval : {25'000u, 50'000u, 100'000u, 200'000u,
+                              400'000u}) {
+        std::printf("  interval=%-7lu  %6.1f%%\n",
+                    static_cast<unsigned long>(interval),
+                    run(wl, ops, interval, 2, ap::BackPolicy::DirtyScan,
+                        8) *
+                        100);
+    }
+
+    std::printf("\nhysteresis sweep (interval=200k, threshold=2, "
+                "dirty-scan):\n");
+    for (std::uint32_t h : {1u, 2u, 4u, 8u, 16u}) {
+        std::printf("  hysteresis=%-3u  %6.1f%%\n", h,
+                    run(wl, ops, 200'000, 2, ap::BackPolicy::DirtyScan,
+                        h) *
+                        100);
+    }
+
+    std::printf("\nback-policy x threshold matrix (interval=200k):\n");
+    std::printf("  %-10s %8s %8s %8s\n", "", "thr=1", "thr=2", "thr=4");
+    struct
+    {
+        const char *name;
+        ap::BackPolicy bp;
+    } policies[] = {{"none", ap::BackPolicy::None},
+                    {"periodic", ap::BackPolicy::PeriodicReset},
+                    {"dirty", ap::BackPolicy::DirtyScan}};
+    for (auto &p : policies) {
+        std::printf("  %-10s", p.name);
+        for (std::uint32_t thr : {1u, 2u, 4u}) {
+            std::printf(" %7.1f%%",
+                        run(wl, ops, 200'000, thr, p.bp, 8) * 100);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

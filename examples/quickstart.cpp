@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: build a simulated machine, run one workload under every
+ * memory-virtualization technique, and print the paper's headline
+ * comparison. Start here.
+ *
+ *   ./quickstart [workload] [key=value ...]
+ *
+ * e.g.  ./quickstart mcf
+ *       ./quickstart dedup page=2m walk_ref_cycles=40
+ */
+
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/perf_model.hh"
+#include "sim/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::string workload = argc > 1 ? argv[1] : "memcached";
+
+    // 1. Pick scaled Table V parameters for the workload.
+    ap::WorkloadParams params = ap::defaultParamsFor(workload);
+    params.operations = 800'000;
+
+    // 2. Build a base configuration; extra CLI args override knobs.
+    ap::SimConfig base =
+        ap::configFor(ap::VirtMode::Agile, ap::PageSize::Size4K, params);
+    for (int i = 2; i < argc; ++i) {
+        if (!base.applyOption(argv[i])) {
+            std::cerr << "unknown option: " << argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    std::cout << "workload " << workload << ", "
+              << params.footprintBytes / (1 << 20) << " MB footprint, "
+              << params.operations << " memory operations, "
+              << ap::pageSizeName(base.pageSize) << " pages\n\n";
+
+    // 3. Run the same workload under each technique.
+    std::vector<ap::RunResult> runs;
+    for (ap::VirtMode mode :
+         {ap::VirtMode::Native, ap::VirtMode::Nested, ap::VirtMode::Shadow,
+          ap::VirtMode::Agile}) {
+        ap::SimConfig cfg = base;
+        cfg.mode = mode;
+        ap::Machine machine(cfg);
+        auto w = ap::makeWorkload(workload, params);
+        if (!w) {
+            std::cerr << "unknown workload: " << workload << "\n";
+            return 1;
+        }
+        runs.push_back(machine.run(*w));
+    }
+    ap::printFigure5(std::cout, runs);
+
+    // 4. Derived Table IV quantities for the agile run.
+    ap::PerfBreakdown b = ap::computeBreakdown(runs.back());
+    std::cout << "\nagile paging: " << b.refsPerWalk
+              << " memory references per TLB miss on average, "
+              << b.cyclesPerMiss << " cycles per miss, slowdown "
+              << b.slowdown << "x\n";
+
+    double best = std::min(runs[1].slowdown(), runs[2].slowdown());
+    std::cout << "agile vs best(nested, shadow): "
+              << (best / runs[3].slowdown() - 1.0) * 100.0
+              << "% faster\n";
+    return 0;
+}

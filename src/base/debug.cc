@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Debug-flag implementation.
+ */
+
+#include "base/debug.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+
+namespace ap::debug
+{
+
+namespace
+{
+std::array<bool, kNumFlags> flags{};
+bool env_parsed = false;
+
+const char *const kNames[kNumFlags] = {
+    "walker", "tlb", "vmm", "shadow", "policy", "guestos", "machine",
+};
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+} // namespace
+
+const char *
+flagName(Flag flag)
+{
+    return kNames[static_cast<std::size_t>(flag)];
+}
+
+bool
+enabled(Flag flag)
+{
+    if (!env_parsed)
+        initFromEnvironment();
+    return flags[static_cast<std::size_t>(flag)];
+}
+
+void
+setFlag(Flag flag, bool on)
+{
+    if (!env_parsed)
+        initFromEnvironment();
+    flags[static_cast<std::size_t>(flag)] = on;
+}
+
+bool
+setFlagsFromString(const std::string &list)
+{
+    bool all_known = true;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = lower(list.substr(pos, comma - pos));
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            flags.fill(true);
+            continue;
+        }
+        bool found = false;
+        for (std::size_t i = 0; i < kNumFlags; ++i) {
+            if (name == kNames[i]) {
+                flags[i] = true;
+                found = true;
+                break;
+            }
+        }
+        all_known &= found;
+    }
+    return all_known;
+}
+
+void
+initFromEnvironment()
+{
+    env_parsed = true;
+    if (const char *env = std::getenv("AP_DEBUG")) {
+        if (!setFlagsFromString(env))
+            ap_warn("AP_DEBUG contains unknown flag names: ", env);
+    }
+}
+
+void
+printLine(Flag flag, const std::string &msg)
+{
+    std::cerr << flagName(flag) << ": " << msg << "\n";
+}
+
+} // namespace ap::debug

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * gem5-style trace-based debugging.
+ *
+ * Debug output is organized into per-subsystem flags that can be
+ * toggled at runtime (programmatically or via the AP_DEBUG environment
+ * variable, e.g. AP_DEBUG=walker,policy). The AP_DPRINTF macro is
+ * cheap when its flag is off: one branch on a cached bool.
+ */
+
+#ifndef AGILEPAGING_BASE_DEBUG_HH
+#define AGILEPAGING_BASE_DEBUG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "base/logging.hh"
+
+namespace ap::debug
+{
+
+/** Debug-output categories. */
+enum class Flag : std::size_t
+{
+    Walker,
+    Tlb,
+    Vmm,
+    Shadow,
+    Policy,
+    GuestOs,
+    Machine,
+    NumFlags,
+};
+
+inline constexpr std::size_t kNumFlags =
+    static_cast<std::size_t>(Flag::NumFlags);
+
+/** @return true if output for @p flag is enabled. */
+bool enabled(Flag flag);
+
+/** Enable/disable one flag. */
+void setFlag(Flag flag, bool on);
+
+/**
+ * Enable flags from a comma-separated list of names ("walker,shadow",
+ * case-insensitive; "all" enables everything).
+ * @return false if any name was not recognized.
+ */
+bool setFlagsFromString(const std::string &list);
+
+/** Parse the AP_DEBUG environment variable (called lazily once). */
+void initFromEnvironment();
+
+/** @return the canonical name of a flag. */
+const char *flagName(Flag flag);
+
+/** Emit one trace line (used by AP_DPRINTF; goes to stderr). */
+void printLine(Flag flag, const std::string &msg);
+
+} // namespace ap::debug
+
+/**
+ * gem5-style DPRINTF: AP_DPRINTF(Walker, "va=", va, " refs=", refs);
+ */
+#define AP_DPRINTF(flag, ...)                                               \
+    do {                                                                    \
+        if (::ap::debug::enabled(::ap::debug::Flag::flag)) {                \
+            ::ap::debug::printLine(::ap::debug::Flag::flag,                 \
+                                   ::ap::detail::format(__VA_ARGS__));      \
+        }                                                                   \
+    } while (0)
+
+#endif // AGILEPAGING_BASE_DEBUG_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Implementation of gem5-style status and error reporting.
+ */
+
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace ap
+{
+
+namespace
+{
+bool quiet_logging = false;
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    quiet_logging = quiet;
+}
+
+namespace detail
+{
+
+void
+logMessage(LogLevel lvl, const std::string &msg)
+{
+    if (quiet_logging)
+        return;
+    std::cerr << levelName(lvl) << ": " << msg << "\n";
+}
+
+void
+logFatal(LogLevel lvl, const std::string &msg, const char *file, int line)
+{
+    std::cerr << levelName(lvl) << ": " << msg << " (" << file << ":" << line
+              << ")\n";
+    if (lvl == LogLevel::Panic) {
+        // Throwing (rather than abort()) lets death-style unit tests
+        // observe simulator-bug reports without killing the process.
+        throw std::logic_error("panic: " + msg);
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace ap

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() is for simulator bugs (aborts); fatal() is for user error
+ * (clean exit); warn()/inform() report conditions without stopping.
+ */
+
+#ifndef AGILEPAGING_BASE_LOGGING_HH
+#define AGILEPAGING_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ap
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit a message and, for Fatal/Panic, terminate. */
+[[noreturn]] void logFatal(LogLevel lvl, const std::string &msg,
+                           const char *file, int line);
+void logMessage(LogLevel lvl, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a condition that should never happen: a simulator bug. */
+#define ap_panic(...)                                                       \
+    ::ap::detail::logFatal(::ap::LogLevel::Panic,                           \
+                           ::ap::detail::format(__VA_ARGS__), __FILE__,     \
+                           __LINE__)
+
+/** Report a condition caused by bad user input or configuration. */
+#define ap_fatal(...)                                                       \
+    ::ap::detail::logFatal(::ap::LogLevel::Fatal,                           \
+                           ::ap::detail::format(__VA_ARGS__), __FILE__,     \
+                           __LINE__)
+
+/** Report suspicious but survivable behaviour. */
+#define ap_warn(...)                                                        \
+    ::ap::detail::logMessage(::ap::LogLevel::Warn,                          \
+                             ::ap::detail::format(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define ap_inform(...)                                                      \
+    ::ap::detail::logMessage(::ap::LogLevel::Inform,                        \
+                             ::ap::detail::format(__VA_ARGS__))
+
+/** panic() if a simulator invariant does not hold. */
+#define ap_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ap_panic("assertion failed: " #cond " ",                        \
+                     ::ap::detail::format(__VA_ARGS__));                    \
+        }                                                                   \
+    } while (0)
+
+/** Silence inform/warn output (used by benchmarks). */
+void setQuietLogging(bool quiet);
+
+} // namespace ap
+
+#endif // AGILEPAGING_BASE_LOGGING_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of deterministic RNG and samplers.
+ */
+
+#include "base/rng.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+namespace
+{
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    ap_assert(bound > 0, "nextBelow(0)");
+    // Lemire-style multiply-shift; bias is negligible for 64-bit space.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    ap_assert(lo <= hi, "nextRange lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    ap_assert(n > 0, "ZipfSampler needs n > 0");
+    ap_assert(theta > 0.0, "ZipfSampler needs theta > 0");
+    h_integral_x1_ = hIntegral(1.5) - 1.0;
+    h_integral_n_ = hIntegral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-theta_ * std::log(x));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    double log_x = std::log(x);
+    // Integral of x^-theta; handle theta == 1 via the log limit.
+    double t = (1.0 - theta_) * log_x;
+    double helper = (std::abs(t) > 1e-8) ? std::expm1(t) / t : 1.0 + t / 2.0;
+    return log_x * helper;
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - theta_);
+    if (t < -1.0)
+        t = -1.0;
+    double helper =
+        (std::abs(t) > 1e-8) ? std::log1p(t) / t : 1.0 - t / 2.0;
+    return std::exp(x * helper);
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
+        return 0;
+    while (true) {
+        double u = h_integral_n_ +
+                   rng.nextDouble() * (h_integral_x1_ - h_integral_n_);
+        double x = hIntegralInverse(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n_)
+            k = n_;
+        double kd = static_cast<double>(k);
+        if (kd - x <= s_ || u >= hIntegral(kd + 0.5) - h(kd)) {
+            return k - 1; // return 0-based rank
+        }
+    }
+}
+
+WeightedPicker::WeightedPicker(std::vector<double> weights)
+{
+    ap_assert(!weights.empty(), "WeightedPicker needs weights");
+    double sum = 0.0;
+    cumulative_.reserve(weights.size());
+    for (double w : weights) {
+        ap_assert(w >= 0.0, "negative weight");
+        sum += w;
+        cumulative_.push_back(sum);
+    }
+    ap_assert(sum > 0.0, "all weights zero");
+    for (double &c : cumulative_)
+        c /= sum;
+}
+
+std::size_t
+WeightedPicker::pick(Rng &rng) const
+{
+    double u = rng.nextDouble();
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i])
+            return i;
+    }
+    return cumulative_.size() - 1;
+}
+
+} // namespace ap

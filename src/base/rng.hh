@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used by the synthetic workload generators.
+ *
+ * All randomness in the simulator flows through Rng so that every
+ * experiment is reproducible from its seed.
+ */
+
+#ifndef AGILEPAGING_BASE_RNG_HH
+#define AGILEPAGING_BASE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ap
+{
+
+/**
+ * A small, fast, deterministic generator (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return a uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf-distributed sampler over [0, n). Used to model skewed page
+ * popularity (e.g., memcached key accesses).
+ *
+ * Uses the rejection-inversion method of Hormann and Derflinger, which
+ * needs O(1) state regardless of n.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items (> 0)
+     * @param theta skew parameter (> 0, != 1 handled, typical 0.99)
+     */
+    ZipfSampler(std::uint64_t n, double theta);
+
+    /** Draw one item index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t size() const { return n_; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double h_integral_x1_;
+    double h_integral_n_;
+    double s_;
+};
+
+/**
+ * Samples from an explicit discrete distribution given as weights.
+ * Used for choosing among workload event classes.
+ */
+class WeightedPicker
+{
+  public:
+    explicit WeightedPicker(std::vector<double> weights);
+
+    /** @return index of the chosen weight. */
+    std::size_t pick(Rng &rng) const;
+
+    std::size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_BASE_RNG_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Implementation of the statistics package.
+ */
+
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ap::stats
+{
+
+namespace
+{
+/** Render a value: integers plainly, reals with 4 decimals. */
+std::string
+formatValue(double v)
+{
+    std::ostringstream os;
+    if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+        os << static_cast<long long>(std::llround(v));
+    } else {
+        os << std::fixed << std::setprecision(4) << v;
+    }
+    return os.str();
+}
+} // namespace
+
+StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    ap_assert(group != nullptr, "stat ", name_, " has no group");
+    group->stats_.push_back(this);
+}
+
+Scalar::Scalar(StatGroup *group, std::string name, std::string desc)
+    : StatBase(group, std::move(name), std::move(desc))
+{
+}
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name()) << " "
+       << std::right << std::setw(16) << formatValue(value_) << "  # "
+       << desc() << "\n";
+}
+
+Distribution::Distribution(StatGroup *group, std::string name,
+                           std::string desc, std::uint64_t min,
+                           std::uint64_t max, std::uint64_t bucket_size)
+    : StatBase(group, std::move(name), std::move(desc)),
+      min_(min),
+      max_(max),
+      bucket_size_(bucket_size)
+{
+    ap_assert(bucket_size_ > 0, "bucket size must be positive");
+    ap_assert(max_ >= min_, "distribution max < min");
+    buckets_.resize((max_ - min_) / bucket_size_ + 1, 0);
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    count_ += count;
+    sum_ += static_cast<double>(value) * count;
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+    if (value < min_) {
+        underflow_ += count;
+    } else if (value > max_) {
+        overflow_ += count;
+    } else {
+        buckets_[(value - min_) / bucket_size_] += count;
+    }
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name() + ".mean") << " "
+       << std::right << std::setw(16) << formatValue(mean()) << "  # "
+       << desc() << "\n";
+    os << std::left << std::setw(44) << (prefix + name() + ".count") << " "
+       << std::right << std::setw(16) << count_ << "\n";
+    if (!count_)
+        return;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        std::uint64_t lo = min_ + i * bucket_size_;
+        os << std::left << std::setw(44)
+           << (prefix + name() + "[" + std::to_string(lo) + "]") << " "
+           << std::right << std::setw(16) << buckets_[i] << "\n";
+    }
+    if (underflow_) {
+        os << std::left << std::setw(44) << (prefix + name() + ".under")
+           << " " << std::right << std::setw(16) << underflow_ << "\n";
+    }
+    if (overflow_) {
+        os << std::left << std::setw(44) << (prefix + name() + ".over")
+           << " " << std::right << std::setw(16) << overflow_ << "\n";
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_seen_ = ~std::uint64_t{0};
+    max_seen_ = 0;
+}
+
+Formula::Formula(StatGroup *group, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : StatBase(group, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+}
+
+void
+Formula::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name()) << " "
+       << std::right << std::setw(16) << formatValue(value()) << "  # "
+       << desc() << "\n";
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this), sibs.end());
+    }
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    dumpWithPrefix(os, name_.empty() ? "" : name_ + ".");
+}
+
+void
+StatGroup::dumpWithPrefix(std::ostream &os, const std::string &prefix) const
+{
+    for (const StatBase *s : stats_)
+        s->print(os, prefix);
+    for (const StatGroup *g : children_)
+        g->dumpWithPrefix(os, prefix + g->name_ + ".");
+}
+
+void
+StatGroup::resetStats()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetStats();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (const StatBase *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+} // namespace ap::stats

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Statistics register themselves with a StatGroup on construction; a group
+ * can dump all of its stats as aligned text or CSV. Three kinds are
+ * provided: Scalar (a counter), Distribution (bucketed histogram with
+ * moments), and Formula (a derived value evaluated at dump time).
+ */
+
+#ifndef AGILEPAGING_BASE_STATS_HH
+#define AGILEPAGING_BASE_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ap::stats
+{
+
+class StatGroup;
+
+/** Base class: a named, described statistic owned by a group. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the stat's value(s) to @p os, one line per value. */
+    virtual void print(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple additive counter. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(StatGroup *group, std::string name, std::string desc);
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A bucketed histogram that also tracks count/sum/min/max, enough to
+ * report a mean and a distribution shape.
+ */
+class Distribution : public StatBase
+{
+  public:
+    /**
+     * @param min,max inclusive value range covered by buckets
+     * @param bucket_size width of each bucket (> 0)
+     */
+    Distribution(StatGroup *group, std::string name, std::string desc,
+                 std::uint64_t min, std::uint64_t max,
+                 std::uint64_t bucket_size);
+
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t minSeen() const { return min_seen_; }
+    std::uint64_t maxSeen() const { return max_seen_; }
+    /** Samples below min / above max land in underflow/overflow. */
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t min_;
+    std::uint64_t max_;
+    std::uint64_t bucket_size_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t min_seen_ = ~std::uint64_t{0};
+    std::uint64_t max_seen_ = 0;
+};
+
+/** A derived statistic evaluated lazily at dump time. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *group, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    void print(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of statistics; groups can nest to build a
+ * hierarchy (machine.tlb.l1d.hits etc.).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Dump this group and all children to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat in this group and its children. */
+    void resetStats();
+
+    /** Look up a direct child stat by name; nullptr if absent. */
+    const StatBase *findStat(const std::string &name) const;
+
+  private:
+    friend class StatBase;
+
+    void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace ap::stats
+
+#endif // AGILEPAGING_BASE_STATS_HH

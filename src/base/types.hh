@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fundamental types shared by every subsystem: addresses, cycles,
+ * page-size enumeration and the x86-64 radix page-table geometry.
+ *
+ * The simulator models a 4-level x86-64-style page table. Walk depths are
+ * numbered from the root: depth 0 is the top level (the paper's "L4" /
+ * PML4) and depth 3 is the leaf (the paper's "L1" / PTE). The paper's
+ * level names are recovered with @ref ap::paperLevelName.
+ */
+
+#ifndef AGILEPAGING_BASE_TYPES_HH
+#define AGILEPAGING_BASE_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ap
+{
+
+/** A physical or virtual address (host or guest; 64-bit). */
+using Addr = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycles = std::uint64_t;
+
+/** Monotonic simulated time in "instructions executed" units. */
+using Tick = std::uint64_t;
+
+/** Identifier of a 4 KB physical frame: addr >> 12. */
+using FrameId = std::uint64_t;
+
+/** Identifier of a guest process inside a VM. */
+using ProcId = std::uint32_t;
+
+/** Number of bits in a 4 KB page offset. */
+inline constexpr unsigned kPageShift = 12;
+
+/** Size in bytes of a base (4 KB) page. */
+inline constexpr Addr kPageBytes = Addr{1} << kPageShift;
+
+/** Bits of virtual address consumed by one radix level. */
+inline constexpr unsigned kLevelBits = 9;
+
+/** Entries per page-table page (512 for x86-64). */
+inline constexpr unsigned kPtEntries = 1u << kLevelBits;
+
+/** Number of radix levels in a full walk (x86-64: PML4..PTE). */
+inline constexpr unsigned kPtLevels = 4;
+
+/** Size in bytes of a 2 MB large page. */
+inline constexpr Addr kLargePageBytes = Addr{1} << (kPageShift + kLevelBits);
+
+/** Size in bytes of a 1 GB huge page. */
+inline constexpr Addr kHugePageBytes =
+    Addr{1} << (kPageShift + 2 * kLevelBits);
+
+/** Supported translation granules. */
+enum class PageSize : std::uint8_t
+{
+    Size4K,
+    Size2M,
+    Size1G,
+};
+
+/** @return the byte size of a translation granule. */
+constexpr Addr
+pageBytes(PageSize ps)
+{
+    switch (ps) {
+      case PageSize::Size2M:
+        return kLargePageBytes;
+      case PageSize::Size1G:
+        return kHugePageBytes;
+      default:
+        return kPageBytes;
+    }
+}
+
+/**
+ * @return the walk depth at which a mapping of the given size terminates.
+ * A 4 KB mapping is installed at depth 3 (leaf), a 2 MB mapping at depth 2,
+ * a 1 GB mapping at depth 1.
+ */
+constexpr unsigned
+leafDepth(PageSize ps)
+{
+    switch (ps) {
+      case PageSize::Size2M:
+        return kPtLevels - 2;
+      case PageSize::Size1G:
+        return kPtLevels - 3;
+      default:
+        return kPtLevels - 1;
+    }
+}
+
+/** @return a short printable name for a page size. */
+constexpr const char *
+pageSizeName(PageSize ps)
+{
+    switch (ps) {
+      case PageSize::Size2M:
+        return "2M";
+      case PageSize::Size1G:
+        return "1G";
+      default:
+        return "4K";
+    }
+}
+
+/**
+ * @return the paper's level name for a walk depth (depth 0 == "L4", the
+ * root; depth 3 == "L1", the leaf PTE).
+ */
+inline std::string
+paperLevelName(unsigned depth)
+{
+    return "L" + std::to_string(kPtLevels - depth);
+}
+
+/** Memory-virtualization technique selected for a guest process. */
+enum class VirtMode : std::uint8_t
+{
+    /** Unvirtualized baseline: 1D walk of a single page table. */
+    Native,
+    /** Hardware nested paging: 2D walk of guest + host tables. */
+    Nested,
+    /** Software shadow paging: 1D walk of a merged shadow table. */
+    Shadow,
+    /** The paper's contribution: shadow walk with per-entry switch. */
+    Agile,
+    /** SHSP baseline: whole-process dynamic switching (Wang et al.). */
+    Shsp,
+};
+
+/** @return a short printable name for a virtualization mode. */
+constexpr const char *
+virtModeName(VirtMode m)
+{
+    switch (m) {
+      case VirtMode::Native:
+        return "Native";
+      case VirtMode::Nested:
+        return "Nested";
+      case VirtMode::Shadow:
+        return "Shadow";
+      case VirtMode::Agile:
+        return "Agile";
+      case VirtMode::Shsp:
+        return "SHSP";
+    }
+    return "?";
+}
+
+} // namespace ap
+
+#endif // AGILEPAGING_BASE_TYPES_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Agile policy implementation.
+ */
+
+#include "core/agile_policy.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+AgilePolicy::AgilePolicy(stats::StatGroup *parent, ShadowMgr &mgr,
+                         const AgilePolicyConfig &cfg)
+    : stats::StatGroup("policy", parent),
+      demotions(this, "demotions", "PT pages demoted to nested mode"),
+      promotions(this, "promotions", "PT pages promoted back to shadow"),
+      shadowEngagements(this, "shadow_engagements",
+                        "fully-nested processes that engaged shadowing"),
+      mgr_(mgr),
+      cfg_(cfg)
+{
+}
+
+void
+AgilePolicy::onProcessStart(ProcId proc)
+{
+    if (cfg_.startNested) {
+        // Short-lived/small-process policy: begin with sptr == gptr
+        // (pure nested paging) until overheads justify shadowing.
+        mgr_.context(proc).fullNested = true;
+    }
+}
+
+void
+AgilePolicy::onMediatedWrite(ProcId proc, Addr va, unsigned depth,
+                             const GptWriteOutcome &outcome)
+{
+    if (!outcome.trapped || !outcome.node)
+        return;
+    if (outcome.node->intervalWrites >= cfg_.writeThreshold) {
+        mgr_.convertToNested(proc, va, depth);
+        ++demotions;
+    }
+}
+
+void
+AgilePolicy::runBackPolicy(ShadowMgr::ProcState &p, ProcId proc)
+{
+    if (cfg_.backPolicy == BackPolicy::None)
+        return;
+
+    // Snapshot nested nodes, parents first (depth ascending) — the
+    // paper requires parent levels to convert before children.
+    struct Item
+    {
+        FrameId gframe;
+        Addr vaBase;
+        unsigned depth;
+    };
+    std::vector<Item> nested;
+    for (const auto &[gframe, node] : p.nodes) {
+        if (node.nested)
+            nested.push_back(Item{gframe, node.vaBase, node.depth});
+    }
+    std::sort(nested.begin(), nested.end(),
+              [](const Item &a, const Item &b) {
+                  return a.depth < b.depth;
+              });
+
+    for (const Item &item : nested) {
+        GptNode &node = p.nodes.at(item.gframe);
+        if (cfg_.backPolicy == BackPolicy::DirtyScan) {
+            // Pages whose backing frame was written this interval stay
+            // nested; consuming the bit re-arms the next interval. A
+            // page must stay clean for several consecutive intervals
+            // before it converts back (hysteresis).
+            if (mgr_.vmm().consumeGptDirty(item.gframe)) {
+                node.cleanIntervals = 0;
+                continue;
+            }
+            ++node.cleanIntervals;
+            if (node.cleanIntervals < cfg_.promoteAfterCleanIntervals)
+                continue;
+        }
+        // Convert only when the parent is (back) in shadow mode.
+        if (item.depth > 0) {
+            FrameId parent =
+                item.depth == 1
+                    ? p.gptRootGframe
+                    : p.gpt->tableFrame(item.vaBase, item.depth - 1);
+            auto pit = p.nodes.find(parent);
+            if (pit != p.nodes.end() && pit->second.nested)
+                continue;
+        }
+        mgr_.convertToShadow(proc, item.vaBase, item.depth);
+        ++promotions;
+    }
+}
+
+void
+AgilePolicy::onInterval(ProcId proc, const PolicySample &sample)
+{
+    ShadowMgr::ProcState &p = mgr_.state(proc);
+
+    if (p.ctx.fullNested) {
+        // Short-lived policy: engage agile shadowing once the process
+        // demonstrably suffers from TLB misses *and* the projected
+        // mediation cost of its current PT-update rate would not eat
+        // the walk savings (during warmup the update rate is huge, so
+        // nested mode correctly persists).
+        double walk_frac = static_cast<double>(sample.walkCycles) /
+                           static_cast<double>(sample.idealCycles);
+        double walk_benefit = static_cast<double>(sample.walkCycles) *
+                              (1.0 - 1.0 / cfg_.nestedWalkFactor);
+        double projected = static_cast<double>(sample.gptWrites) *
+                           static_cast<double>(cfg_.projectedTrapCost);
+        if (walk_frac > cfg_.tlbOverheadThreshold &&
+            walk_benefit > projected * cfg_.engageMargin) {
+            p.ctx.fullNested = false;
+            // The sptr register write invalidates cached partial
+            // walks of the old (fully nested) mode.
+            mgr_.onModeRegisterWrite(proc);
+            ++shadowEngagements;
+        }
+        return;
+    }
+
+    // Catch bursts the unsync window hid: demote any shadowed page
+    // whose interval count reached the threshold via resyncs.
+    struct Demote
+    {
+        Addr vaBase;
+        unsigned depth;
+    };
+    std::vector<Demote> to_demote;
+    for (auto &[gframe, node] : p.nodes) {
+        if (!node.nested && node.intervalWrites >= cfg_.writeThreshold)
+            to_demote.push_back(Demote{node.vaBase, node.depth});
+    }
+    for (const Demote &d : to_demote) {
+        mgr_.convertToNested(proc, d.vaBase, d.depth);
+        ++demotions;
+    }
+
+    runBackPolicy(p, proc);
+
+    // New interval: write bursts start counting from zero again.
+    for (auto &[gframe, node] : p.nodes)
+        node.intervalWrites = 0;
+}
+
+} // namespace ap

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Agile paging mode-switch policies (paper Section III-C).
+ *
+ * Three cooperating policies decide the degree of nesting:
+ *
+ *  1. shadow=>nested: if the VMM mediates @ref writeThreshold writes to
+ *     one guest-PT page within a fixed time interval, that page and
+ *     everything below it move to nested mode ("a small threshold like
+ *     the one used in branch predictors").
+ *
+ *  2. nested=>shadow: either the simple policy (periodically move
+ *     everything back and let policy 1 re-demote the hot parts) or the
+ *     effective policy (scan the dirty bits the host page table keeps
+ *     on the frames backing nested guest-PT pages; pages that stayed
+ *     clean for an interval return to shadow mode, parents before
+ *     children).
+ *
+ *  3. short-lived/small processes: optionally start fully nested and
+ *     engage shadowing only once measured TLB-miss overhead justifies
+ *     building a shadow table.
+ */
+
+#ifndef AGILEPAGING_CORE_AGILE_POLICY_HH
+#define AGILEPAGING_CORE_AGILE_POLICY_HH
+
+#include <cstdint>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "vmm/shadow_mgr.hh"
+
+namespace ap
+{
+
+/** Which nested=>shadow reclamation policy runs each interval. */
+enum class BackPolicy : std::uint8_t
+{
+    /** Never return to shadow (ablation baseline). */
+    None,
+    /** Simple: move everything back each interval. */
+    PeriodicReset,
+    /** Effective: move back only pages whose backing stayed clean. */
+    DirtyScan,
+};
+
+/** Policy parameters. */
+struct AgilePolicyConfig
+{
+    /** Mediated writes to one PT page within an interval that trigger
+     *  demotion to nested mode (the paper uses 2). */
+    std::uint32_t writeThreshold = 2;
+    BackPolicy backPolicy = BackPolicy::DirtyScan;
+    /** Short-lived/small-process administrative policy (Section
+     *  III-C): start fully nested and engage shadowing only once
+     *  TLB-miss overhead justifies it. Off by default — the paper
+     *  assumes "the guest process starts in full shadow mode". */
+    bool startNested = false;
+    /** TLB-miss overhead (fraction of ideal cycles over the last
+     *  interval) above which a fully-nested process may turn on
+     *  shadow mode. */
+    double tlbOverheadThreshold = 0.02;
+    /** Model of how much longer nested walks are than shadow walks
+     *  (used to project the benefit of engaging shadow mode). */
+    double nestedWalkFactor = 3.0;
+    /** Projected cost of one mediated PT write once shadowed. */
+    Cycles projectedTrapCost = 1700;
+    /** Engagement eagerness: engage when walk benefit exceeds this
+     *  fraction of the projected mediation cost (< 1 is forgiving —
+     *  once engaged, the spatial policy re-demotes hot PT regions). */
+    double engageMargin = 0.5;
+    /** Clean intervals required before a nested PT page returns to
+     *  shadow mode (hysteresis against periodic write storms —
+     *  reclaim scans, sharing-scan COW bursts — re-demoting it). */
+    std::uint32_t promoteAfterCleanIntervals = 16;
+
+};
+
+/** Per-interval observations the machine passes to the policy. */
+struct PolicySample
+{
+    /** Page-walk cycles this interval. */
+    Cycles walkCycles = 0;
+    /** Guest PT writes this interval (mediated or not). */
+    std::uint64_t gptWrites = 0;
+    /** Ideal cycles elapsed this interval. */
+    Cycles idealCycles = 1;
+};
+
+/**
+ * Drives ShadowMgr conversions for agile processes.
+ */
+class AgilePolicy : public stats::StatGroup
+{
+  public:
+    AgilePolicy(stats::StatGroup *parent, ShadowMgr &mgr,
+                const AgilePolicyConfig &cfg);
+
+    /** Install policy state for a newly registered agile process. */
+    void onProcessStart(ProcId proc);
+
+    /**
+     * Notification that a guest PT write at (@p va, @p depth) was
+     * mediated (trapped). Demotes the written page to nested mode
+     * when the write-burst threshold is reached.
+     */
+    void onMediatedWrite(ProcId proc, Addr va, unsigned depth,
+                         const GptWriteOutcome &outcome);
+
+    /** Fixed-interval policy tick with the interval's observations. */
+    void onInterval(ProcId proc, const PolicySample &sample);
+
+    const AgilePolicyConfig &config() const { return cfg_; }
+
+    stats::Scalar demotions;
+    stats::Scalar promotions;
+    stats::Scalar shadowEngagements;
+
+  private:
+    void runBackPolicy(ShadowMgr::ProcState &p, ProcId proc);
+
+    ShadowMgr &mgr_;
+    AgilePolicyConfig cfg_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_CORE_AGILE_POLICY_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Address-space map implementation.
+ */
+
+#include "guestos/vma.hh"
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+bool
+AddressSpace::add(const Vma &vma)
+{
+    ap_assert(vma.length > 0, "empty VMA");
+    // Find the first VMA ending after our base and check overlap.
+    auto it = vmas_.upper_bound(vma.base);
+    if (it != vmas_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end() > vma.base)
+            return false;
+    }
+    if (it != vmas_.end() && it->second.base < vma.end())
+        return false;
+    vmas_[vma.base] = vma;
+    return true;
+}
+
+Addr
+AddressSpace::addAnywhere(Addr length, Addr align, bool writable,
+                          VmaKind kind, std::uint64_t file_id)
+{
+    ap_assert(align > 0 && (align & (align - 1)) == 0,
+              "alignment must be a power of two");
+    Addr base = (bump_ + align - 1) & ~(align - 1);
+    Vma vma;
+    vma.base = base;
+    vma.length = length;
+    vma.writable = writable;
+    vma.kind = kind;
+    vma.fileId = file_id;
+    if (!add(vma)) {
+        // The bump pointer collided with a fixed mapping; skip past
+        // everything mapped and retry once.
+        Addr max_end = kMmapBase;
+        for (const auto &[b, v] : vmas_)
+            max_end = std::max(max_end, v.end());
+        bump_ = max_end;
+        base = (bump_ + align - 1) & ~(align - 1);
+        vma.base = base;
+        if (!add(vma))
+            return 0;
+    }
+    bump_ = vma.end();
+    if (bump_ >= (Addr{1} << 47))
+        return 0;
+    return base;
+}
+
+bool
+AddressSpace::remove(Addr base, Addr length)
+{
+    Addr end = base + length;
+    bool removed = false;
+    auto it = vmas_.lower_bound(base);
+    if (it != vmas_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end() > base)
+            it = prev;
+    }
+    while (it != vmas_.end() && it->second.base < end) {
+        Vma vma = it->second;
+        it = vmas_.erase(it);
+        removed = true;
+        if (vma.base < base) {
+            Vma left = vma;
+            left.length = base - vma.base;
+            vmas_[left.base] = left;
+        }
+        if (vma.end() > end) {
+            Vma right = vma;
+            right.base = end;
+            right.length = vma.end() - end;
+            if (right.kind == VmaKind::File) {
+                // Keep file offsets stable by keeping fileId; content
+                // ids are derived from absolute page offsets.
+            }
+            vmas_[right.base] = right;
+        }
+    }
+    return removed;
+}
+
+const Vma *
+AddressSpace::find(Addr va) const
+{
+    auto it = vmas_.upper_bound(va);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(va) ? &it->second : nullptr;
+}
+
+Addr
+AddressSpace::mappedBytes() const
+{
+    Addr total = 0;
+    for (const auto &[base, vma] : vmas_)
+        total += vma.length;
+    return total;
+}
+
+} // namespace ap

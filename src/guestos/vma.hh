@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Virtual memory areas and the per-process address-space map.
+ */
+
+#ifndef AGILEPAGING_GUESTOS_VMA_HH
+#define AGILEPAGING_GUESTOS_VMA_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "base/types.hh"
+
+namespace ap
+{
+
+/** What a mapping represents (drives page content and reuse). */
+enum class VmaKind : std::uint8_t
+{
+    /** Anonymous memory: unique content per page. */
+    Anon,
+    /** File-backed: content determined by (fileId, offset) — pages of
+     *  the same file region deduplicate across processes. */
+    File,
+};
+
+/** One mapped region. */
+struct Vma
+{
+    Addr base = 0;
+    Addr length = 0;
+    bool writable = true;
+    VmaKind kind = VmaKind::Anon;
+    /** File identity for File mappings (content dedup key). */
+    std::uint64_t fileId = 0;
+
+    Addr end() const { return base + length; }
+    bool contains(Addr va) const { return va >= base && va < end(); }
+};
+
+/**
+ * Sorted, non-overlapping set of VMAs plus a simple top-down free-area
+ * allocator.
+ */
+class AddressSpace
+{
+  public:
+    /** mmap hint region start. */
+    static constexpr Addr kMmapBase = 0x10000000;
+
+    /**
+     * Insert a VMA at a fixed base. @return false on overlap.
+     */
+    bool add(const Vma &vma);
+
+    /**
+     * Choose a free base for @p length bytes (aligned to @p align) and
+     * insert. @return the base, or 0 if the VA space is exhausted.
+     */
+    Addr addAnywhere(Addr length, Addr align, bool writable, VmaKind kind,
+                     std::uint64_t file_id = 0);
+
+    /**
+     * Remove [base, base+length). Splits partially covered VMAs.
+     * @return true if anything was removed.
+     */
+    bool remove(Addr base, Addr length);
+
+    /** VMA containing @p va, if any. */
+    const Vma *find(Addr va) const;
+
+    std::size_t count() const { return vmas_.size(); }
+
+    /** Total mapped bytes. */
+    Addr mappedBytes() const;
+
+    /** Visit every VMA in address order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[base, vma] : vmas_)
+            fn(vma);
+    }
+
+  private:
+    std::map<Addr, Vma> vmas_; // keyed by base
+    Addr bump_ = kMmapBase;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_GUESTOS_VMA_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A storage-less frame-id allocator used for guest physical address
+ * spaces: the guest OS hands out gPA frames from this pool, and the
+ * VMM separately decides which host frames back them.
+ */
+
+#ifndef AGILEPAGING_MEM_FRAME_ALLOC_HH
+#define AGILEPAGING_MEM_FRAME_ALLOC_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace ap
+{
+
+/**
+ * Allocates frame ids 1..capacity (0 is the null frame, as in PhysMem).
+ */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(std::uint64_t capacity) : capacity_(capacity)
+    {
+        ap_assert(capacity >= 1, "FrameAllocator needs capacity");
+    }
+
+    /** @return a frame id, or 0 when exhausted. */
+    FrameId
+    alloc()
+    {
+        if (!free_list_.empty()) {
+            FrameId f = free_list_.back();
+            free_list_.pop_back();
+            ++allocated_;
+            return f;
+        }
+        if (next_ <= capacity_) {
+            ++allocated_;
+            return next_++;
+        }
+        return 0;
+    }
+
+    /**
+     * Allocate @p n physically contiguous, naturally aligned frames
+     * (for large-page backing). Only served from the fresh region.
+     * @return first frame id, or 0 when exhausted.
+     */
+    FrameId
+    allocContiguous(std::uint64_t n)
+    {
+        ap_assert(n >= 1, "allocContiguous(0)");
+        FrameId first = ((next_ + n - 1) / n) * n; // align to n
+        if (first + n - 1 > capacity_)
+            return 0;
+        // Frames skipped by alignment go to the free list.
+        for (FrameId f = next_; f < first; ++f) {
+            free_list_.push_back(f);
+        }
+        next_ = first + n;
+        allocated_ += n;
+        return first;
+    }
+
+    void
+    free(FrameId f)
+    {
+        ap_assert(f >= 1 && f <= capacity_, "bad frame ", f);
+        ap_assert(allocated_ > 0, "free with none allocated");
+        --allocated_;
+        free_list_.push_back(f);
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t freeFrames() const { return capacity_ - allocated_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t allocated_ = 0;
+    FrameId next_ = 1;
+    std::vector<FrameId> free_list_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_MEM_FRAME_ALLOC_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Host physical frame allocator implementation.
+ */
+
+#include "mem/phys_mem.hh"
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+PhysMem::PhysMem(std::uint64_t frames) : capacity_(frames)
+{
+    ap_assert(frames >= 1, "PhysMem needs at least 1 frame");
+    // Index 0 is the reserved null frame; usable ids are 1..capacity_.
+    frames_.resize(frames + 1);
+}
+
+FrameId
+PhysMem::allocRaw()
+{
+    if (!free_list_.empty()) {
+        FrameId f = free_list_.back();
+        free_list_.pop_back();
+        ++allocated_;
+        return f;
+    }
+    if (next_fresh_ <= capacity_) {
+        ++allocated_;
+        return next_fresh_++;
+    }
+    return kNoFrame;
+}
+
+FrameId
+PhysMem::allocData(std::uint64_t content_id)
+{
+    FrameId f = allocRaw();
+    if (f == kNoFrame)
+        return kNoFrame;
+    FrameInfo &fi = frames_[f];
+    fi.kind = FrameKind::Data;
+    fi.owner = TableOwner::None;
+    fi.contentId = content_id;
+    fi.table.reset();
+    return f;
+}
+
+FrameId
+PhysMem::allocDataContiguous(std::uint64_t n, std::uint64_t content_id)
+{
+    ap_assert(n >= 1, "allocDataContiguous(0)");
+    FrameId first = ((next_fresh_ + n - 1) / n) * n;
+    if (first + n - 1 > capacity_)
+        return kNoFrame;
+    // Frames skipped to reach alignment stay available for 4K use.
+    for (FrameId f = next_fresh_; f < first; ++f)
+        free_list_.push_back(f);
+    next_fresh_ = first + n;
+    allocated_ += n;
+    for (FrameId f = first; f < first + n; ++f) {
+        FrameInfo &fi = frames_[f];
+        fi.kind = FrameKind::Data;
+        fi.owner = TableOwner::None;
+        fi.contentId = content_id;
+        fi.table.reset();
+    }
+    return first;
+}
+
+FrameId
+PhysMem::allocTable(TableOwner owner)
+{
+    FrameId f = allocRaw();
+    if (f == kNoFrame)
+        return kNoFrame;
+    FrameInfo &fi = frames_[f];
+    fi.kind = FrameKind::PageTable;
+    fi.owner = owner;
+    fi.contentId = 0;
+    fi.table = std::make_unique<PtPage>();
+    ++table_counts_[static_cast<std::size_t>(owner)];
+    return f;
+}
+
+void
+PhysMem::free(FrameId frame)
+{
+    FrameInfo &fi = info(frame);
+    ap_assert(fi.kind != FrameKind::Free, "double free of frame ", frame);
+    if (fi.kind == FrameKind::PageTable)
+        --table_counts_[static_cast<std::size_t>(fi.owner)];
+    fi.kind = FrameKind::Free;
+    fi.owner = TableOwner::None;
+    fi.table.reset();
+    fi.contentId = 0;
+    --allocated_;
+    free_list_.push_back(frame);
+}
+
+PtPage &
+PhysMem::table(FrameId frame)
+{
+    FrameInfo &fi = info(frame);
+    ap_assert(fi.kind == FrameKind::PageTable,
+              "frame ", frame, " is not a page-table frame");
+    return *fi.table;
+}
+
+const PtPage &
+PhysMem::table(FrameId frame) const
+{
+    const FrameInfo &fi = info(frame);
+    ap_assert(fi.kind == FrameKind::PageTable,
+              "frame ", frame, " is not a page-table frame");
+    return *fi.table;
+}
+
+FrameKind
+PhysMem::kind(FrameId frame) const
+{
+    return info(frame).kind;
+}
+
+TableOwner
+PhysMem::owner(FrameId frame) const
+{
+    return info(frame).owner;
+}
+
+std::uint64_t
+PhysMem::contentId(FrameId frame) const
+{
+    const FrameInfo &fi = info(frame);
+    ap_assert(fi.kind == FrameKind::Data, "contentId of non-data frame");
+    return fi.contentId;
+}
+
+void
+PhysMem::setContentId(FrameId frame, std::uint64_t content_id)
+{
+    FrameInfo &fi = info(frame);
+    ap_assert(fi.kind == FrameKind::Data, "setContentId of non-data frame");
+    fi.contentId = content_id;
+}
+
+std::uint64_t
+PhysMem::tableFrames(TableOwner owner) const
+{
+    return table_counts_[static_cast<std::size_t>(owner)];
+}
+
+PhysMem::FrameInfo &
+PhysMem::info(FrameId frame)
+{
+    ap_assert(frame > 0 && frame <= capacity_, "bad frame id ", frame);
+    return frames_[frame];
+}
+
+const PhysMem::FrameInfo &
+PhysMem::info(FrameId frame) const
+{
+    ap_assert(frame > 0 && frame <= capacity_, "bad frame id ", frame);
+    return frames_[frame];
+}
+
+} // namespace ap

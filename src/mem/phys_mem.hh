@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Host physical memory: a typed frame allocator.
+ *
+ * Every byte of simulated state lives in a host frame. A frame is either
+ * a data page (carrying a content id used by the dedup/page-sharing
+ * machinery) or a page-table page (carrying 512 architectural PTEs).
+ * Guest "physical" frames are backed by host frames; the mapping is owned
+ * by the VMM, not by this class.
+ */
+
+#ifndef AGILEPAGING_MEM_PHYS_MEM_HH
+#define AGILEPAGING_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/pte.hh"
+
+namespace ap
+{
+
+/** One page worth of page-table entries. */
+using PtPage = std::array<Pte, kPtEntries>;
+
+/** What a host frame currently holds. */
+enum class FrameKind : std::uint8_t
+{
+    Free,
+    /** Application/guest data page. */
+    Data,
+    /** A page of some page table (guest, host, or shadow). */
+    PageTable,
+};
+
+/** Which page table a PageTable frame belongs to (for accounting). */
+enum class TableOwner : std::uint8_t
+{
+    None,
+    GuestPt,
+    HostPt,
+    ShadowPt,
+    NativePt,
+};
+
+/**
+ * The host physical memory pool.
+ *
+ * Frame 0 is reserved and never allocated so that pfn 0 can serve as a
+ * "null" value in tests and table roots are always non-zero.
+ */
+class PhysMem
+{
+  public:
+    /** @param frames capacity of the pool in 4 KB frames (>= 2). */
+    explicit PhysMem(std::uint64_t frames);
+
+    /**
+     * Allocate a data frame.
+     * @param content_id synthetic page-content identifier (dedup key)
+     * @return the frame, or kNoFrame when the pool is exhausted
+     */
+    FrameId allocData(std::uint64_t content_id = 0);
+
+    /**
+     * Allocate @p n contiguous, naturally aligned data frames (large-
+     * page backing). Served from the untouched tail of the pool only.
+     * @return the first frame, or kNoFrame when it cannot be satisfied
+     */
+    FrameId allocDataContiguous(std::uint64_t n,
+                                std::uint64_t content_id = 0);
+
+    /**
+     * Allocate a zeroed page-table frame.
+     * @return the frame, or kNoFrame when the pool is exhausted
+     */
+    FrameId allocTable(TableOwner owner);
+
+    /** Release a frame back to the pool. @pre frame is allocated. */
+    void free(FrameId frame);
+
+    /** @return mutable PTE array of a PageTable frame. */
+    PtPage &table(FrameId frame);
+    const PtPage &table(FrameId frame) const;
+
+    FrameKind kind(FrameId frame) const;
+    TableOwner owner(FrameId frame) const;
+
+    /** Content id of a Data frame (dedup key). */
+    std::uint64_t contentId(FrameId frame) const;
+    void setContentId(FrameId frame, std::uint64_t content_id);
+
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t allocated() const { return allocated_; }
+    std::uint64_t freeFrames() const { return capacity_ - allocated_; }
+
+    /** Frames currently allocated per table owner (for stats). */
+    std::uint64_t tableFrames(TableOwner owner) const;
+
+    /** Sentinel returned when allocation fails. */
+    static constexpr FrameId kNoFrame = 0;
+
+  private:
+    struct FrameInfo
+    {
+        FrameKind kind = FrameKind::Free;
+        TableOwner owner = TableOwner::None;
+        std::uint64_t contentId = 0;
+        std::unique_ptr<PtPage> table;
+    };
+
+    FrameId allocRaw();
+    FrameInfo &info(FrameId frame);
+    const FrameInfo &info(FrameId frame) const;
+
+    std::uint64_t capacity_;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t next_fresh_ = 1; // frame 0 reserved
+    std::vector<FrameId> free_list_;
+    std::vector<FrameInfo> frames_;
+    std::array<std::uint64_t, 5> table_counts_{};
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_MEM_PHYS_MEM_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PTE raw packing/unpacking and printing.
+ */
+
+#include "mem/pte.hh"
+
+#include <sstream>
+
+namespace ap
+{
+
+std::uint64_t
+Pte::toRaw() const
+{
+    using namespace pte_bits;
+    std::uint64_t raw = 0;
+    auto set = [&raw](unsigned bit, bool v) {
+        if (v)
+            raw |= std::uint64_t{1} << bit;
+    };
+    set(kValid, valid);
+    set(kWritable, writable);
+    set(kUser, user);
+    set(kAccessed, accessed);
+    set(kDirty, dirty);
+    set(kPageSize, pageSize);
+    set(kSwitching, switching);
+    raw |= (pfn & ((std::uint64_t{1} << (kPfnHi - kPfnLo + 1)) - 1))
+           << kPfnLo;
+    return raw;
+}
+
+Pte
+Pte::fromRaw(std::uint64_t raw)
+{
+    using namespace pte_bits;
+    auto get = [raw](unsigned bit) {
+        return (raw >> bit) & 1;
+    };
+    Pte pte;
+    pte.valid = get(kValid);
+    pte.writable = get(kWritable);
+    pte.user = get(kUser);
+    pte.accessed = get(kAccessed);
+    pte.dirty = get(kDirty);
+    pte.pageSize = get(kPageSize);
+    pte.switching = get(kSwitching);
+    pte.pfn =
+        (raw >> kPfnLo) & ((std::uint64_t{1} << (kPfnHi - kPfnLo + 1)) - 1);
+    return pte;
+}
+
+std::string
+Pte::toString() const
+{
+    std::ostringstream os;
+    os << "Pte{pfn=0x" << std::hex << pfn << std::dec
+       << (valid ? " V" : " -") << (writable ? "W" : "-")
+       << (user ? "U" : "-") << (accessed ? "A" : "-")
+       << (dirty ? "D" : "-") << (pageSize ? "S" : "-")
+       << (switching ? "X" : "-") << "}";
+    return os.str();
+}
+
+} // namespace ap

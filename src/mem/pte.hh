@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Page-table entry format shared by guest, host, and shadow tables.
+ *
+ * The layout mirrors x86-64 semantics (valid/writable/user/accessed/
+ * dirty/page-size) plus the one architectural addition agile paging
+ * makes: a per-entry switching bit, meaningful only in shadow page
+ * tables, that tells the hardware walker to continue the remainder of
+ * the walk in nested mode (paper Section III-A).
+ */
+
+#ifndef AGILEPAGING_MEM_PTE_HH
+#define AGILEPAGING_MEM_PTE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.hh"
+
+namespace ap
+{
+
+/** One page-table entry. */
+struct Pte
+{
+    /** Frame of the next-level table, or of the mapped page at a leaf.
+     *  For a shadow entry with the switching bit set, this is the host
+     *  frame holding the next level of the *guest* page table. */
+    FrameId pfn = 0;
+
+    /** Entry holds a translation / pointer. */
+    bool valid = false;
+
+    /** Write permission. Shadow entries clear this on first map so the
+     *  first store traps for dirty-bit tracking (paper Section III-B). */
+    bool writable = false;
+
+    /** User-mode accessible (kept for format completeness). */
+    bool user = false;
+
+    /** Set by hardware (or VMM) on first reference. */
+    bool accessed = false;
+
+    /** Set by hardware (or VMM) on first write. */
+    bool dirty = false;
+
+    /** x86 PS bit: this non-leaf-depth entry maps a large page. */
+    bool pageSize = false;
+
+    /** Agile paging: continue this walk in nested mode (shadow PTs only).*/
+    bool switching = false;
+
+    /** @return true iff two entries encode the same architectural state. */
+    bool
+    operator==(const Pte &o) const
+    {
+        return pfn == o.pfn && valid == o.valid && writable == o.writable &&
+               user == o.user && accessed == o.accessed && dirty == o.dirty &&
+               pageSize == o.pageSize && switching == o.switching;
+    }
+
+    /** Pack into a raw 64-bit architectural representation. */
+    std::uint64_t toRaw() const;
+
+    /** Unpack from a raw 64-bit architectural representation. */
+    static Pte fromRaw(std::uint64_t raw);
+
+    /** Human-readable rendering for traces and test failures. */
+    std::string toString() const;
+};
+
+/** Raw-encoding bit positions (x86-64-style; switching uses an
+ *  ignored/software bit as the paper's modest format extension). */
+namespace pte_bits
+{
+inline constexpr unsigned kValid = 0;
+inline constexpr unsigned kWritable = 1;
+inline constexpr unsigned kUser = 2;
+inline constexpr unsigned kAccessed = 5;
+inline constexpr unsigned kDirty = 6;
+inline constexpr unsigned kPageSize = 7;
+inline constexpr unsigned kSwitching = 9; // software-available bit
+inline constexpr unsigned kPfnLo = 12;
+inline constexpr unsigned kPfnHi = 51;
+} // namespace pte_bits
+
+} // namespace ap
+
+#endif // AGILEPAGING_MEM_PTE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Option parsing for SimConfig.
+ */
+
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ap
+{
+
+namespace
+{
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+} // namespace
+
+bool
+parseVirtMode(const std::string &s, VirtMode &out)
+{
+    std::string v = lower(s);
+    if (v == "native" || v == "b") {
+        out = VirtMode::Native;
+    } else if (v == "nested" || v == "n") {
+        out = VirtMode::Nested;
+    } else if (v == "shadow" || v == "s") {
+        out = VirtMode::Shadow;
+    } else if (v == "agile" || v == "a") {
+        out = VirtMode::Agile;
+    } else if (v == "shsp") {
+        out = VirtMode::Shsp;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parsePageSize(const std::string &s, PageSize &out)
+{
+    std::string v = lower(s);
+    if (v == "4k") {
+        out = PageSize::Size4K;
+    } else if (v == "2m") {
+        out = PageSize::Size2M;
+    } else if (v == "1g") {
+        out = PageSize::Size1G;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+SimConfig::applyOption(const std::string &option)
+{
+    auto eq = option.find('=');
+    if (eq == std::string::npos)
+        return false;
+    std::string key = lower(option.substr(0, eq));
+    std::string value = option.substr(eq + 1);
+
+    if (key == "mode")
+        return parseVirtMode(value, mode);
+    if (key == "page" || key == "pagesize") {
+        if (!parsePageSize(value, pageSize))
+            return false;
+        guestOs.pageSize = pageSize;
+        return true;
+    }
+    auto as_u64 = [&value](std::uint64_t &out) {
+        try {
+            out = std::stoull(value);
+        } catch (...) {
+            return false;
+        }
+        return true;
+    };
+    auto as_bool = [&value](bool &out) {
+        std::string v = lower(value);
+        if (v == "1" || v == "true" || v == "on") {
+            out = true;
+        } else if (v == "0" || v == "false" || v == "off") {
+            out = false;
+        } else {
+            return false;
+        }
+        return true;
+    };
+
+    if (key == "walk_ref_cycles")
+        return as_u64(walkRefCycles);
+    if (key == "host_mem_frames")
+        return as_u64(hostMemFrames);
+    if (key == "policy_interval")
+        return as_u64(policyIntervalOps);
+    if (key == "pwc")
+        return as_bool(pwcEnabled);
+    if (key == "ntlb")
+        return as_bool(ntlbEnabled);
+    if (key == "unsync")
+        return as_bool(unsyncEnabled);
+    if (key == "hw_ad")
+        return as_bool(hwOptAd);
+    if (key == "verify")
+        return as_bool(verifyTranslations);
+    if (key == "sptr_cache") {
+        std::uint64_t n;
+        if (!as_u64(n))
+            return false;
+        sptrCacheEntries = n;
+        return true;
+    }
+    if (key == "hw_opts") {
+        bool on;
+        if (!as_bool(on))
+            return false;
+        if (on)
+            enableHwOpts();
+        return true;
+    }
+    if (key == "back_policy") {
+        std::string v = lower(value);
+        if (v == "none") {
+            policy.backPolicy = BackPolicy::None;
+        } else if (v == "periodic") {
+            policy.backPolicy = BackPolicy::PeriodicReset;
+        } else if (v == "dirty") {
+            policy.backPolicy = BackPolicy::DirtyScan;
+        } else {
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace ap

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment definitions: the (workload x technique x page size)
+ * matrix of the paper's evaluation, with laptop-scaled workload
+ * parameters and machine sizing.
+ */
+
+#ifndef AGILEPAGING_SIM_EXPERIMENT_HH
+#define AGILEPAGING_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/** One cell of the evaluation matrix. */
+struct ExperimentSpec
+{
+    std::string workload;
+    VirtMode mode = VirtMode::Agile;
+    PageSize pageSize = PageSize::Size4K;
+    /** 0 = use the workload's default operation count. */
+    std::uint64_t operations = 0;
+    /** Apply the paper's optional hardware optimizations to
+     *  shadow-based techniques (the evaluated agile configuration). */
+    bool hwOpts = true;
+};
+
+/**
+ * Default (scaled) parameters for a Table V workload. Footprints keep
+ * the paper's ordering (graph500/memcached largest, astar smallest) at
+ * roughly 1/1000 scale so runs complete on a laptop.
+ */
+WorkloadParams defaultParamsFor(const std::string &workload);
+
+/**
+ * A machine configuration sized for @p params under @p mode /
+ * @p page_size, with the evaluated policy defaults.
+ */
+SimConfig configFor(VirtMode mode, PageSize page_size,
+                    const WorkloadParams &params, bool hw_opts = true);
+
+/** Run one cell of the matrix. */
+RunResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * Run the full Figure 5 matrix: every Table V workload under
+ * {Native, Nested, Shadow, Agile} x {4K, 2M}.
+ * @param operations 0 = workload defaults
+ */
+std::vector<RunResult> runFigure5Matrix(std::uint64_t operations = 0);
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_EXPERIMENT_HH

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Machine implementation: composition, the access path (TLB probe,
+ * fault-servicing walk loop, protection resolution), scheduling, and
+ * interval-driven policies.
+ */
+
+#include "sim/machine.hh"
+
+#include "base/bitfield.hh"
+#include "base/debug.hh"
+#include "base/logging.hh"
+
+namespace ap
+{
+
+Machine::Machine(const SimConfig &cfg)
+    : stats::StatGroup("machine"),
+      instructionsStat(this, "instructions", "instructions executed",
+                       [this] { return double(instructions_); }),
+      walkCyclesStat(this, "walk_cycles", "translation cycles",
+                     [this] { return double(walk_cycles_); }),
+      l2HitCyclesStat(this, "l2_hit_cycles", "cycles in L2 TLB hits"),
+      protFaults(this, "prot_faults", "write-permission fixups"),
+      cfg_(cfg),
+      rng_(cfg.mode == VirtMode::Native ? 12345 : 12345), // same stream
+      mem_(cfg.hostMemFrames)
+{
+    tlb_ = std::make_unique<TlbHierarchy>(this, cfg_.tlb);
+    pwc_ = std::make_unique<PageWalkCache>(this, cfg_.pwcEntries,
+                                           cfg_.pwcWays, cfg_.pwcEnabled);
+    ntlb_ = std::make_unique<NestedTlb>(this, cfg_.ntlbEntries,
+                                        cfg_.ntlbWays, cfg_.ntlbEnabled);
+    walker_ = std::make_unique<Walker>(this, mem_, *pwc_, *ntlb_);
+
+    if (cfg_.mode != VirtMode::Native) {
+        VmmConfig vcfg;
+        vcfg.guestPtFrames = cfg_.guestPtFrames;
+        vcfg.guestDataFrames = cfg_.guestDataFrames;
+        vcfg.hostPageSize = cfg_.pageSize;
+        vcfg.costs = cfg_.trapCosts;
+        vcfg.sptrCacheEntries = cfg_.sptrCacheEntries;
+        vmm_ = std::make_unique<Vmm>(this, mem_, vcfg, ntlb_.get());
+        if (cfg_.mode != VirtMode::Nested) {
+            ShadowConfig scfg;
+            scfg.unsyncEnabled = cfg_.unsyncEnabled;
+            scfg.hwOptAd = cfg_.hwOptAd;
+            smgr_ = std::make_unique<ShadowMgr>(this, mem_, *vmm_, scfg,
+                                                tlb_.get(), pwc_.get());
+            if (cfg_.mode == VirtMode::Agile) {
+                policy_ = std::make_unique<AgilePolicy>(this, *smgr_,
+                                                        cfg_.policy);
+            } else if (cfg_.mode == VirtMode::Shsp) {
+                shsp_ = std::make_unique<ShspController>(this, *smgr_,
+                                                         cfg_.shsp);
+            }
+        }
+    }
+
+    GuestOsConfig gcfg = cfg_.guestOs;
+    // The guest granule follows the machine page size unless the
+    // caller picked a different guest granule explicitly (mixed-stage
+    // configurations, Section V).
+    if (gcfg.pageSize == PageSize::Size4K)
+        gcfg.pageSize = cfg_.pageSize;
+    guest_os_ = std::make_unique<GuestOs>(this, mem_, vmm_.get(),
+                                          smgr_.get(), tlb_.get(),
+                                          pwc_.get(), gcfg);
+    guest_os_->onMediatedGptWrite = [this](ProcId pid, Addr va,
+                                           unsigned depth,
+                                           const GptWriteOutcome &out) {
+        if (policy_)
+            policy_->onMediatedWrite(pid, va, depth, out);
+    };
+    guest_os_->onAnyGptWrite = [this](ProcId, Addr, unsigned) {
+        ++interval_gpt_writes_;
+    };
+
+    next_interval_ = cfg_.policyIntervalOps;
+}
+
+Machine::~Machine() = default;
+
+bool
+Machine::shadowed(ProcId pid) const
+{
+    return smgr_ && smgr_->hasProcess(pid);
+}
+
+ProcId
+Machine::spawnProcess()
+{
+    ProcId pid = guest_os_->createProcess(cfg_.mode);
+    if (policy_)
+        policy_->onProcessStart(pid);
+    if (shsp_)
+        shsp_->onProcessStart(pid);
+    switchTo(pid);
+    return pid;
+}
+
+void
+Machine::switchTo(ProcId pid)
+{
+    ap_assert(guest_os_->hasProcess(pid), "switch to dead process");
+    if (pid == current_)
+        return;
+    current_ = pid;
+    instructions_ += cfg_.ctxSwitchGuestCycles; // guest-side work
+    if (shadowed(pid))
+        smgr_->onCtxSwitchIn(pid);
+    // Nested/native CR3 writes are direct; with per-asid TLB tagging
+    // (PCID-style) no flush is required.
+}
+
+WalkResult
+Machine::translate(ProcId pid, Addr va, bool write)
+{
+    for (int attempt = 0; attempt < 32; ++attempt) {
+        TranslationContext &ctx = guest_os_->context(pid);
+        WalkResult r = walker_->walk(ctx, va, write);
+        walk_cycles_ += r.coldRefs * cfg_.walkRefCycles +
+                        (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles;
+        if (r.ok()) {
+            if (r.dirtyTransition && cfg_.hwOptAd && shadowed(pid) &&
+                !ctx.fullNested) {
+                // Hardware A/D writeback into all three tables costs
+                // up to a full nested walk (Section IV).
+                walk_cycles_ += cfg_.adWritebackRefs * cfg_.walkRefCycles;
+                // Keep the guest table's A/D architecturally coherent.
+                auto gm = guest_os_->process(pid).pt->lookup(va);
+                if (gm) {
+                    Pte *gpte =
+                        guest_os_->process(pid).pt->entry(va, gm->depth);
+                    gpte->accessed = true;
+                    if (write && r.writable)
+                        gpte->dirty = true;
+                }
+            }
+            return r;
+        }
+        switch (r.fault) {
+          case WalkFault::ShadowFault: {
+            ShadowFillResult fill = smgr_->handleShadowFault(pid, va);
+            if (fill == ShadowFillResult::NeedGuestFault) {
+                // A true guest fault surfaces through the VMM first.
+                vmm_->chargeTrap(TrapKind::GuestFaultMediation);
+                if (!guest_os_->handlePageFault(pid, va, write))
+                    ap_panic("guest segfault at 0x", std::hex, va);
+            }
+            break;
+          }
+          case WalkFault::GuestFault:
+            // Nested portions deliver guest faults directly.
+            if (!guest_os_->handlePageFault(pid, va, write))
+                ap_panic("guest segfault at 0x", std::hex, va);
+            break;
+          case WalkFault::HostFault:
+            if (!vmm_->handleHostFault(r.faultGpa))
+                ap_fatal("host memory exhausted (gpa 0x", std::hex,
+                         r.faultGpa, ")");
+            break;
+          case WalkFault::NativeFault:
+            if (!guest_os_->handlePageFault(pid, va, write))
+                ap_panic("segfault at 0x", std::hex, va);
+            break;
+          default:
+            ap_panic("unexpected walk fault");
+        }
+    }
+    ap_panic("translation did not converge at 0x", std::hex, va);
+}
+
+void
+Machine::resolveProtection(ProcId pid, Addr va)
+{
+    ++protFaults;
+    AP_DPRINTF(Machine, "proc ", pid, ": protection fixup at 0x",
+               std::hex, va);
+    ap_assert(guest_os_->vmaWritable(pid, va),
+              "workload wrote a read-only mapping at 0x", std::hex, va);
+
+    if (!guest_os_->guestMappingWritable(pid, va)) {
+        // Guest-level COW (or a racing unmap): the guest's own fault
+        // handler fixes it. Shadow-portion faults pay VMM mediation;
+        // faults in nested-mode regions are delivered directly.
+        if (shadowed(pid) && !guest_os_->context(pid).fullNested &&
+            !smgr_->leafUnderNestedMode(pid, va)) {
+            vmm_->chargeTrap(TrapKind::GuestFaultMediation);
+        }
+        if (!guest_os_->handlePageFault(pid, va, true))
+            ap_panic("COW fixup failed at 0x", std::hex, va);
+        return;
+    }
+    if (!guest_os_->isNative()) {
+        FrameId gframe = guest_os_->leafFrame(pid, va);
+        if (gframe && !vmm_->hostWritable(gframe)) {
+            // Host-level COW from content-based sharing. The same exit
+            // repairs the shadow leaf (new backing, writability).
+            if (!vmm_->breakHostCow(gframe))
+                ap_fatal("host memory exhausted during COW break");
+            if (shadowed(pid) && !guest_os_->context(pid).fullNested)
+                smgr_->refreshLeaf(pid, va);
+            tlb_->flushPage(va, pid);
+            return;
+        }
+    }
+    if (shadowed(pid) && !guest_os_->context(pid).fullNested) {
+        // Dirty-bit emulation (no A/D hardware optimization).
+        smgr_->emulateDirtyWrite(pid, va);
+        return;
+    }
+    // Stale cached translation: drop it and rewalk.
+    tlb_->flushPage(va, pid);
+}
+
+void
+Machine::verifyAgainstFunctional(ProcId pid, Addr va, FrameId got)
+{
+    FrameId leaf = guest_os_->leafFrame(pid, va);
+    ap_assert(leaf != 0, "verify: no functional mapping at 0x", std::hex,
+              va);
+    FrameId expected =
+        guest_os_->isNative() ? leaf : vmm_->backing(leaf);
+    ap_assert(got == expected, "translation mismatch at 0x", std::hex, va,
+              ": hw 0x", got, " functional 0x", expected);
+}
+
+void
+Machine::doAccess(Addr va, bool write, bool instr)
+{
+    ProcId pid = current_;
+    instructions_ += cfg_.cyclesPerOp;
+    maybeInterval();
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        TlbProbeResult hit = tlb_->probe(va, pid, instr);
+        if (hit.level != TlbHitLevel::Miss) {
+            if (hit.level == TlbHitLevel::L2) {
+                // L2 TLB hit latency is identical in every mode and so
+                // belongs to base execution time, not translation
+                // overhead (the paper's T counts misses only).
+                instructions_ += cfg_.l2TlbHitCycles;
+                l2HitCyclesStat += cfg_.l2TlbHitCycles;
+            }
+            if (write && !hit.entry.writable) {
+                resolveProtection(pid, va);
+                continue;
+            }
+            if (cfg_.verifyTranslations) {
+                std::uint64_t frames = pageBytes(hit.size) / kPageBytes;
+                verifyAgainstFunctional(
+                    pid, va, hit.entry.pfn + (frameOf(va) % frames));
+            }
+            return;
+        }
+        ++tlb_misses_;
+        WalkResult r = translate(pid, va, write);
+        if (write && !r.writable) {
+            resolveProtection(pid, va);
+            continue;
+        }
+        TlbEntry entry;
+        entry.pfn = r.hframe;
+        entry.writable = r.writable;
+        entry.asid = pid;
+        tlb_->fill(va, pid, instr, r.size, entry);
+        if (cfg_.verifyTranslations) {
+            std::uint64_t frames = pageBytes(r.size) / kPageBytes;
+            verifyAgainstFunctional(pid, va,
+                                    r.hframe + (frameOf(va) % frames));
+        }
+        return;
+    }
+    ap_panic("access did not converge at 0x", std::hex, va);
+}
+
+void
+Machine::touch(Addr va, bool write, bool instr)
+{
+    doAccess(va, write, instr);
+}
+
+void
+Machine::maybeInterval()
+{
+    if (instructions_ < next_interval_)
+        return;
+    next_interval_ = instructions_ + cfg_.policyIntervalOps;
+
+    std::uint64_t ops = instructions_ - interval_start_ops_;
+    if (ops == 0)
+        ops = 1;
+    Cycles walk_delta = walk_cycles_ - interval_walk_cycles_;
+
+    if (policy_ || shsp_) {
+        ShspSample sample;
+        sample.walkCycles = walk_delta;
+        // SHSP compares against the *recurring* traps shadowing
+        // causes. Mode-independent exits (EPT faults, host COW) and
+        // one-time rebuild fills would otherwise bias it: the former
+        // toward nested forever, the latter into a zap/rebuild
+        // oscillation (fills right after a switch are transient).
+        if (vmm_) {
+            const TrapKind shadow_kinds[] = {
+                TrapKind::ShadowPtWrite,  TrapKind::GuestFaultMediation,
+                TrapKind::CtxSwitch,      TrapKind::TlbFlush,
+                TrapKind::AdEmulation,    TrapKind::Unsync};
+            Cycles shadow_cycles = 0;
+            for (TrapKind k : shadow_kinds) {
+                std::uint64_t now = vmm_->trapCount(k);
+                std::uint64_t delta =
+                    now - interval_trap_counts_[std::size_t(k)];
+                shadow_cycles += delta * cfg_.trapCosts.cost(k);
+            }
+            sample.trapCycles = shadow_cycles;
+        }
+        sample.gptWrites = interval_gpt_writes_;
+        sample.idealCycles = ops;
+        PolicySample psample;
+        psample.walkCycles = walk_delta;
+        psample.gptWrites = interval_gpt_writes_;
+        psample.idealCycles = ops;
+        for (ProcId pid : guest_os_->livePids()) {
+            if (!shadowed(pid))
+                continue;
+            if (policy_)
+                policy_->onInterval(pid, psample);
+            if (shsp_)
+                shsp_->onInterval(pid, sample);
+        }
+    }
+
+    interval_start_ops_ = instructions_;
+    interval_walk_cycles_ = walk_cycles_;
+    interval_trap_cycles_base_ = vmm_ ? vmm_->trapCycles() : 0;
+    if (vmm_) {
+        for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
+            interval_trap_counts_[k] =
+                vmm_->trapCount(static_cast<TrapKind>(k));
+        }
+    }
+    interval_gpt_writes_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// WorkloadHost
+// ---------------------------------------------------------------------
+
+Addr
+Machine::mmap(Addr length, bool writable, bool file_backed,
+              std::uint64_t file_id)
+{
+    return guest_os_->mmap(current_, length, writable,
+                           file_backed ? VmaKind::File : VmaKind::Anon,
+                           file_id);
+}
+
+bool
+Machine::mmapAt(Addr base, Addr length, bool writable, bool file_backed,
+                std::uint64_t file_id)
+{
+    return guest_os_->mmapFixed(current_, base, length, writable,
+                                file_backed ? VmaKind::File
+                                            : VmaKind::Anon,
+                                file_id);
+}
+
+void
+Machine::munmap(Addr base, Addr length)
+{
+    guest_os_->munmap(current_, base, length);
+}
+
+void
+Machine::access(Addr va, bool write)
+{
+    doAccess(va, write, false);
+}
+
+void
+Machine::instrFetch(Addr va)
+{
+    doAccess(va, false, true);
+}
+
+void
+Machine::compute(std::uint64_t instructions)
+{
+    instructions_ += instructions;
+}
+
+void
+Machine::forkTouchExit(std::uint64_t touch_pages)
+{
+    ProcId parent = current_;
+    ProcId child = guest_os_->fork(parent);
+    if (!child)
+        return;
+    switchTo(child);
+    for (std::uint64_t i = 0; i < touch_pages; ++i) {
+        Addr va = guest_os_->randomMappedVa(child, rng_);
+        if (va)
+            doAccess(va, true, false);
+    }
+    switchTo(parent);
+    guest_os_->exitProcess(child);
+}
+
+void
+Machine::yield()
+{
+    if (!background_) {
+        ProcId main = current_;
+        background_ = guest_os_->createProcess(cfg_.mode);
+        if (policy_)
+            policy_->onProcessStart(background_);
+        if (shsp_)
+            shsp_->onProcessStart(background_);
+        switchTo(background_);
+        Addr scratch = guest_os_->mmap(background_, 64 * kPageBytes, true,
+                                       VmaKind::Anon);
+        for (unsigned i = 0; i < 8; ++i)
+            doAccess(scratch + i * kPageBytes, true, false);
+        switchTo(main);
+    }
+    ProcId main = current_;
+    switchTo(background_);
+    // The daemon does a little work (e.g. network stack processing).
+    Addr va = guest_os_->randomMappedVa(background_, rng_);
+    if (va)
+        doAccess(va, false, false);
+    compute(50);
+    switchTo(main);
+}
+
+void
+Machine::reclaimTick(std::uint64_t max_pages)
+{
+    guest_os_->reclaimScan(current_, max_pages);
+}
+
+void
+Machine::sharePagesScan()
+{
+    if (!vmm_)
+        return;
+    std::vector<FrameId> remapped;
+    vmm_->sharePages(&remapped);
+    if (remapped.empty())
+        return;
+    if (smgr_)
+        smgr_->invalidateByGuestFrames(remapped);
+    // Cached translations may hold the retired host frames.
+    tlb_->flushAll();
+    if (pwc_)
+        pwc_->flushAll();
+}
+
+// ---------------------------------------------------------------------
+// Runs and results
+// ---------------------------------------------------------------------
+
+RunResult
+Machine::snapshot(const std::string &workload_name) const
+{
+    RunResult r;
+    r.workload = workload_name;
+    r.mode = cfg_.mode;
+    r.pageSize = cfg_.pageSize;
+    r.instructions = instructions_;
+    r.idealCycles = instructions_ + guest_os_->guestCycles();
+    r.walkCycles = walk_cycles_;
+    r.trapCycles = vmm_ ? vmm_->trapCycles() : 0;
+    r.tlbMisses = tlb_misses_;
+    r.walks = static_cast<std::uint64_t>(walker_->walks.value());
+    r.traps = vmm_ ? vmm_->trapCountTotal() : 0;
+    r.guestPageFaults =
+        static_cast<std::uint64_t>(guest_os_->pageFaults.value());
+    r.avgWalkRefs = walker_->refsDist.mean();
+    r.rawRefsTotal = walker_->refsOkTotal.value();
+    double total_walks = 0;
+    for (const auto &c : walker_->coverage)
+        total_walks += c.value();
+    for (int i = 0; i < 6; ++i) {
+        r.rawCoverage[i] = walker_->coverage[i].value();
+        r.coverage[i] =
+            total_walks ? walker_->coverage[i].value() / total_walks : 0.0;
+    }
+    if (vmm_) {
+        for (std::size_t k = 0; k < kNumTrapKinds; ++k)
+            r.trapByKind[k] = vmm_->trapCount(static_cast<TrapKind>(k));
+    }
+    return r;
+}
+
+RunResult
+Machine::delta(const RunResult &end, const RunResult &start)
+{
+    RunResult d = end;
+    d.instructions -= start.instructions;
+    d.idealCycles -= start.idealCycles;
+    d.walkCycles -= start.walkCycles;
+    d.trapCycles -= start.trapCycles;
+    d.tlbMisses -= start.tlbMisses;
+    d.walks -= start.walks;
+    d.traps -= start.traps;
+    d.guestPageFaults -= start.guestPageFaults;
+    for (std::size_t k = 0; k < kNumTrapKinds; ++k)
+        d.trapByKind[k] -= start.trapByKind[k];
+    double walks = 0;
+    for (int i = 0; i < 6; ++i) {
+        d.rawCoverage[i] = end.rawCoverage[i] - start.rawCoverage[i];
+        walks += d.rawCoverage[i];
+    }
+    for (int i = 0; i < 6; ++i)
+        d.coverage[i] = walks ? d.rawCoverage[i] / walks : 0.0;
+    d.rawRefsTotal = end.rawRefsTotal - start.rawRefsTotal;
+    d.avgWalkRefs = walks ? d.rawRefsTotal / walks : 0.0;
+    return d;
+}
+
+RunResult
+Machine::run(Workload &workload)
+{
+    ProcId pid = spawnProcess();
+    workload.init(*this);
+    // Fast-forward: populate the working set, then run the first part
+    // of the workload (TLB/policy warmup) without measuring, then
+    // measure the rest — the standard simulation methodology the
+    // paper's real-hardware runs do not need but whole-run simulation
+    // does.
+    workload.warmup(*this);
+    std::uint64_t warm_steps =
+        workload.selfWarmup()
+            ? 0
+            : static_cast<std::uint64_t>(workload.params().operations *
+                                         cfg_.warmupFraction);
+    std::uint64_t steps = 0;
+    bool more = true;
+    while (more && steps < warm_steps) {
+        more = workload.step(*this);
+        ++steps;
+    }
+    RunResult base = snapshot(workload.name());
+    while (more)
+        more = workload.step(*this);
+    RunResult result = delta(snapshot(workload.name()), base);
+    guest_os_->exitProcess(pid);
+    return result;
+}
+
+} // namespace ap

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The simulated machine: one core (TLB hierarchy, page-walk caches,
+ * hardware walker) plus the software stack for the configured
+ * virtualization mode (VMM, shadow manager, agile policy or SHSP
+ * controller, guest OS). Drives workloads and produces the
+ * measurements every bench consumes.
+ */
+
+#ifndef AGILEPAGING_SIM_MACHINE_HH
+#define AGILEPAGING_SIM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "core/agile_policy.hh"
+#include "guestos/guest_os.hh"
+#include "sim/config.hh"
+#include "tlb/nested_tlb.hh"
+#include "tlb/pwc.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "vmm/shadow_mgr.hh"
+#include "vmm/shsp.hh"
+#include "vmm/vmm.hh"
+#include "walker/walker.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/** Aggregate results of one workload run (one Fig. 5 bar). */
+struct RunResult
+{
+    std::string workload;
+    VirtMode mode = VirtMode::Native;
+    PageSize pageSize = PageSize::Size4K;
+
+    /** Instructions executed (memory ops + compute). */
+    std::uint64_t instructions = 0;
+    /** Ideal cycles: instruction execution plus guest-kernel work —
+     *  the paper's E_ideal denominator (Table IV). */
+    Cycles idealCycles = 0;
+    /** Cycles added by address translation (walk refs + L2-TLB hits).*/
+    Cycles walkCycles = 0;
+    /** Cycles added by VMM interventions. */
+    Cycles trapCycles = 0;
+
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t guestPageFaults = 0;
+    double avgWalkRefs = 0.0;
+    /** Fraction of successful walks per Table VI coverage class. */
+    double coverage[6] = {0, 0, 0, 0, 0, 0};
+    /** Per-kind trap counts (indexed by TrapKind). */
+    std::uint64_t trapByKind[kNumTrapKinds] = {};
+
+    /** Raw counters used to compute deltas between snapshots. */
+    double rawRefsTotal = 0;
+    double rawCoverage[6] = {0, 0, 0, 0, 0, 0};
+
+    double
+    walkOverhead() const
+    {
+        return idealCycles ? double(walkCycles) / idealCycles : 0.0;
+    }
+
+    double
+    vmmOverhead() const
+    {
+        return idealCycles ? double(trapCycles) / idealCycles : 0.0;
+    }
+
+    double totalOverhead() const { return walkOverhead() + vmmOverhead(); }
+
+    /** Execution time relative to overhead-free execution. */
+    double slowdown() const { return 1.0 + totalOverhead(); }
+};
+
+/**
+ * The machine.
+ */
+class Machine : public stats::StatGroup, public WorkloadHost
+{
+  public:
+    explicit Machine(const SimConfig &cfg);
+    ~Machine() override;
+
+    /** Run @p workload to completion in a fresh process. */
+    RunResult run(Workload &workload);
+
+    // ------------------------------------------------------------------
+    // Direct driving API (examples, tests, microbenches)
+    // ------------------------------------------------------------------
+
+    /** Create a process in the configured mode and switch to it. */
+    ProcId spawnProcess();
+
+    /** Switch the running process (guest CR3 write). */
+    void switchTo(ProcId pid);
+
+    /** Access @p va from the current process. */
+    void touch(Addr va, bool write, bool instr = false);
+
+    ProcId currentProcess() const { return current_; }
+
+    GuestOs &guestOs() { return *guest_os_; }
+    Vmm *vmm() { return vmm_.get(); }
+    ShadowMgr *shadowMgr() { return smgr_.get(); }
+    Walker &walker() { return *walker_; }
+    TlbHierarchy &tlb() { return *tlb_; }
+    const SimConfig &config() const { return cfg_; }
+
+    /** Snapshot current counters into a RunResult. */
+    RunResult snapshot(const std::string &workload_name) const;
+
+    /** Counter difference end - start (derived fields recomputed). */
+    static RunResult delta(const RunResult &end, const RunResult &start);
+
+    // ------------------------------------------------------------------
+    // WorkloadHost interface
+    // ------------------------------------------------------------------
+
+    Addr mmap(Addr length, bool writable, bool file_backed,
+              std::uint64_t file_id) override;
+    bool mmapAt(Addr base, Addr length, bool writable, bool file_backed,
+                std::uint64_t file_id) override;
+    void munmap(Addr base, Addr length) override;
+    void access(Addr va, bool write) override;
+    void instrFetch(Addr va) override;
+    void compute(std::uint64_t instructions) override;
+    void forkTouchExit(std::uint64_t touch_pages) override;
+    void yield() override;
+    void reclaimTick(std::uint64_t max_pages) override;
+    void sharePagesScan() override;
+    Rng &rng() override { return rng_; }
+
+    stats::Formula instructionsStat;
+    stats::Formula walkCyclesStat;
+    stats::Scalar l2HitCyclesStat;
+    stats::Scalar protFaults;
+
+  private:
+    void doAccess(Addr va, bool write, bool instr);
+
+    /** Resolve a write hitting a non-writable translation. */
+    void resolveProtection(ProcId pid, Addr va);
+
+    /** Fault-servicing walk loop; returns the final good result. */
+    WalkResult translate(ProcId pid, Addr va, bool write);
+
+    /** Interval bookkeeping: policy/SHSP ticks. */
+    void maybeInterval();
+
+    bool shadowed(ProcId pid) const;
+
+    void verifyAgainstFunctional(ProcId pid, Addr va, FrameId got);
+
+    SimConfig cfg_;
+    Rng rng_;
+
+    PhysMem mem_;
+    std::unique_ptr<TlbHierarchy> tlb_;
+    std::unique_ptr<PageWalkCache> pwc_;
+    std::unique_ptr<NestedTlb> ntlb_;
+    std::unique_ptr<Walker> walker_;
+    std::unique_ptr<Vmm> vmm_;
+    std::unique_ptr<ShadowMgr> smgr_;
+    std::unique_ptr<AgilePolicy> policy_;
+    std::unique_ptr<ShspController> shsp_;
+    std::unique_ptr<GuestOs> guest_os_;
+
+    ProcId current_ = 0;
+    ProcId background_ = 0;
+
+    std::uint64_t instructions_ = 0;
+    Cycles walk_cycles_ = 0;
+    std::uint64_t tlb_misses_ = 0;
+
+    Tick next_interval_ = 0;
+    // Interval deltas for policy/SHSP decisions.
+    Cycles interval_walk_cycles_ = 0;
+    Cycles interval_trap_cycles_base_ = 0;
+    std::array<std::uint64_t, kNumTrapKinds> interval_trap_counts_{};
+    std::uint64_t interval_gpt_writes_ = 0;
+    std::uint64_t interval_start_ops_ = 0;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_MACHINE_HH

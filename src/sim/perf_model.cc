@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table IV performance-model implementation.
+ */
+
+#include "sim/perf_model.hh"
+
+namespace ap
+{
+
+PerfBreakdown
+computeBreakdown(const RunResult &run)
+{
+    PerfBreakdown b;
+    double ideal = static_cast<double>(run.idealCycles);
+    if (ideal <= 0)
+        return b;
+    b.pageWalkOverhead = static_cast<double>(run.walkCycles) / ideal;
+    b.vmmOverhead = static_cast<double>(run.trapCycles) / ideal;
+    b.cyclesPerMiss =
+        run.tlbMisses
+            ? static_cast<double>(run.walkCycles) / run.tlbMisses
+            : 0.0;
+    b.refsPerWalk = run.avgWalkRefs;
+    b.slowdown = 1.0 + b.pageWalkOverhead + b.vmmOverhead;
+    return b;
+}
+
+double
+projectAgileWalkCycles(const RunResult &shadow_run,
+                       const RunResult &nested_run,
+                       const RunResult &agile_run)
+{
+    double c_s = shadow_run.tlbMisses
+                     ? double(shadow_run.walkCycles) / shadow_run.tlbMisses
+                     : 0.0;
+    double c_n = nested_run.tlbMisses
+                     ? double(nested_run.walkCycles) / nested_run.tlbMisses
+                     : 0.0;
+    double misses = static_cast<double>(agile_run.tlbMisses);
+
+    // Coverage classes: [0]=full shadow, [1]=switched at the leaf
+    // (FN1 in the paper's notation), [2..4]=deeper switches, [5]=full
+    // nested. The paper's pessimistic assumption: FN1 pays half the
+    // nested cost beyond shadow, deeper fractions pay the full nested
+    // cost (Section VI, step 2).
+    const double *cov = agile_run.coverage;
+    double shadow_frac = cov[0];
+    double leaf_frac = cov[1];
+    double deep_frac = cov[2] + cov[3] + cov[4] + cov[5];
+
+    double projected_per_miss = shadow_frac * c_s +
+                                leaf_frac * (c_s + 0.5 * (c_n - c_s)) +
+                                deep_frac * c_n;
+    return projected_per_miss * misses;
+}
+
+} // namespace ap

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The paper's Table IV performance model, applied to simulator
+ * measurements.
+ *
+ * The paper derives overheads from hardware counters:
+ *   E_ideal        = E_2M - T_2M           (native 2M run)
+ *   PW_{B/N/S}     = (E - E_ideal - H) / E_ideal
+ *   VMM_{B/N/S}    = H / E_ideal
+ *   C_{B/N/S}      = T / M                 (cycles per TLB miss)
+ *   PW_A, VMM_A    = linear projections from trace fractions
+ *
+ * The simulator measures E_ideal, walk cycles, and trap cycles
+ * directly for every technique (including agile, which the authors
+ * had to project). This module provides the same derived quantities,
+ * plus the paper's pessimistic linear projection of agile performance
+ * from a shadow run and a nested run — used to validate that the
+ * paper's two-step methodology and direct measurement agree.
+ */
+
+#ifndef AGILEPAGING_SIM_PERF_MODEL_HH
+#define AGILEPAGING_SIM_PERF_MODEL_HH
+
+#include "sim/machine.hh"
+
+namespace ap
+{
+
+/** Derived per-run quantities (one Fig. 5 bar + Table VI row). */
+struct PerfBreakdown
+{
+    /** PW: page-walk overhead as a fraction of ideal cycles. */
+    double pageWalkOverhead = 0.0;
+    /** VMM: intervention overhead as a fraction of ideal cycles. */
+    double vmmOverhead = 0.0;
+    /** C: average cycles per TLB miss. */
+    double cyclesPerMiss = 0.0;
+    /** Average memory references per page walk. */
+    double refsPerWalk = 0.0;
+    /** Execution time normalized to overhead-free execution. */
+    double slowdown = 1.0;
+};
+
+/** Compute the Table IV quantities from a measured run. */
+PerfBreakdown computeBreakdown(const RunResult &run);
+
+/**
+ * The paper's two-step linear projection (Section VI): project agile
+ * paging's walk overhead from the fraction of TLB misses served at
+ * each switch level (FN_i, from the agile run's coverage histogram)
+ * and the constituent techniques' measured per-miss costs, with the
+ * pessimistic assumption that leaf-switched misses pay half the
+ * nested-beyond-native cost and deeper switches pay the full nested
+ * cost.
+ *
+ * @param shadow_run measured shadow-paging run (gives C_S)
+ * @param nested_run measured nested-paging run (gives C_N)
+ * @param agile_run  measured agile run (gives FN_i and M)
+ * @return projected agile page-walk cycles
+ */
+double projectAgileWalkCycles(const RunResult &shadow_run,
+                              const RunResult &nested_run,
+                              const RunResult &agile_run);
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_PERF_MODEL_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Report rendering implementation.
+ */
+
+#include "sim/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace ap
+{
+
+std::string
+configLabel(const RunResult &r)
+{
+    std::string ps = pageSizeName(r.pageSize);
+    std::string mode;
+    switch (r.mode) {
+      case VirtMode::Native:
+        mode = "B";
+        break;
+      case VirtMode::Nested:
+        mode = "N";
+        break;
+      case VirtMode::Shadow:
+        mode = "S";
+        break;
+      case VirtMode::Agile:
+        mode = "A";
+        break;
+      case VirtMode::Shsp:
+        mode = "SHSP";
+        break;
+    }
+    return ps + ":" + mode;
+}
+
+std::string
+overheadBar(double fraction, double per_char)
+{
+    int n = static_cast<int>(fraction / per_char + 0.5);
+    n = std::clamp(n, 0, 60);
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+void
+printFigure5(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "Figure 5: execution time overheads (page walks + VMM "
+          "interventions)\n";
+    os << std::left << std::setw(11) << "workload" << std::setw(7)
+       << "config" << std::right << std::setw(10) << "walk%"
+       << std::setw(10) << "vmm%" << std::setw(10) << "total%"
+       << "  bar\n";
+    std::string last_wl;
+    for (const RunResult &r : runs) {
+        if (r.workload != last_wl && !last_wl.empty())
+            os << "\n";
+        last_wl = r.workload;
+        os << std::left << std::setw(11) << r.workload << std::setw(7)
+           << configLabel(r) << std::right << std::fixed
+           << std::setprecision(1) << std::setw(9)
+           << r.walkOverhead() * 100 << "%" << std::setw(9)
+           << r.vmmOverhead() * 100 << "%" << std::setw(9)
+           << r.totalOverhead() * 100 << "%"
+           << "  " << overheadBar(r.totalOverhead()) << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+printTable6(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "Table VI: TLB misses covered by each mode of agile paging\n";
+    os << std::left << std::setw(11) << "workload" << std::right
+       << std::setw(9) << "Shadow" << std::setw(8) << "L4" << std::setw(8)
+       << "L3" << std::setw(8) << "L2" << std::setw(8) << "L1"
+       << std::setw(9) << "Nested" << std::setw(9) << "Avg\n";
+    os << std::left << std::setw(11) << "(mem refs)" << std::right
+       << std::setw(9) << 4 << std::setw(8) << 8 << std::setw(8) << 12
+       << std::setw(8) << 16 << std::setw(8) << 20 << std::setw(9) << 24
+       << "\n";
+    for (const RunResult &r : runs) {
+        os << std::left << std::setw(11) << r.workload << std::right
+           << std::fixed << std::setprecision(1);
+        // Paper Table VI column order: full shadow, then switch levels
+        // from cheapest (one nested level) to full nested.
+        const double pct[6] = {r.coverage[0] * 100, r.coverage[1] * 100,
+                               r.coverage[2] * 100, r.coverage[3] * 100,
+                               r.coverage[4] * 100, r.coverage[5] * 100};
+        os << std::setw(8) << pct[0] << "%" << std::setw(7) << pct[1]
+           << "%" << std::setw(7) << pct[2] << "%" << std::setw(7)
+           << pct[3] << "%" << std::setw(7) << pct[4] << "%"
+           << std::setw(8) << pct[5] << "%" << std::setw(8)
+           << std::setprecision(2) << r.avgWalkRefs << "\n";
+    }
+    os.unsetf(std::ios::fixed);
+}
+
+void
+printCsv(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "workload,mode,page_size,instructions,ideal_cycles,walk_cycles,"
+          "trap_cycles,tlb_misses,walks,traps,guest_faults,avg_walk_refs,"
+          "cov_shadow,cov_sw3,cov_sw2,cov_sw1,cov_sw0,cov_nested,"
+          "walk_overhead,vmm_overhead\n";
+    for (const RunResult &r : runs) {
+        os << r.workload << "," << virtModeName(r.mode) << ","
+           << pageSizeName(r.pageSize) << "," << r.instructions << ","
+           << r.idealCycles << "," << r.walkCycles << "," << r.trapCycles
+           << "," << r.tlbMisses << "," << r.walks << "," << r.traps
+           << "," << r.guestPageFaults << "," << r.avgWalkRefs;
+        for (double c : r.coverage)
+            os << "," << c;
+        os << "," << r.walkOverhead() << "," << r.vmmOverhead() << "\n";
+    }
+}
+
+} // namespace ap

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text rendering of experiment results in the shapes the paper uses:
+ * the Figure 5 overhead bars (page-walk + VMM segments per config) and
+ * the Table VI mode-coverage rows, plus generic CSV output.
+ */
+
+#ifndef AGILEPAGING_SIM_REPORT_HH
+#define AGILEPAGING_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ap
+{
+
+/** Short config label in the paper's style: "4K:B", "2M:A", ... */
+std::string configLabel(const RunResult &r);
+
+/**
+ * Print the Figure 5 table: one row per (workload, config) with the
+ * page-walk and VMM-intervention overhead segments.
+ */
+void printFigure5(std::ostream &os, const std::vector<RunResult> &runs);
+
+/**
+ * Print the Table VI rows: per workload, the percentage of TLB misses
+ * served at each agile coverage class and the average memory accesses
+ * per miss. Expects agile runs.
+ */
+void printTable6(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Machine-readable CSV with every RunResult field. */
+void printCsv(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** ASCII bar (# per 2% of overhead) for quick visual comparison. */
+std::string overheadBar(double fraction, double per_char = 0.02);
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_REPORT_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Consolidation scheduler implementation.
+ */
+
+#include "sim/scheduler.hh"
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+Scheduler::Scheduler(Machine &machine, std::uint64_t quantum)
+    : machine_(machine), quantum_(quantum)
+{
+    ap_assert(quantum > 0, "zero scheduling quantum");
+}
+
+void
+Scheduler::add(Workload &workload)
+{
+    workloads_.push_back(&workload);
+}
+
+ConsolidationResult
+Scheduler::run()
+{
+    ap_assert(!workloads_.empty(), "nothing scheduled");
+    ConsolidationResult result;
+
+    // Create one process per workload; populate each before
+    // measurement (the same protocol Machine::run uses).
+    struct Slot
+    {
+        Workload *workload;
+        ProcId pid;
+        bool more = true;
+        std::uint64_t steps = 0;
+        std::uint64_t warm_steps = 0;
+    };
+    std::vector<Slot> slots;
+    for (Workload *w : workloads_) {
+        Slot slot;
+        slot.workload = w;
+        slot.pid = machine_.spawnProcess();
+        w->init(machine_);
+        w->warmup(machine_);
+        slot.warm_steps =
+            w->selfWarmup()
+                ? 0
+                : static_cast<std::uint64_t>(
+                      w->params().operations *
+                      machine_.config().warmupFraction);
+        slots.push_back(slot);
+    }
+
+    // Fast-forward phase, interleaved like the measured phase so the
+    // policies see the consolidation pattern they will run under.
+    bool warming = true;
+    while (warming) {
+        warming = false;
+        for (Slot &slot : slots) {
+            if (!slot.more || slot.steps >= slot.warm_steps)
+                continue;
+            machine_.switchTo(slot.pid);
+            ++result.contextSwitches;
+            for (std::uint64_t i = 0;
+                 i < quantum_ && slot.more && slot.steps < slot.warm_steps;
+                 ++i, ++slot.steps) {
+                slot.more = slot.workload->step(machine_);
+            }
+            warming |= slot.more && slot.steps < slot.warm_steps;
+        }
+    }
+
+    RunResult base = machine_.snapshot("consolidated");
+
+    bool any = true;
+    while (any) {
+        any = false;
+        for (Slot &slot : slots) {
+            if (!slot.more)
+                continue;
+            machine_.switchTo(slot.pid);
+            ++result.contextSwitches;
+            for (std::uint64_t i = 0; i < quantum_ && slot.more;
+                 ++i, ++slot.steps) {
+                slot.more = slot.workload->step(machine_);
+            }
+            any |= slot.more;
+        }
+    }
+
+    result.machine = Machine::delta(
+        machine_.snapshot("consolidated"), base);
+    for (Slot &slot : slots) {
+        ScheduledRun r;
+        r.workload = slot.workload->name();
+        r.pid = slot.pid;
+        r.steps = slot.steps;
+        r.finished = !slot.more;
+        result.runs.push_back(r);
+        machine_.guestOs().exitProcess(slot.pid);
+    }
+    return result;
+}
+
+} // namespace ap

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Generic set-associative cache with true-LRU replacement.
+ *
+ * Shared machinery for the TLBs, page-walk caches, nested TLB, and the
+ * sptr hardware cache. Keys are 64-bit; the set index is the low bits
+ * of the key, the tag is the remainder.
+ */
+
+#ifndef AGILEPAGING_TLB_ASSOC_CACHE_HH
+#define AGILEPAGING_TLB_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+/**
+ * @tparam V payload stored per entry.
+ */
+template <typename V>
+class AssocCache
+{
+  public:
+    /**
+     * @param entries total entry count (> 0)
+     * @param ways    associativity; entries must divide evenly into
+     *                sets. ways == entries gives a fully-associative
+     *                cache.
+     */
+    AssocCache(std::size_t entries, std::size_t ways)
+        : ways_(ways), sets_(entries / ways), entries_(entries)
+    {
+        ap_assert(entries > 0 && ways > 0, "bad cache geometry");
+        ap_assert(entries % ways == 0, "entries not divisible by ways");
+        lines_.resize(entries);
+    }
+
+    /**
+     * Look up @p key; refreshes LRU on hit.
+     * @return pointer to the payload, or nullptr on miss.
+     */
+    V *
+    lookup(std::uint64_t key)
+    {
+        Line *line = find(key);
+        if (!line)
+            return nullptr;
+        line->lastUse = ++use_clock_;
+        return &line->value;
+    }
+
+    /** Look up without disturbing LRU state (for inspection). */
+    const V *
+    peek(std::uint64_t key) const
+    {
+        const Line *line = const_cast<AssocCache *>(this)->find(key);
+        return line ? &line->value : nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) @p key, evicting the set's LRU victim if
+     * the set is full.
+     * @return true if a valid entry was evicted.
+     */
+    bool
+    insert(std::uint64_t key, V value)
+    {
+        std::size_t set = key % sets_;
+        Line *victim = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (line.valid && line.key == key) {
+                line.value = std::move(value);
+                line.lastUse = ++use_clock_;
+                return false;
+            }
+            if (!victim || !line.valid ||
+                (victim->valid && line.lastUse < victim->lastUse)) {
+                if (!victim || victim->valid)
+                    victim = &line;
+            }
+        }
+        bool evicted = victim->valid;
+        victim->valid = true;
+        victim->key = key;
+        victim->value = std::move(value);
+        victim->lastUse = ++use_clock_;
+        return evicted;
+    }
+
+    /** Remove @p key. @return true if it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Line *line = find(key);
+        if (!line)
+            return false;
+        line->valid = false;
+        return true;
+    }
+
+    /** Remove every entry matching @p pred(key, value). */
+    void
+    eraseIf(const std::function<bool(std::uint64_t, const V &)> &pred)
+    {
+        for (Line &line : lines_) {
+            if (line.valid && pred(line.key, line.value))
+                line.valid = false;
+        }
+    }
+
+    /** Drop everything. */
+    void
+    clear()
+    {
+        for (Line &line : lines_)
+            line.valid = false;
+    }
+
+    /** Number of valid entries. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const Line &line : lines_)
+            n += line.valid;
+        return n;
+    }
+
+    std::size_t capacity() const { return entries_; }
+    std::size_t ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        V value{};
+    };
+
+    Line *
+    find(std::uint64_t key)
+    {
+        std::size_t set = key % sets_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[set * ways_ + w];
+            if (line.valid && line.key == key)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    std::size_t ways_;
+    std::size_t sets_;
+    std::size_t entries_;
+    std::uint64_t use_clock_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TLB_ASSOC_CACHE_HH

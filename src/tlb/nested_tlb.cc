@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Nested TLB implementation.
+ */
+
+#include "tlb/nested_tlb.hh"
+
+namespace ap
+{
+
+NestedTlb::NestedTlb(stats::StatGroup *parent, std::size_t entries,
+                     std::size_t ways, bool enabled)
+    : stats::StatGroup("ntlb", parent),
+      hits(this, "hits", "second-stage translations served"),
+      misses(this, "misses", "second-stage probes that missed"),
+      enabled_(enabled),
+      cache_(entries, ways)
+{
+}
+
+std::optional<NtlbEntry>
+NestedTlb::lookup(FrameId gframe)
+{
+    if (!enabled_)
+        return std::nullopt;
+    if (NtlbEntry *e = cache_.lookup(gframe)) {
+        ++hits;
+        return *e;
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+void
+NestedTlb::insert(FrameId gframe, const NtlbEntry &entry)
+{
+    if (!enabled_)
+        return;
+    cache_.insert(gframe, entry);
+}
+
+void
+NestedTlb::flushFrame(FrameId gframe)
+{
+    cache_.erase(gframe);
+}
+
+void
+NestedTlb::flushAll()
+{
+    cache_.clear();
+}
+
+} // namespace ap

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Nested TLB: caches second-stage (gPA to hPA) translations so that
+ * repeated host walks inside a nested page walk are skipped (Bhargava
+ * et al. [19]; Intel's "EPT TLB"). Per-VM, not per-process.
+ */
+
+#ifndef AGILEPAGING_TLB_NESTED_TLB_HH
+#define AGILEPAGING_TLB_NESTED_TLB_HH
+
+#include <optional>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "tlb/assoc_cache.hh"
+
+namespace ap
+{
+
+/** Cached second-stage leaf translation for one guest 4 KB frame. */
+struct NtlbEntry
+{
+    /** Host 4 KB frame backing the guest frame. */
+    FrameId hframe = 0;
+    /** Granule of the host mapping the translation came from. */
+    PageSize hostSize = PageSize::Size4K;
+    /** Host-stage write permission. */
+    bool writable = false;
+};
+
+/**
+ * gPA-frame to hPA-frame cache.
+ */
+class NestedTlb : public stats::StatGroup
+{
+  public:
+    /**
+     * @param parent stat parent
+     * @param entries capacity; @param ways associativity
+     * @param enabled when false every probe misses
+     */
+    NestedTlb(stats::StatGroup *parent, std::size_t entries,
+              std::size_t ways, bool enabled);
+
+    /** @return cached translation of @p gframe if present. */
+    std::optional<NtlbEntry> lookup(FrameId gframe);
+
+    /** Record a completed second-stage translation. */
+    void insert(FrameId gframe, const NtlbEntry &entry);
+
+    /** Invalidate one guest frame (host PT change). */
+    void flushFrame(FrameId gframe);
+
+    /** Invalidate everything (host PT rewrite, VM switch). */
+    void flushAll();
+
+    bool enabled() const { return enabled_; }
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+
+  private:
+    bool enabled_;
+    AssocCache<NtlbEntry> cache_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TLB_NESTED_TLB_HH

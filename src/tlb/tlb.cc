@@ -1,0 +1,97 @@
+/**
+ * @file
+ * TLB implementation.
+ */
+
+#include "tlb/tlb.hh"
+
+#include "base/bitfield.hh"
+
+namespace ap
+{
+
+namespace
+{
+/** Virtual page number for this TLB's granule. */
+std::uint64_t
+vpnOf(Addr va, PageSize ps)
+{
+    return va / pageBytes(ps);
+}
+} // namespace
+
+Tlb::Tlb(const std::string &name, stats::StatGroup *parent,
+         std::size_t entries, std::size_t ways, PageSize ps)
+    : stats::StatGroup(name, parent),
+      hits(this, "hits", "translations served by this TLB"),
+      misses(this, "misses", "probes that missed"),
+      evictions(this, "evictions", "valid entries displaced"),
+      ps_(ps),
+      cache_(entries, ways)
+{
+}
+
+std::uint64_t
+Tlb::key(Addr va, ProcId asid) const
+{
+    // vpn in the low bits (drives set selection); asid in the high bits
+    // so different processes never alias.
+    return vpnOf(va, ps_) | (static_cast<std::uint64_t>(asid) << 40);
+}
+
+std::optional<TlbEntry>
+Tlb::lookup(Addr va, ProcId asid)
+{
+    if (TlbEntry *e = cache_.lookup(key(va, asid))) {
+        ++hits;
+        return *e;
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+bool
+Tlb::contains(Addr va, ProcId asid) const
+{
+    return cache_.peek(key(va, asid)) != nullptr;
+}
+
+void
+Tlb::insert(Addr va, ProcId asid, const TlbEntry &entry)
+{
+    if (cache_.insert(key(va, asid), entry))
+        ++evictions;
+}
+
+void
+Tlb::flushPage(Addr va, ProcId asid)
+{
+    cache_.erase(key(va, asid));
+}
+
+void
+Tlb::flushAsid(ProcId asid)
+{
+    cache_.eraseIf([asid](std::uint64_t k, const TlbEntry &) {
+        return (k >> 40) == asid;
+    });
+}
+
+void
+Tlb::flushRange(Addr base, Addr len, ProcId asid)
+{
+    std::uint64_t lo = vpnOf(base, ps_);
+    std::uint64_t hi = vpnOf(base + len - 1, ps_);
+    cache_.eraseIf([=](std::uint64_t k, const TlbEntry &) {
+        std::uint64_t vpn = k & ((std::uint64_t{1} << 40) - 1);
+        return (k >> 40) == asid && vpn >= lo && vpn <= hi;
+    });
+}
+
+void
+Tlb::flushAll()
+{
+    cache_.clear();
+}
+
+} // namespace ap

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A single TLB structure holding translations for one page size.
+ *
+ * Regardless of virtualization technique the TLB maps gVA directly to a
+ * host frame (VA to PA when native) — the paper's Table I "TLB hit"
+ * row: hits are equally fast in every mode.
+ */
+
+#ifndef AGILEPAGING_TLB_TLB_HH
+#define AGILEPAGING_TLB_TLB_HH
+
+#include <optional>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "tlb/assoc_cache.hh"
+
+namespace ap
+{
+
+/** Payload of one TLB entry. */
+struct TlbEntry
+{
+    /** Final (host) frame; for a 2M/1G entry, the frame of the base. */
+    FrameId pfn = 0;
+    /** Write permission as seen by hardware (shadow may clear it). */
+    bool writable = false;
+    /** Global/asid: entries are tagged, flushed per-asid. */
+    ProcId asid = 0;
+};
+
+/**
+ * One set-associative TLB for a fixed page size.
+ */
+class Tlb : public stats::StatGroup
+{
+  public:
+    /**
+     * @param name     stat name ("l1d4k" etc.)
+     * @param parent   stat parent group (may be nullptr)
+     * @param entries  total entries
+     * @param ways     associativity
+     * @param ps       page size this TLB holds
+     */
+    Tlb(const std::string &name, stats::StatGroup *parent,
+        std::size_t entries, std::size_t ways, PageSize ps);
+
+    /**
+     * Probe for (va, asid).
+     * @return the entry on hit (after LRU update), nullopt on miss.
+     */
+    std::optional<TlbEntry> lookup(Addr va, ProcId asid);
+
+    /** Probe without updating LRU or stats. */
+    bool contains(Addr va, ProcId asid) const;
+
+    /** Install a translation (evicts LRU within the set if needed). */
+    void insert(Addr va, ProcId asid, const TlbEntry &entry);
+
+    /** Invalidate one page's translation. */
+    void flushPage(Addr va, ProcId asid);
+
+    /** Invalidate every translation belonging to @p asid. */
+    void flushAsid(ProcId asid);
+
+    /** Invalidate translations of @p asid inside [base, base+len). */
+    void flushRange(Addr base, Addr len, ProcId asid);
+
+    /** Invalidate everything. */
+    void flushAll();
+
+    PageSize pageSize() const { return ps_; }
+    std::size_t size() const { return cache_.size(); }
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+    stats::Scalar evictions;
+
+  private:
+    std::uint64_t key(Addr va, ProcId asid) const;
+
+    PageSize ps_;
+    AssocCache<TlbEntry> cache_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TLB_TLB_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * TLB hierarchy implementation.
+ */
+
+#include "tlb/tlb_hierarchy.hh"
+
+namespace ap
+{
+
+TlbHierarchy::TlbHierarchy(stats::StatGroup *parent,
+                           const TlbHierarchyConfig &cfg)
+    : stats::StatGroup("tlb", parent),
+      probes(this, "probes", "hierarchy probes"),
+      l1Hits(this, "l1_hits", "probes hitting in an L1 TLB"),
+      l2Hits(this, "l2_hits", "probes hitting in the L2 TLB"),
+      missesStat(this, "misses", "probes missing the whole hierarchy"),
+      l1d4k("l1d4k", this, cfg.l1d4k.entries, cfg.l1d4k.ways,
+            PageSize::Size4K),
+      l1d2m("l1d2m", this, cfg.l1d2m.entries, cfg.l1d2m.ways,
+            PageSize::Size2M),
+      l1d1g("l1d1g", this, cfg.l1d1g.entries, cfg.l1d1g.ways,
+            PageSize::Size1G),
+      l1i4k("l1i4k", this, cfg.l1i4k.entries, cfg.l1i4k.ways,
+            PageSize::Size4K),
+      l1i2m("l1i2m", this, cfg.l1i2m.entries, cfg.l1i2m.ways,
+            PageSize::Size2M),
+      l2u4k("l2u4k", this, cfg.l2u4k.entries, cfg.l2u4k.ways,
+            PageSize::Size4K)
+{
+}
+
+TlbProbeResult
+TlbHierarchy::probe(Addr va, ProcId asid, bool is_instr)
+{
+    ++probes;
+    TlbProbeResult result;
+
+    auto try_l1 = [&](Tlb &tlb) {
+        if (auto e = tlb.lookup(va, asid)) {
+            result.level = TlbHitLevel::L1;
+            result.entry = *e;
+            result.size = tlb.pageSize();
+            return true;
+        }
+        return false;
+    };
+
+    bool hit = is_instr ? (try_l1(l1i4k) || try_l1(l1i2m))
+                        : (try_l1(l1d4k) || try_l1(l1d2m) || try_l1(l1d1g));
+    if (hit) {
+        ++l1Hits;
+        return result;
+    }
+
+    // Unified L2 holds only 4K translations (Table III).
+    if (auto e = l2u4k.lookup(va, asid)) {
+        ++l2Hits;
+        result.level = TlbHitLevel::L2;
+        result.entry = *e;
+        result.size = PageSize::Size4K;
+        // Refill the L1 that missed.
+        (is_instr ? l1i4k : l1d4k).insert(va, asid, *e);
+        return result;
+    }
+
+    ++missesStat;
+    return result;
+}
+
+void
+TlbHierarchy::fill(Addr va, ProcId asid, bool is_instr, PageSize ps,
+                   const TlbEntry &entry)
+{
+    switch (ps) {
+      case PageSize::Size4K:
+        (is_instr ? l1i4k : l1d4k).insert(va, asid, entry);
+        l2u4k.insert(va, asid, entry);
+        break;
+      case PageSize::Size2M:
+        (is_instr ? l1i2m : l1d2m).insert(va, asid, entry);
+        break;
+      case PageSize::Size1G:
+        // No 1G ITLB on this machine; 1G code pages fill the DTLB.
+        l1d1g.insert(va, asid, entry);
+        break;
+    }
+}
+
+void
+TlbHierarchy::flushPage(Addr va, ProcId asid)
+{
+    l1d4k.flushPage(va, asid);
+    l1d2m.flushPage(va, asid);
+    l1d1g.flushPage(va, asid);
+    l1i4k.flushPage(va, asid);
+    l1i2m.flushPage(va, asid);
+    l2u4k.flushPage(va, asid);
+}
+
+void
+TlbHierarchy::flushAsid(ProcId asid)
+{
+    l1d4k.flushAsid(asid);
+    l1d2m.flushAsid(asid);
+    l1d1g.flushAsid(asid);
+    l1i4k.flushAsid(asid);
+    l1i2m.flushAsid(asid);
+    l2u4k.flushAsid(asid);
+}
+
+void
+TlbHierarchy::flushRange(Addr base, Addr len, ProcId asid)
+{
+    l1d4k.flushRange(base, len, asid);
+    l1d2m.flushRange(base, len, asid);
+    l1d1g.flushRange(base, len, asid);
+    l1i4k.flushRange(base, len, asid);
+    l1i2m.flushRange(base, len, asid);
+    l2u4k.flushRange(base, len, asid);
+}
+
+void
+TlbHierarchy::flushAll()
+{
+    l1d4k.flushAll();
+    l1d2m.flushAll();
+    l1d1g.flushAll();
+    l1i4k.flushAll();
+    l1i2m.flushAll();
+    l2u4k.flushAll();
+}
+
+} // namespace ap

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The per-core TLB hierarchy of the paper's Table III (Sandy Bridge
+ * Xeon E5-2430):
+ *
+ *   L1 DTLB: 4K 64e/4w, 2M 32e/4w, 1G 4e/full
+ *   L1 ITLB: 4K 128e/4w, 2M 8e/full
+ *   L2 TLB (unified): 4K 512e/4w (no 2M entries)
+ *
+ * A probe checks the appropriate L1 (D or I) then the L2. A fill
+ * installs into both the L1 and (for 4K translations) the L2; an L2 hit
+ * also refills the L1.
+ */
+
+#ifndef AGILEPAGING_TLB_TLB_HIERARCHY_HH
+#define AGILEPAGING_TLB_TLB_HIERARCHY_HH
+
+#include <memory>
+#include <optional>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "tlb/tlb.hh"
+
+namespace ap
+{
+
+/** Geometry knobs for one TLB structure. */
+struct TlbGeometry
+{
+    std::size_t entries;
+    std::size_t ways;
+};
+
+/** Configuration of the whole hierarchy (defaults = Table III). */
+struct TlbHierarchyConfig
+{
+    TlbGeometry l1d4k{64, 4};
+    TlbGeometry l1d2m{32, 4};
+    TlbGeometry l1d1g{4, 4};
+    TlbGeometry l1i4k{128, 4};
+    TlbGeometry l1i2m{8, 8};
+    TlbGeometry l2u4k{512, 4};
+};
+
+/** Where a hit was found (for latency attribution). */
+enum class TlbHitLevel
+{
+    L1,
+    L2,
+    Miss,
+};
+
+/** Result of a hierarchy probe. */
+struct TlbProbeResult
+{
+    TlbHitLevel level = TlbHitLevel::Miss;
+    TlbEntry entry{};
+    PageSize size = PageSize::Size4K;
+};
+
+/**
+ * The full per-core hierarchy.
+ */
+class TlbHierarchy : public stats::StatGroup
+{
+  public:
+    TlbHierarchy(stats::StatGroup *parent, const TlbHierarchyConfig &cfg);
+
+    /**
+     * Probe for a data or instruction translation.
+     * Checks every page-size sub-TLB (hardware probes them in
+     * parallel); an L2 hit is promoted into the appropriate L1.
+     */
+    TlbProbeResult probe(Addr va, ProcId asid, bool is_instr);
+
+    /** Install a completed translation of granule @p ps. */
+    void fill(Addr va, ProcId asid, bool is_instr, PageSize ps,
+              const TlbEntry &entry);
+
+    /** Invalidate one page everywhere. */
+    void flushPage(Addr va, ProcId asid);
+
+    /** Invalidate an address-space id everywhere (guest CR3 write /
+     *  full guest TLB flush). */
+    void flushAsid(ProcId asid);
+
+    /** Invalidate a VA range for @p asid everywhere. */
+    void flushRange(Addr base, Addr len, ProcId asid);
+
+    /** Invalidate everything (host-side invalidation). */
+    void flushAll();
+
+    /** Aggregate probe counters across sub-TLBs. */
+    stats::Scalar probes;
+    stats::Scalar l1Hits;
+    stats::Scalar l2Hits;
+    stats::Scalar missesStat;
+
+    Tlb l1d4k, l1d2m, l1d1g;
+    Tlb l1i4k, l1i2m;
+    Tlb l2u4k;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TLB_TLB_HIERARCHY_HH

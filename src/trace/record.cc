@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Recording-run implementation.
+ */
+
+#include "trace/record.hh"
+
+namespace ap
+{
+
+RecordedRun
+recordRun(Machine &machine, Workload &workload)
+{
+    RecordedRun out;
+    out.trace.workload = workload.name();
+    out.trace.seed = workload.params().seed;
+
+    TraceRecorder recorder(machine);
+    ProcId pid = machine.spawnProcess();
+    workload.init(recorder);
+    workload.warmup(recorder);
+    std::uint64_t warm_steps = static_cast<std::uint64_t>(
+        workload.params().operations *
+        machine.config().warmupFraction);
+    std::uint64_t steps = 0;
+    bool more = true;
+    while (more && steps < warm_steps) {
+        more = workload.step(recorder);
+        ++steps;
+    }
+    recorder.markWarmupBoundary();
+    RunResult base = machine.snapshot(workload.name());
+    while (more)
+        more = workload.step(recorder);
+    out.result =
+        Machine::delta(machine.snapshot(workload.name()), base);
+    machine.guestOs().exitProcess(pid);
+    out.trace = std::move(recorder.trace());
+    out.trace.workload = workload.name();
+    out.trace.seed = workload.params().seed;
+    return out;
+}
+
+} // namespace ap

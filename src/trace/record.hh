@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Convenience glue: record a workload's event stream while running it
+ * on a machine, preserving the machine's measurement protocol.
+ */
+
+#ifndef AGILEPAGING_TRACE_RECORD_HH
+#define AGILEPAGING_TRACE_RECORD_HH
+
+#include "sim/machine.hh"
+#include "trace/trace.hh"
+
+namespace ap
+{
+
+/** A recorded run: the trace plus the measurements of the recording
+ *  run itself. */
+struct RecordedRun
+{
+    Trace trace;
+    RunResult result;
+};
+
+/**
+ * Run @p workload on @p machine exactly as Machine::run would
+ * (populate warmup, fast-forward fraction, measured remainder) while
+ * capturing every WorkloadHost call into a trace. Replaying the trace
+ * on an identically configured machine reproduces the run result.
+ */
+RecordedRun recordRun(Machine &machine, Workload &workload);
+
+} // namespace ap
+
+#endif // AGILEPAGING_TRACE_RECORD_HH

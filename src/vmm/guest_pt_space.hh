@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PtSpace adapter for guest page tables.
+ *
+ * A guest page table's internal pointers are guest frame numbers and
+ * its pages live in guest physical memory; this adapter resolves them
+ * through the VMM's backing map so the guest OS can edit its table
+ * functionally. An optional free hook lets the shadow manager learn
+ * when the guest releases a PT page (so stale mode state cannot leak
+ * onto a recycled frame).
+ */
+
+#ifndef AGILEPAGING_VMM_GUEST_PT_SPACE_HH
+#define AGILEPAGING_VMM_GUEST_PT_SPACE_HH
+
+#include <functional>
+
+#include "base/logging.hh"
+#include "mem/page_table.hh"
+#include "vmm/vmm.hh"
+
+namespace ap
+{
+
+/**
+ * Guest-frame address space backed through the VMM.
+ */
+class GuestPtSpace : public PtSpace
+{
+  public:
+    explicit GuestPtSpace(Vmm &vmm) : vmm_(vmm) {}
+
+    /** Called (if set) just before a guest PT page is released. */
+    std::function<void(FrameId)> onFree;
+
+    PtPage &
+    page(FrameId gframe) override
+    {
+        FrameId hframe = vmm_.ensurePtBacked(gframe);
+        ap_assert(hframe != PhysMem::kNoFrame,
+                  "guest PT page has no backing");
+        return vmm_.physMem().table(hframe);
+    }
+
+    const PtPage &
+    page(FrameId gframe) const override
+    {
+        return const_cast<GuestPtSpace *>(this)->page(gframe);
+    }
+
+    FrameId
+    allocTablePage() override
+    {
+        return vmm_.allocGuestPtFrame();
+    }
+
+    void
+    freeTablePage(FrameId gframe) override
+    {
+        if (onFree)
+            onFree(gframe);
+        vmm_.freeGuestPtFrame(gframe);
+    }
+
+  private:
+    Vmm &vmm_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_VMM_GUEST_PT_SPACE_HH

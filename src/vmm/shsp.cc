@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SHSP controller implementation.
+ */
+
+#include "vmm/shsp.hh"
+
+#include "base/debug.hh"
+
+namespace ap
+{
+
+ShspController::ShspController(stats::StatGroup *parent, ShadowMgr &mgr,
+                               const ShspConfig &cfg)
+    : stats::StatGroup("shsp", parent),
+      switchesToShadow(this, "to_shadow", "whole-process shadow switches"),
+      switchesToNested(this, "to_nested", "whole-process nested switches"),
+      mgr_(mgr),
+      cfg_(cfg)
+{
+}
+
+void
+ShspController::onProcessStart(ProcId proc)
+{
+    states_[proc] = State{};
+    mgr_.context(proc).fullNested = cfg_.startNested;
+}
+
+bool
+ShspController::inShadow(ProcId proc) const
+{
+    return !const_cast<ShadowMgr &>(mgr_).context(proc).fullNested;
+}
+
+void
+ShspController::onInterval(ProcId proc, const ShspSample &sample)
+{
+    State &st = states_[proc];
+    ++st.intervalsSinceSwitch;
+    if (st.intervalsSinceSwitch < cfg_.minResidency)
+        return;
+
+    TranslationContext &ctx = mgr_.context(proc);
+    if (ctx.fullNested) {
+        // Consider switching to shadow: walks would shrink by the
+        // nested factor but every PT write would start trapping.
+        double walk_benefit =
+            static_cast<double>(sample.walkCycles) *
+            (1.0 - 1.0 / cfg_.nestedWalkFactor);
+        double projected_traps = static_cast<double>(sample.gptWrites) *
+                                 static_cast<double>(cfg_.projectedTrapCost);
+        double floor = cfg_.minBenefitFrac *
+                       static_cast<double>(sample.idealCycles);
+        if (walk_benefit > floor &&
+            walk_benefit > cfg_.switchMargin * projected_traps) {
+            // The whole shadow table must be (re)built — the expensive
+            // step agile paging avoids. The bulk merge is billed
+            // per entry.
+            mgr_.zapProcess(proc);
+            std::uint64_t merged = mgr_.prefillAll(proc);
+            ctx.fullNested = false;
+            mgr_.vmm().chargeTrap(TrapKind::ShspSwitch, merged);
+            AP_DPRINTF(Policy, "SHSP proc ", proc, ": switch to shadow (",
+                       merged, " entries rebuilt)");
+            ++switchesToShadow;
+            st.intervalsSinceSwitch = 0;
+        }
+    } else {
+        // Consider switching to nested: traps disappear but walks
+        // lengthen by the nested factor.
+        double extra_walk = static_cast<double>(sample.walkCycles) *
+                            (cfg_.nestedWalkFactor - 1.0);
+        if (static_cast<double>(sample.trapCycles) >
+            cfg_.switchMargin * extra_walk) {
+            mgr_.zapProcess(proc);
+            ctx.fullNested = true;
+            mgr_.vmm().chargeTrap(TrapKind::ShspSwitch);
+            AP_DPRINTF(Policy, "SHSP proc ", proc, ": switch to nested");
+            ++switchesToNested;
+            st.intervalsSinceSwitch = 0;
+        }
+    }
+}
+
+} // namespace ap

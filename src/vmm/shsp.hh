@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Selective Hardware/Software Paging (SHSP) — the Wang et al. [58]
+ * baseline the paper compares against (Section VII-C).
+ *
+ * SHSP switches an *entire* guest process between nested and shadow
+ * paging by monitoring TLB-miss and VMM-intervention overheads each
+ * interval. Switching to shadow requires rebuilding the whole shadow
+ * page table (here: a zap followed by demand refills — exactly the
+ * cost the paper calls out as SHSP's weakness on big-memory
+ * workloads). Agile paging is the temporal *and spatial* refinement.
+ */
+
+#ifndef AGILEPAGING_VMM_SHSP_HH
+#define AGILEPAGING_VMM_SHSP_HH
+
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "vmm/shadow_mgr.hh"
+
+namespace ap
+{
+
+/** SHSP controller parameters. */
+struct ShspConfig
+{
+    /** Estimated ratio of nested to shadow page-walk cycles (the
+     *  controller's model of what the other mode would cost). */
+    double nestedWalkFactor = 3.0;
+    /** Required benefit margin before switching (hysteresis). */
+    double switchMargin = 1.3;
+    /** Estimated VMtrap cost used when projecting shadow-mode
+     *  mediation overhead from observed guest PT writes. */
+    Cycles projectedTrapCost = 1700;
+    /** Minimum projected walk saving, as a fraction of the interval's
+     *  ideal cycles, before a switch to shadow is worth its rebuild
+     *  cost. */
+    double minBenefitFrac = 0.05;
+    /** Minimum intervals between switches — covers the transition
+     *  interval(s) during which the rebuilt shadow table's demand
+     *  refills make either mode look bad. */
+    std::uint32_t minResidency = 4;
+    /** Start processes in nested mode. */
+    bool startNested = true;
+};
+
+/** Per-interval observations the machine feeds the controller. */
+struct ShspSample
+{
+    /** Cycles spent on page walks by this process this interval. */
+    Cycles walkCycles = 0;
+    /** Cycles spent in VM exits attributable to this process. */
+    Cycles trapCycles = 0;
+    /** Guest page-table writes performed (mediated or not). */
+    std::uint64_t gptWrites = 0;
+    /** Ideal cycles elapsed this interval (materiality scale). */
+    Cycles idealCycles = 1;
+};
+
+/**
+ * Whole-process mode switching controller.
+ */
+class ShspController : public stats::StatGroup
+{
+  public:
+    ShspController(stats::StatGroup *parent, ShadowMgr &mgr,
+                   const ShspConfig &cfg);
+
+    /** Initialize controller state for a registered SHSP process. */
+    void onProcessStart(ProcId proc);
+
+    /** Interval tick with this process's observations. */
+    void onInterval(ProcId proc, const ShspSample &sample);
+
+    /** @return true if the process currently runs shadowed. */
+    bool inShadow(ProcId proc) const;
+
+    stats::Scalar switchesToShadow;
+    stats::Scalar switchesToNested;
+
+  private:
+    struct State
+    {
+        std::uint32_t intervalsSinceSwitch = 0;
+    };
+
+    ShadowMgr &mgr_;
+    ShspConfig cfg_;
+    std::unordered_map<ProcId, State> states_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_VMM_SHSP_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * sptr cache implementation.
+ */
+
+#include "vmm/sptr_cache.hh"
+
+namespace ap
+{
+
+SptrCache::SptrCache(stats::StatGroup *parent, std::size_t entries)
+    : stats::StatGroup("sptr_cache", parent),
+      hits(this, "hits", "context switches resolved without a VMtrap"),
+      misses(this, "misses", "context switches that still trapped"),
+      cache_(entries, entries) // fully associative
+{
+}
+
+std::optional<SptrEntry>
+SptrCache::lookup(FrameId gpt_root)
+{
+    if (SptrEntry *e = cache_.lookup(gpt_root)) {
+        ++hits;
+        return *e;
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+void
+SptrCache::insert(FrameId gpt_root, const SptrEntry &entry)
+{
+    cache_.insert(gpt_root, entry);
+}
+
+void
+SptrCache::invalidate(FrameId gpt_root)
+{
+    cache_.erase(gpt_root);
+}
+
+} // namespace ap

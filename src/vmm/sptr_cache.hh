@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The sptr hardware cache (paper Section IV, second optimization).
+ *
+ * A small (4-8 entry) fully-associative structure mapping a guest page
+ * table pointer (gptr) to the matching shadow page table pointer
+ * (sptr). On a guest context switch the hardware consults it; a hit
+ * loads sptr directly and avoids the CtxSwitch VMtrap. The VMM fills
+ * and invalidates it through new virtualization extensions.
+ */
+
+#ifndef AGILEPAGING_VMM_SPTR_CACHE_HH
+#define AGILEPAGING_VMM_SPTR_CACHE_HH
+
+#include <optional>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "tlb/assoc_cache.hh"
+
+namespace ap
+{
+
+/** Cached shadow-root information for one guest root. */
+struct SptrEntry
+{
+    /** sptr: host frame of the shadow root. */
+    FrameId sptRoot = 0;
+    /** Host frame backing the guest root (for agile nested resume). */
+    FrameId gptRootBacking = 0;
+};
+
+/**
+ * The gptr-to-sptr cache.
+ */
+class SptrCache : public stats::StatGroup
+{
+  public:
+    /** @param entries capacity (the paper suggests 4-8). */
+    SptrCache(stats::StatGroup *parent, std::size_t entries);
+
+    /** Hardware probe on a guest CR3 write. */
+    std::optional<SptrEntry> lookup(FrameId gpt_root);
+
+    /** VMM fill after servicing a context-switch trap. */
+    void insert(FrameId gpt_root, const SptrEntry &entry);
+
+    /** VMM invalidation when a shadow table is destroyed. */
+    void invalidate(FrameId gpt_root);
+
+    void clear() { cache_.clear(); }
+
+    stats::Scalar hits;
+    stats::Scalar misses;
+
+  private:
+    AssocCache<SptrEntry> cache_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_VMM_SPTR_CACHE_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trap kind names.
+ */
+
+#include "vmm/trap_costs.hh"
+
+namespace ap
+{
+
+const char *
+trapKindName(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::ShadowPtWrite:
+        return "shadow_pt_write";
+      case TrapKind::ShadowFill:
+        return "shadow_fill";
+      case TrapKind::GuestFaultMediation:
+        return "guest_fault_mediation";
+      case TrapKind::HostFault:
+        return "host_fault";
+      case TrapKind::CtxSwitch:
+        return "ctx_switch";
+      case TrapKind::TlbFlush:
+        return "tlb_flush";
+      case TrapKind::AdEmulation:
+        return "ad_emulation";
+      case TrapKind::Unsync:
+        return "unsync";
+      case TrapKind::ModeConvert:
+        return "mode_convert";
+      case TrapKind::ShspSwitch:
+        return "shsp_switch";
+      case TrapKind::HostCow:
+        return "host_cow";
+      default:
+        return "?";
+    }
+}
+
+} // namespace ap

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * VM-exit (VMtrap) taxonomy and cost model.
+ *
+ * The paper defines VMtrap latency as "the cycles required for a VMexit
+ * trap and its return plus the work done by the VMM in response to the
+ * VMexit" (Section II-B) and measures the per-kind costs with
+ * LMbench-style microbenchmarks (Section VI). Here every kind has a
+ * configurable cost of the same form: a shared exit/entry round-trip
+ * plus kind-specific handler work, plus optional per-entry work for
+ * handlers that touch a variable number of PTEs.
+ */
+
+#ifndef AGILEPAGING_VMM_TRAP_COSTS_HH
+#define AGILEPAGING_VMM_TRAP_COSTS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace ap
+{
+
+/** Reasons control transfers to the VMM. */
+enum class TrapKind : std::uint8_t
+{
+    /** Guest stored to a write-protected guest-PT page (shadow sync). */
+    ShadowPtWrite,
+    /** Shadow page fault: on-demand shadow fill from guest+host PTs. */
+    ShadowFill,
+    /** A genuine guest page fault taken while in shadow mode must be
+     *  reflected through the VMM before the guest sees it. */
+    GuestFaultMediation,
+    /** Host page fault / EPT violation: back a guest frame. */
+    HostFault,
+    /** Guest wrote its page-table pointer (context switch) while
+     *  shadowed and the sptr cache missed. */
+    CtxSwitch,
+    /** Guest TLB flush (full or INVLPG) while shadowed: resync. */
+    TlbFlush,
+    /** Dirty/accessed-bit emulation protection fault (shadow mode,
+     *  no hardware A/D optimization). */
+    AdEmulation,
+    /** First write to an unsynced-eligible guest PT leaf page. */
+    Unsync,
+    /** Agile paging: converting part of the guest PT between modes. */
+    ModeConvert,
+    /** SHSP: whole-process technique switch. */
+    ShspSwitch,
+    /** Host-side copy-on-write break (content-based sharing). */
+    HostCow,
+    NumKinds,
+};
+
+inline constexpr std::size_t kNumTrapKinds =
+    static_cast<std::size_t>(TrapKind::NumKinds);
+
+/** @return printable name of a trap kind. */
+const char *trapKindName(TrapKind k);
+
+/** Cycle costs; defaults approximate the paper's measured magnitudes
+ *  ("costing 1000s of cycles"). */
+struct TrapCosts
+{
+    /** VMexit + VMresume round trip shared by every kind. */
+    Cycles exitRoundTrip = 1200;
+
+    /** Kind-specific fixed handler work. */
+    std::array<Cycles, kNumTrapKinds> handlerWork{
+        500,  // ShadowPtWrite: emulate the store, locate sPTEs
+        600,  // ShadowFill: walk gPT, merge, install
+        300,  // GuestFaultMediation: decode and reflect
+        800,  // HostFault: allocate + map backing (EPT violation)
+        700,  // CtxSwitch: find/instantiate shadow root
+        400,  // TlbFlush: flush + begin resync
+        350,  // AdEmulation: set A/D, fix protections
+        450,  // Unsync: make PT page temporarily writable
+        800,  // ModeConvert: retarget switching entry, flushes
+        1000, // ShspSwitch: mode bookkeeping (rebuild billed per-entry)
+        900,  // HostCow: copy page, remap
+    };
+
+    /** Per-PTE work for handlers that scan/patch entries (resync,
+     *  rebuild, conversion flushes). */
+    Cycles perEntryWork = 12;
+
+    /** Total cost of one trap touching @p entries PTEs. */
+    Cycles
+    cost(TrapKind k, std::uint64_t entries = 0) const
+    {
+        return exitRoundTrip + handlerWork[static_cast<std::size_t>(k)] +
+               perEntryWork * entries;
+    }
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_VMM_TRAP_COSTS_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The virtual machine monitor.
+ *
+ * Owns, for one VM: the guest-physical address space (frame allocators
+ * and the gPA-to-hPA backing map), the architectural host page table
+ * (hPT) the hardware walks in nested mode, trap accounting against the
+ * TrapCosts model, host-side content-based page sharing, and the sptr
+ * hardware cache of the paper's second optional optimization.
+ *
+ * Guest-physical layout: frames [1 .. ptFrames] are the page-table
+ * region (always backed with 4 KB host mappings); data frames live at
+ * [dataBase .. dataBase + dataFrames] with dataBase 2 MB aligned so
+ * the VMM can back them with 2 MB host mappings when configured.
+ */
+
+#ifndef AGILEPAGING_VMM_VMM_HH
+#define AGILEPAGING_VMM_VMM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/frame_alloc.hh"
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "tlb/nested_tlb.hh"
+#include "vmm/sptr_cache.hh"
+#include "vmm/trap_costs.hh"
+
+namespace ap
+{
+
+/** VMM configuration knobs. */
+struct VmmConfig
+{
+    /** Guest-physical frames reserved for guest page-table pages. */
+    std::uint64_t guestPtFrames = 1 << 16;
+    /** Guest-physical frames available for data. */
+    std::uint64_t guestDataFrames = 1 << 20;
+    /** Granule of host (second-stage) mappings for the data region. */
+    PageSize hostPageSize = PageSize::Size4K;
+    /** Trap cost model. */
+    TrapCosts costs{};
+    /** Hardware optimization 2 (Section IV): sptr cache entries
+     *  consulted on guest context switches; 0 disables. */
+    std::size_t sptrCacheEntries = 0;
+};
+
+/**
+ * Per-VM hypervisor state and services.
+ */
+class Vmm : public stats::StatGroup
+{
+  public:
+    /**
+     * @param parent stat parent
+     * @param mem    host physical memory
+     * @param ntlb   nested TLB to invalidate on host-PT changes
+     *               (may be nullptr)
+     */
+    Vmm(stats::StatGroup *parent, PhysMem &mem, const VmmConfig &cfg,
+        NestedTlb *ntlb);
+    ~Vmm();
+
+    // ------------------------------------------------------------------
+    // Guest physical space
+    // ------------------------------------------------------------------
+
+    /** Allocate a guest frame for a guest page-table page. The backing
+     *  host table frame is created eagerly (the guest OS writes the
+     *  page immediately); the hPT mapping is installed too.
+     *  @return the guest frame, or 0 when exhausted. */
+    FrameId allocGuestPtFrame();
+
+    /** Release a guest PT frame and its backing. */
+    void freeGuestPtFrame(FrameId gframe);
+
+    /** Allocate one data guest frame (backing installed lazily at
+     *  first hardware touch, i.e. on a host fault).
+     *  @return the guest frame, or 0 when exhausted. */
+    FrameId allocGuestDataFrame();
+
+    /** Allocate @p n contiguous aligned data guest frames (guest THP).
+     *  @return the first guest frame, or 0 when exhausted. */
+    FrameId allocGuestDataFrames(std::uint64_t n);
+
+    /** Release a data guest frame (and backing if present). */
+    void freeGuestDataFrame(FrameId gframe);
+
+    /** @return true if @p gframe lies in the page-table region. */
+    bool isPtRegion(FrameId gframe) const { return gframe <= pt_cap_; }
+
+    /** Host frame currently backing @p gframe (0 if unbacked). */
+    FrameId backing(FrameId gframe) const;
+
+    // ------------------------------------------------------------------
+    // Host page table (the hardware's second stage)
+    // ------------------------------------------------------------------
+
+    RadixPageTable &hostPt() { return *hpt_; }
+    const RadixPageTable &hostPt() const { return *hpt_; }
+    FrameId hostPtRoot() const { return hpt_->root(); }
+
+    /**
+     * Handle a host fault (EPT violation) on @p gpa: allocate backing
+     * for the containing frame (or 2 MB group) and install the hPT
+     * mapping. Charges a HostFault trap.
+     * @return false if host memory is exhausted.
+     */
+    bool handleHostFault(Addr gpa);
+
+    /** Back a PT-region frame immediately (no trap charge; callers
+     *  charge contextually). @return host frame or kNoFrame. */
+    FrameId ensurePtBacked(FrameId gframe);
+
+    /** Back a data frame immediately (shadow fill resolves backing as
+     *  part of the fill, without a separate EPT exit).
+     *  @return host frame backing @p gframe, or kNoFrame on OOM. */
+    FrameId ensureDataBacked(FrameId gframe);
+
+    /** Record that the guest wrote @p gframe directly (nested-mode PT
+     *  page): sets the hPT dirty bit the dirty-scan policy reads. */
+    void markGptWriteDirty(FrameId gframe);
+
+    /** Read-and-clear the dirty bit on the backing of @p gframe. */
+    bool consumeGptDirty(FrameId gframe);
+
+    /** Set one guest data page's content id (dedup key). */
+    void setContent(FrameId gframe, std::uint64_t content_id);
+
+    // ------------------------------------------------------------------
+    // Content-based page sharing (Section V)
+    // ------------------------------------------------------------------
+
+    /**
+     * Scan backed data frames; collapse duplicates (same content id)
+     * to one read-only host frame.
+     * @param remapped_gframes if non-null, receives every guest frame
+     *        whose backing changed (callers must invalidate shadow
+     *        entries and TLB entries derived from the old frames)
+     * @return number of frames reclaimed.
+     */
+    std::uint64_t sharePages(std::vector<FrameId> *remapped_gframes =
+                                 nullptr);
+
+    /**
+     * Break host-side COW on a write to @p gframe: new private frame,
+     * writable mapping. Charges a HostCow trap.
+     * @return false if memory is exhausted.
+     */
+    bool breakHostCow(FrameId gframe);
+
+    /** @return host-stage write permission for @p gframe's mapping. */
+    bool hostWritable(FrameId gframe) const;
+
+    // ------------------------------------------------------------------
+    // Traps
+    // ------------------------------------------------------------------
+
+    /** Charge one VM exit of kind @p k touching @p entries PTEs. */
+    void chargeTrap(TrapKind k, std::uint64_t entries = 0);
+
+    Cycles trapCycles() const { return trap_cycles_; }
+    std::uint64_t trapCount(TrapKind k) const;
+    std::uint64_t trapCountTotal() const;
+
+    /** The sptr cache (hardware optimization 2); nullptr if disabled. */
+    SptrCache *sptrCache() { return sptr_cache_.get(); }
+
+    const VmmConfig &config() const { return cfg_; }
+    PhysMem &physMem() { return mem_; }
+
+    /** Host frames consumed by this VM's data backings. */
+    std::uint64_t backedDataFrames() const { return backed_data_; }
+
+    stats::Scalar trapsTotal;
+    stats::Scalar trapCyclesStat;
+    stats::Scalar hostFaultsServed;
+    stats::Scalar pagesShared;
+    stats::Scalar cowBreaks;
+
+  private:
+    struct Backing
+    {
+        FrameId hframe = 0;
+        /** Dirty bit the nested-to-shadow dirty-scan policy consumes
+         *  (mirrors the hPT leaf dirty bit for PT-region frames). */
+        bool dirty = false;
+        /** Host mapping is read-only due to sharing. */
+        bool shared = false;
+        /** Content recorded before the frame was backed. */
+        std::uint64_t pendingContent = 0;
+    };
+
+    Backing &backingSlot(FrameId gframe);
+    const Backing *backingSlotIfAny(FrameId gframe) const;
+    bool backDataFrame(FrameId gframe);
+
+    PhysMem &mem_;
+    VmmConfig cfg_;
+    NestedTlb *ntlb_;
+
+    std::uint64_t pt_cap_;
+    std::uint64_t data_base_;
+    FrameAllocator pt_alloc_;
+    FrameAllocator data_alloc_;
+
+    std::unique_ptr<HostPtSpace> hpt_space_;
+    std::unique_ptr<RadixPageTable> hpt_;
+
+    std::vector<Backing> backings_;
+    std::uint64_t backed_data_ = 0;
+
+    std::array<std::uint64_t, kNumTrapKinds> trap_counts_{};
+    Cycles trap_cycles_ = 0;
+
+    std::unique_ptr<SptrCache> sptr_cache_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_VMM_VMM_HH

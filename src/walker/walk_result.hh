@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Result of a hardware page walk: outcome, translation, cost, and an
+ * optional chronological access trace (used to regenerate the paper's
+ * Fig. 1/Fig. 3 access sequences and Table II reference counts).
+ */
+
+#ifndef AGILEPAGING_WALKER_WALK_RESULT_HH
+#define AGILEPAGING_WALKER_WALK_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap
+{
+
+/** Which architectural structure one walk reference touched. */
+enum class WalkTable : std::uint8_t
+{
+    NativePt,
+    GuestPt,
+    HostPt,
+    ShadowPt,
+};
+
+/** @return short printable name for a walk table. */
+constexpr const char *
+walkTableName(WalkTable t)
+{
+    switch (t) {
+      case WalkTable::NativePt:
+        return "nPT";
+      case WalkTable::GuestPt:
+        return "gPT";
+      case WalkTable::HostPt:
+        return "hPT";
+      case WalkTable::ShadowPt:
+        return "sPT";
+    }
+    return "?";
+}
+
+/** One memory reference made by the walker. */
+struct WalkAccess
+{
+    WalkTable table;
+    /** Walk depth of the entry read (0 = root level). */
+    unsigned depth;
+    /** Host frame the reference went to. */
+    FrameId frame;
+};
+
+/** Why a walk stopped early. */
+enum class WalkFault : std::uint8_t
+{
+    None,
+    /** Invalid entry in the guest page table (guest handles). */
+    GuestFault,
+    /** Invalid entry in the host page table (VM exit; VMM handles). */
+    HostFault,
+    /** Invalid entry in the shadow page table (VM exit; VMM fills). */
+    ShadowFault,
+    /** Invalid entry in the native page table (native OS handles). */
+    NativeFault,
+};
+
+/** Completed (or faulted) walk. */
+struct WalkResult
+{
+    WalkFault fault = WalkFault::None;
+
+    /** On success: host frame of the effective page's base. */
+    FrameId hframe = 0;
+    /** On success: effective TLB-entry granule (min of the two stages). */
+    PageSize size = PageSize::Size4K;
+    /** On success: write permission of the full translation. */
+    bool writable = false;
+
+    /** Memory references charged to this walk (after PWC/nTLB savings). */
+    unsigned refs = 0;
+
+    /** References that read a terminal leaf entry. Leaf PTEs are the
+     *  cache-cold part of a walk; upper-level entries usually hit the
+     *  data caches (Intel optimization manual [36]), so the cost model
+     *  prices the two classes differently. */
+    unsigned coldRefs = 0;
+
+    /**
+     * Walk depth at which the walk entered nested mode:
+     * kPtLevels (4) = never (full shadow / native), 0 = every level
+     * nested. Used for the Table VI mode-coverage histogram.
+     */
+    unsigned switchDepth = kPtLevels;
+
+    /** True if this walk ran fully nested including gptr translation. */
+    bool fullNested = false;
+
+    /** The walk set a leaf dirty bit that was previously clear (the
+     *  machine charges the hardware A/D-writeback walk for this under
+     *  optimization 1). */
+    bool dirtyTransition = false;
+
+    /** Fault details: the faulting guest virtual address. */
+    Addr faultVa = 0;
+    /** HostFault: the guest physical address that missed in the hPT. */
+    Addr faultGpa = 0;
+    /** Depth of the faulting entry in its table. */
+    unsigned faultDepth = 0;
+
+    /** Chronological trace (filled only when tracing is enabled). */
+    std::vector<WalkAccess> trace;
+
+    bool ok() const { return fault == WalkFault::None; }
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WALKER_WALK_RESULT_HH

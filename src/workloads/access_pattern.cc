@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Access-pattern generator implementations.
+ */
+
+#include "workloads/access_pattern.hh"
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+ZipfRegion::ZipfRegion(Addr base, Addr length, double theta,
+                       std::uint64_t shuffle_seed)
+    : base_(base),
+      length_(length),
+      pages_(length / kPageBytes),
+      zipf_(length / kPageBytes ? length / kPageBytes : 1, theta),
+      mult_(shuffle_seed | 1) // odd => invertible mod 2^k
+{
+    ap_assert(length >= kPageBytes, "ZipfRegion needs at least one page");
+}
+
+Addr
+ZipfRegion::pick(Rng &rng) const
+{
+    std::uint64_t rank = zipf_.sample(rng);
+    // Spread popular ranks across the region with an odd multiplier.
+    std::uint64_t page = (rank * mult_) % pages_;
+    Addr offset = rng.nextBelow(kPageBytes);
+    return base_ + page * kPageBytes + offset;
+}
+
+PointerChase::PointerChase(Addr base, Addr length, double local_prob,
+                           Addr local_window)
+    : base_(base),
+      length_(length),
+      local_prob_(local_prob),
+      window_(local_window)
+{
+    ap_assert(length > 0, "empty PointerChase region");
+}
+
+Addr
+PointerChase::next(Rng &rng)
+{
+    if (rng.chance(local_prob_)) {
+        Addr delta = rng.nextBelow(window_);
+        pos_ = (pos_ + delta) % length_;
+    } else {
+        pos_ = rng.nextBelow(length_);
+    }
+    return base_ + pos_;
+}
+
+StreamScan::StreamScan(Addr base, Addr length, Addr stride)
+    : base_(base), length_(length), stride_(stride)
+{
+    ap_assert(stride > 0 && length > 0, "bad StreamScan geometry");
+}
+
+Addr
+StreamScan::next()
+{
+    Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= length_)
+        offset_ = 0;
+    return a;
+}
+
+} // namespace ap

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reusable access-pattern generators for the synthetic workloads.
+ */
+
+#ifndef AGILEPAGING_WORKLOADS_ACCESS_PATTERN_HH
+#define AGILEPAGING_WORKLOADS_ACCESS_PATTERN_HH
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace ap
+{
+
+/**
+ * Zipf-popular page picker over a region: models skewed data
+ * structures (key-value stores, hash tables).
+ */
+class ZipfRegion
+{
+  public:
+    /**
+     * @param base,length region of gVA space
+     * @param theta Zipf skew (0.99 typical)
+     * @param shuffle_seed permutes rank->page so hot pages spread out
+     */
+    ZipfRegion(Addr base, Addr length, double theta,
+               std::uint64_t shuffle_seed);
+
+    /** Pick a byte address. */
+    Addr pick(Rng &rng) const;
+
+    Addr base() const { return base_; }
+    Addr length() const { return length_; }
+
+  private:
+    Addr base_;
+    Addr length_;
+    std::uint64_t pages_;
+    ZipfSampler zipf_;
+    /** Cheap multiplicative permutation of page ranks. */
+    std::uint64_t mult_;
+};
+
+/**
+ * Pointer-chase walker with locality: most steps stay near the current
+ * position, some jump far (graph/tree traversal shape).
+ */
+class PointerChase
+{
+  public:
+    /**
+     * @param local_prob probability a step stays within local_window
+     */
+    PointerChase(Addr base, Addr length, double local_prob,
+                 Addr local_window);
+
+    Addr next(Rng &rng);
+
+  private:
+    Addr base_;
+    Addr length_;
+    double local_prob_;
+    Addr window_;
+    Addr pos_ = 0;
+};
+
+/**
+ * Streaming scanner: sequential sweep with configurable stride,
+ * wrapping at the region end (defeats the TLB for big regions).
+ */
+class StreamScan
+{
+  public:
+    StreamScan(Addr base, Addr length, Addr stride);
+
+    Addr next();
+
+  private:
+    Addr base_;
+    Addr length_;
+    Addr stride_;
+    Addr offset_ = 0;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WORKLOADS_ACCESS_PATTERN_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Big-memory workload implementations.
+ */
+
+#include "workloads/bigmem_workloads.hh"
+
+namespace ap
+{
+
+namespace
+{
+constexpr Addr kHotBytes = 1u << 20;
+} // namespace
+
+// ---------------------------------------------------------------------
+// graph500
+// ---------------------------------------------------------------------
+
+Graph500Workload::Graph500Workload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+Graph500Workload::init(WorkloadHost &host)
+{
+    graph_ = host.mmap(params_.footprintBytes, true, false, 0);
+    hot_ = std::make_unique<ZipfRegion>(graph_, kHotBytes, 0.8,
+                                        params_.seed);
+}
+
+void
+Graph500Workload::warmup(WorkloadHost &host)
+{
+    // Edge-generation phase: sequential stores populate the graph.
+    touchAll(host, graph_, params_.footprintBytes, true);
+}
+
+bool
+Graph500Workload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+    // BFS phase: visited-set hits plus random neighbour chases.
+    if (rng.chance(0.017)) {
+        host.access(graph_ + rng.nextBelow(params_.footprintBytes),
+                    rng.chance(0.15));
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.15));
+    }
+    return ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// memcached
+// ---------------------------------------------------------------------
+
+MemcachedWorkload::MemcachedWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+MemcachedWorkload::rebuildKeyPicker(std::uint64_t seed)
+{
+    // One logical Zipf space over all slabs; pick() maps into the
+    // first slab's span then we re-base onto a random slab.
+    keys_ = std::make_unique<ZipfRegion>(0, slab_bytes_, 0.99, seed);
+}
+
+void
+MemcachedWorkload::init(WorkloadHost &host)
+{
+    // Start with a quarter of the eventual footprint; grow online.
+    slab_bytes_ = params_.footprintBytes / 4;
+    slabs_.push_back(host.mmap(slab_bytes_, true, false, 0));
+    hot_ = std::make_unique<ZipfRegion>(slabs_[0], kHotBytes, 0.9,
+                                        params_.seed);
+    rebuildKeyPicker(params_.seed);
+}
+
+void
+MemcachedWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, slabs_[0], slab_bytes_, true);
+}
+
+bool
+MemcachedWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    // Cache growth: add slabs until the full footprint is resident.
+    if (slabs_.size() < 4 &&
+        ops_done_ > (params_.operations / 5) * slabs_.size()) {
+        Addr slab = host.mmap(params_.footprintBytes / 4, true, false, 0);
+        if (slab)
+            slabs_.push_back(slab);
+    }
+    // The network daemon: frequent guest context switches.
+    if (rng.chance(1.0 / 2500)) {
+        host.yield();
+        return ops_done_ < params_.operations;
+    }
+    // Memory pressure: the guest scans reference bits and evicts.
+    if (rng.chance(1.0 / 20000)) {
+        host.reclaimTick(256);
+        return ops_done_ < params_.operations;
+    }
+    if (rng.chance(0.013)) {
+        // Key lookup: Zipf over the whole (grown) arena.
+        Addr off = keys_->pick(rng);
+        Addr slab = slabs_[off / (params_.footprintBytes / 4) %
+                           slabs_.size()];
+        host.access(slab + (off % (params_.footprintBytes / 4)),
+                    rng.chance(0.3));
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.3));
+    }
+    return ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// tigr
+// ---------------------------------------------------------------------
+
+TigrWorkload::TigrWorkload(const WorkloadParams &params) : Workload(params)
+{
+}
+
+void
+TigrWorkload::init(WorkloadHost &host)
+{
+    sequences_ = host.mmap(params_.footprintBytes, true, true,
+                           /*file_id=*/900);
+    // Stride chosen so roughly one access in 200 opens a new page.
+    stream_ = std::make_unique<StreamScan>(sequences_,
+                                           params_.footprintBytes, 96);
+    hot_ = std::make_unique<ZipfRegion>(sequences_, kHotBytes, 0.8,
+                                        params_.seed);
+}
+
+void
+TigrWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, sequences_, params_.footprintBytes, false);
+}
+
+bool
+TigrWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    if (rng.chance(0.55)) {
+        // Streaming scan through the sequence database.
+        host.access(stream_->next(), false);
+    } else if (rng.chance(0.0065)) {
+        // Random suffix-index lookup.
+        host.access(sequences_ + rng.nextBelow(params_.footprintBytes),
+                    false);
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.05));
+    }
+    return ++ops_done_ < params_.operations;
+}
+
+} // namespace ap

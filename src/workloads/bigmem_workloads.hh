@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Big-memory and BioBench workloads from Table V: graph500,
+ * memcached, and tigr.
+ */
+
+#ifndef AGILEPAGING_WORKLOADS_BIGMEM_WORKLOADS_HH
+#define AGILEPAGING_WORKLOADS_BIGMEM_WORKLOADS_HH
+
+#include <vector>
+
+#include "workloads/access_pattern.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/**
+ * graph500 (73 GB): graph generation, compression, BFS. A sequential-
+ * write generation phase (all demand faults up front) followed by a
+ * random-read search phase over the biggest footprint in the suite;
+ * near-zero PT churn afterwards.
+ */
+class Graph500Workload : public Workload
+{
+  public:
+    explicit Graph500Workload(const WorkloadParams &params);
+
+    std::string name() const override { return "graph500"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr graph_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+};
+
+/**
+ * memcached (75 GB): in-memory key-value cache. Zipf-popular key
+ * lookups over a large, *growing* slab arena, periodic evictions under
+ * memory pressure (reference-bit scans — PT writes), and frequent
+ * yields to the network stack (guest context switches). High overhead
+ * under shadow paging from both interventions and context switches.
+ */
+class MemcachedWorkload : public Workload
+{
+  public:
+    explicit MemcachedWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "memcached"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    std::vector<Addr> slabs_;
+    Addr slab_bytes_ = 0;
+    std::unique_ptr<ZipfRegion> keys_;
+    std::unique_ptr<ZipfRegion> hot_;
+    void rebuildKeyPicker(std::uint64_t seed);
+};
+
+/**
+ * tigr (610 MB): sequence-assembly (BioBench). Long streaming scans
+ * over reference arrays mixed with random index lookups; read-mostly,
+ * stable page tables.
+ */
+class TigrWorkload : public Workload
+{
+  public:
+    explicit TigrWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "tigr"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr sequences_ = 0;
+    std::unique_ptr<StreamScan> stream_;
+    std::unique_ptr<ZipfRegion> hot_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WORKLOADS_BIGMEM_WORKLOADS_HH

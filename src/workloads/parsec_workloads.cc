@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PARSEC-shaped workload implementations.
+ */
+
+#include "workloads/parsec_workloads.hh"
+
+namespace ap
+{
+
+namespace
+{
+constexpr Addr kHotBytes = 1u << 20;
+} // namespace
+
+// ---------------------------------------------------------------------
+// canneal
+// ---------------------------------------------------------------------
+
+CannealWorkload::CannealWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+CannealWorkload::init(WorkloadHost &host)
+{
+    netlist_ = host.mmap(params_.footprintBytes, true, false, 0);
+    hot_ = std::make_unique<ZipfRegion>(netlist_, kHotBytes, 0.8,
+                                        params_.seed);
+}
+
+void
+CannealWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, netlist_, params_.footprintBytes, true);
+}
+
+bool
+CannealWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    if (pending_swap_) {
+        // Second half of a swap: write back the partner element.
+        host.access(pending_swap_, true);
+        pending_swap_ = 0;
+    } else if (rng.chance(0.0055)) {
+        // Pick two random netlist elements; read one now, write the
+        // other next step (the swap).
+        host.access(netlist_ + rng.nextBelow(params_.footprintBytes),
+                    false);
+        pending_swap_ =
+            netlist_ + rng.nextBelow(params_.footprintBytes);
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.4));
+    }
+    return ++ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// dedup
+// ---------------------------------------------------------------------
+
+DedupWorkload::DedupWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+DedupWorkload::init(WorkloadHost &host)
+{
+    hash_table_ = host.mmap(params_.footprintBytes / 2, true, false, 0);
+    hash_hot_ = std::make_unique<ZipfRegion>(hash_table_, kHotBytes, 0.9,
+                                             params_.seed);
+    // Pipeline buffer slots; their address space is recycled hard.
+    std::uint64_t nslots = (params_.footprintBytes / 2) / kChunkBytes;
+    for (std::uint64_t i = 0; i < nslots; ++i) {
+        Addr base = host.mmap(kChunkBytes, true, true,
+                              /*file_id=*/500 + (i % 24));
+        if (base)
+            chunks_.push_back(base);
+    }
+    chunk_picker_ = std::make_unique<ZipfSampler>(
+        chunks_.empty() ? 1 : chunks_.size(), 0.99);
+}
+
+void
+DedupWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, hash_table_, params_.footprintBytes / 2, true);
+    for (Addr chunk : chunks_)
+        touchAll(host, chunk, kChunkBytes, true);
+}
+
+bool
+DedupWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    if (fill_remaining_ > 0) {
+        host.access(fill_base_ + (kChunkBytes - fill_remaining_), true);
+        fill_remaining_ =
+            fill_remaining_ > 1024 ? fill_remaining_ - 1024 : 0;
+        return ops_done_ < params_.operations;
+    }
+    if (!chunks_.empty() && rng.chance(1.0 / 6000)) {
+        // Retire and recycle one pipeline buffer (hot buffers recycle
+        // most). Chunks draw from a small set of file blocks, so
+        // content repeats heavily.
+        Addr base = chunks_[chunk_picker_->sample(rng)];
+        std::uint64_t block = next_file_block_++ % 24;
+        host.munmap(base, kChunkBytes);
+        host.mmapAt(base, kChunkBytes, true, true, 500 + block);
+        fill_base_ = base;
+        fill_remaining_ = kChunkBytes;
+        return ops_done_ < params_.operations;
+    }
+
+    if (rng.chance(1.0 / 1500000)) {
+        // VMM content scan merges the duplicate chunk pages.
+        host.sharePagesScan();
+        return ops_done_ < params_.operations;
+    }
+    if (rng.chance(1.0 / 500000)) {
+        // Fork/join worker stage touching shared state (COW breaks).
+        host.forkTouchExit(12);
+        return ops_done_ < params_.operations;
+    }
+    if (rng.chance(0.009)) {
+        // Cold hash-table probe (the dedup index is huge and sparse).
+        host.access(hash_table_ +
+                        rng.nextBelow(params_.footprintBytes / 2),
+                    rng.chance(0.5));
+    } else if (!chunks_.empty() && rng.chance(0.006)) {
+        Addr base = chunks_[rng.nextBelow(chunks_.size())];
+        host.access(base + rng.nextBelow(kChunkBytes), rng.chance(0.5));
+    } else {
+        host.access(hash_hot_->pick(rng), rng.chance(0.5));
+    }
+    return ops_done_ < params_.operations;
+}
+
+} // namespace ap

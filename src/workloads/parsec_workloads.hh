@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PARSEC-shaped workloads from Table V: canneal and dedup.
+ */
+
+#ifndef AGILEPAGING_WORKLOADS_PARSEC_WORKLOADS_HH
+#define AGILEPAGING_WORKLOADS_PARSEC_WORKLOADS_HH
+
+#include <vector>
+
+#include "workloads/access_pattern.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/**
+ * canneal (780 MB): cache-aggressive simulated annealing. Random
+ * element swaps (read-modify-write pairs) over a large netlist;
+ * negligible page-table churn.
+ */
+class CannealWorkload : public Workload
+{
+  public:
+    explicit CannealWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "canneal"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr netlist_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+    Addr pending_swap_ = 0;
+};
+
+/**
+ * dedup (1.4 GB): pipelined deduplication/compression. The paper's
+ * worst shadow-paging case (57% of time in the VMM servicing page
+ * table updates): constant buffer mmap/munmap churn, duplicate
+ * file-backed content that the VMM merges and COW-breaks, and
+ * fork/join worker episodes.
+ */
+class DedupWorkload : public Workload
+{
+  public:
+    explicit DedupWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "dedup"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    /** Pipeline buffer slot size (8 pages). */
+    static constexpr Addr kChunkBytes = 32u << 10;
+
+    std::uint64_t ops_done_ = 0;
+    Addr hash_table_ = 0;
+    std::unique_ptr<ZipfRegion> hash_hot_;
+    std::vector<Addr> chunks_;
+    /** Skewed recycling of pipeline buffers. */
+    std::unique_ptr<ZipfSampler> chunk_picker_;
+    Addr fill_base_ = 0;
+    Addr fill_remaining_ = 0;
+    std::uint64_t next_file_block_ = 0;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WORKLOADS_PARSEC_WORKLOADS_HH

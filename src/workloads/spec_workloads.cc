@@ -1,0 +1,178 @@
+/**
+ * @file
+ * SPEC-shaped workload implementations.
+ *
+ * Rate constants are calibrated so the native-4K page-walk overheads
+ * land in the neighbourhood the paper reports (Fig. 5): mcf highest,
+ * astar moderate, gcc modest but with the highest PT-update rate.
+ * Churny workloads recycle fixed VA slots (as allocators do), so the
+ * same page-table regions keep changing — the behaviour agile paging's
+ * spatial policy exploits.
+ */
+
+#include "workloads/spec_workloads.hh"
+
+namespace ap
+{
+
+namespace
+{
+constexpr Addr kHotBytes = 1u << 20;       // fits comfortably in the TLBs
+constexpr Addr kCodeBytes = 512u << 10;
+constexpr double kCodeFetchProb = 0.10;
+} // namespace
+
+// ---------------------------------------------------------------------
+// astar
+// ---------------------------------------------------------------------
+
+AstarWorkload::AstarWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+AstarWorkload::init(WorkloadHost &host)
+{
+    heap_ = host.mmap(params_.footprintBytes, true, false, 0);
+    code_ = host.mmap(kCodeBytes, false, true, /*file_id=*/101);
+    hot_ = std::make_unique<ZipfRegion>(heap_, kHotBytes, 0.8,
+                                        params_.seed);
+    cold_ = std::make_unique<PointerChase>(heap_, params_.footprintBytes,
+                                           0.70, 1u << 20);
+    code_pages_ =
+        std::make_unique<ZipfRegion>(code_, kCodeBytes, 0.9, params_.seed);
+}
+
+void
+AstarWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, heap_, params_.footprintBytes, true);
+    touchAll(host, code_, kCodeBytes, false);
+}
+
+bool
+AstarWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    if (rng.chance(kCodeFetchProb)) {
+        host.instrFetch(code_pages_->pick(rng));
+    } else if (rng.chance(0.0090)) {
+        host.access(cold_->next(rng), rng.chance(0.15));
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.15));
+    }
+    return ++ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// gcc
+// ---------------------------------------------------------------------
+
+GccWorkload::GccWorkload(const WorkloadParams &params) : Workload(params)
+{
+}
+
+void
+GccWorkload::init(WorkloadHost &host)
+{
+    // Large code footprint (cc1 is several MB of text) with the very
+    // skewed reuse code fetches show.
+    code_ = host.mmap(2u << 20, false, true, /*file_id=*/102);
+    Addr heap = host.mmap(kHotBytes, true, false, 0);
+    hot_ = std::make_unique<ZipfRegion>(heap, kHotBytes, 0.8, params_.seed);
+    code_pages_ =
+        std::make_unique<ZipfRegion>(code_, 2u << 20, 1.30, params_.seed);
+    // Allocation slots: the compiler's obstacks recycle address space.
+    std::uint64_t nslots = params_.footprintBytes / kSlotBytes;
+    for (std::uint64_t i = 0; i < nslots; ++i) {
+        Addr base = host.mmap(kSlotBytes, true, false, 0);
+        if (base)
+            slots_.push_back(base);
+    }
+    slot_picker_ = std::make_unique<ZipfSampler>(
+        slots_.empty() ? 1 : slots_.size(), 0.99);
+}
+
+void
+GccWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, code_, 2u << 20, false);
+    touchAll(host, hot_->base(), hot_->length(), true);
+    for (Addr slot : slots_)
+        touchAll(host, slot, kSlotBytes, true);
+}
+
+bool
+GccWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    if (fill_remaining_ > 0) {
+        // Sequentially write the recycled slot (faulting pages in).
+        host.access(fill_base_ + (kSlotBytes - fill_remaining_), true);
+        fill_remaining_ = fill_remaining_ > 512 ? fill_remaining_ - 512 : 0;
+        return ops_done_ < params_.operations;
+    }
+    if (!slots_.empty() && rng.chance(1.0 / 45000)) {
+        // Retire one allocation slot and recycle its address space —
+        // the page-table churn that hurts shadow paging. Recycling is
+        // strongly skewed toward the hottest slots, so the churn stays
+        // spatially concentrated (the property agile paging exploits).
+        Addr base = slots_[slot_picker_->sample(rng)];
+        host.munmap(base, kSlotBytes);
+        host.mmapAt(base, kSlotBytes, true, false, 0);
+        fill_base_ = base;
+        fill_remaining_ = kSlotBytes;
+        return ops_done_ < params_.operations;
+    }
+
+    if (rng.chance(0.25)) {
+        host.instrFetch(code_pages_->pick(rng));
+    } else if (!slots_.empty() && rng.chance(0.0042)) {
+        Addr base = slots_[rng.nextBelow(slots_.size())];
+        host.access(base + rng.nextBelow(kSlotBytes), rng.chance(0.3));
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.3));
+    }
+    return ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// mcf
+// ---------------------------------------------------------------------
+
+McfWorkload::McfWorkload(const WorkloadParams &params) : Workload(params)
+{
+}
+
+void
+McfWorkload::init(WorkloadHost &host)
+{
+    arena_ = host.mmap(params_.footprintBytes, true, false, 0);
+    hot_ = std::make_unique<ZipfRegion>(arena_, kHotBytes, 0.8,
+                                        params_.seed);
+}
+
+void
+McfWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, arena_, params_.footprintBytes, true);
+}
+
+bool
+McfWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    if (rng.chance(0.022)) {
+        // Cold pointer dereference anywhere in the arena.
+        host.access(arena_ + rng.nextBelow(params_.footprintBytes),
+                    rng.chance(0.1));
+    } else {
+        host.access(hot_->pick(rng), rng.chance(0.1));
+    }
+    return ++ops_done_ < params_.operations;
+}
+
+} // namespace ap

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SPEC CPU2006-shaped workloads from Table V: astar, gcc, mcf.
+ *
+ * Each class reproduces the benchmark's *memory-system* profile, not
+ * its computation: a hot working set that mostly hits the TLB, a cold
+ * access stream with the benchmark's characteristic pattern and rate
+ * (tuned to the paper's measured native overheads), and the
+ * benchmark's page-table-update behaviour.
+ */
+
+#ifndef AGILEPAGING_WORKLOADS_SPEC_WORKLOADS_HH
+#define AGILEPAGING_WORKLOADS_SPEC_WORKLOADS_HH
+
+#include <vector>
+
+#include "workloads/access_pattern.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/**
+ * astar (350 MB): graph path-finding. Pointer chases with moderate
+ * locality over a stable heap; almost no page-table churn.
+ */
+class AstarWorkload : public Workload
+{
+  public:
+    explicit AstarWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "astar"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr heap_ = 0;
+    Addr code_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+    std::unique_ptr<PointerChase> cold_;
+    std::unique_ptr<ZipfRegion> code_pages_;
+};
+
+/**
+ * gcc (885 MB): compiler. Allocation-heavy: regions are mapped,
+ * filled, then discarded; large code footprint; page tables change
+ * constantly (the shadow-paging pain case among SPEC workloads).
+ */
+class GccWorkload : public Workload
+{
+  public:
+    explicit GccWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "gcc"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    /** Recycled allocation-slot size (8 pages). */
+    static constexpr Addr kSlotBytes = 32u << 10;
+
+    std::uint64_t ops_done_ = 0;
+    Addr code_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+    std::unique_ptr<ZipfRegion> code_pages_;
+    std::vector<Addr> slots_;
+    /** Skewed recycling: hot obstack slots churn far more often. */
+    std::unique_ptr<ZipfSampler> slot_picker_;
+    Addr fill_base_ = 0;
+    Addr fill_remaining_ = 0;
+};
+
+/**
+ * mcf (1.7 GB): network simplex. Near-uniform pointer dereferences
+ * over a very large arena; the highest TLB-miss overhead in Table V
+ * and essentially no page-table updates after initialization.
+ */
+class McfWorkload : public Workload
+{
+  public:
+    explicit McfWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "mcf"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr arena_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WORKLOADS_SPEC_WORKLOADS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Workload registry: Table V name to generator.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/bigmem_workloads.hh"
+#include "workloads/parsec_workloads.hh"
+#include "workloads/spec_workloads.hh"
+
+namespace ap
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    // Figure 5 order: big-memory row first, then the SPEC/PARSEC row.
+    return {"graph500", "mcf",   "tigr",  "dedup",
+            "memcached", "canneal", "astar", "gcc"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "astar")
+        return std::make_unique<AstarWorkload>(params);
+    if (name == "gcc")
+        return std::make_unique<GccWorkload>(params);
+    if (name == "mcf")
+        return std::make_unique<McfWorkload>(params);
+    if (name == "canneal")
+        return std::make_unique<CannealWorkload>(params);
+    if (name == "dedup")
+        return std::make_unique<DedupWorkload>(params);
+    if (name == "graph500")
+        return std::make_unique<Graph500Workload>(params);
+    if (name == "memcached")
+        return std::make_unique<MemcachedWorkload>(params);
+    if (name == "tigr")
+        return std::make_unique<TigrWorkload>(params);
+    return nullptr;
+}
+
+} // namespace ap

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for base utilities: address math, RNG, samplers, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/debug.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+
+namespace ap
+{
+namespace
+{
+
+TEST(Bitfield, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00u);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 63, 0), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(Bitfield, PtIndexMatchesX86Layout)
+{
+    // VA bit layout: [47:39]=root(L4) [38:30]=L3 [29:21]=L2 [20:12]=L1.
+    Addr va = (Addr{1} << 39) * 3 + (Addr{1} << 30) * 5 +
+              (Addr{1} << 21) * 7 + (Addr{1} << 12) * 11 + 0x123;
+    EXPECT_EQ(ptIndex(va, 0), 3u);
+    EXPECT_EQ(ptIndex(va, 1), 5u);
+    EXPECT_EQ(ptIndex(va, 2), 7u);
+    EXPECT_EQ(ptIndex(va, 3), 11u);
+}
+
+TEST(Bitfield, PtIndexIsNineBitsWide)
+{
+    Addr va = ~Addr{0};
+    for (unsigned d = 0; d < kPtLevels; ++d)
+        EXPECT_EQ(ptIndex(va, d), kPtEntries - 1);
+}
+
+TEST(Bitfield, SpanAtDepth)
+{
+    EXPECT_EQ(spanAtDepth(3), kPageBytes);
+    EXPECT_EQ(spanAtDepth(2), kLargePageBytes);
+    EXPECT_EQ(spanAtDepth(1), kHugePageBytes);
+    EXPECT_EQ(spanAtDepth(0), kHugePageBytes * kPtEntries);
+}
+
+TEST(Bitfield, RegionBaseTruncates)
+{
+    Addr va = 0x0000'7f12'3456'7abc;
+    EXPECT_EQ(regionBase(va, 3), pageBase(va));
+    EXPECT_EQ(regionBase(va, 2) % kLargePageBytes, 0u);
+    EXPECT_EQ(regionBase(va, 0) % (kHugePageBytes * kPtEntries), 0u);
+    EXPECT_LE(regionBase(va, 0), va);
+}
+
+TEST(Bitfield, FrameConversionRoundTrips)
+{
+    Addr a = 0xdeadb000;
+    EXPECT_EQ(frameAddr(frameOf(a)), a);
+    EXPECT_EQ(pageOffset(0xdeadbeef), 0xeefu);
+}
+
+TEST(Types, LeafDepthPerPageSize)
+{
+    EXPECT_EQ(leafDepth(PageSize::Size4K), 3u);
+    EXPECT_EQ(leafDepth(PageSize::Size2M), 2u);
+    EXPECT_EQ(leafDepth(PageSize::Size1G), 1u);
+}
+
+TEST(Types, PageBytes)
+{
+    EXPECT_EQ(pageBytes(PageSize::Size4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Size2M), 2u * 1024 * 1024);
+    EXPECT_EQ(pageBytes(PageSize::Size1G), 1024u * 1024 * 1024);
+}
+
+TEST(Types, PaperLevelNames)
+{
+    EXPECT_EQ(paperLevelName(0), "L4");
+    EXPECT_EQ(paperLevelName(3), "L1");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / double(n), 0.3, 0.02);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng rng(3);
+    ZipfSampler z(1000, 0.99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 1000u);
+}
+
+TEST(Zipf, SingleItem)
+{
+    Rng rng(3);
+    ZipfSampler z(1, 0.99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(5);
+    ZipfSampler z(10000, 0.99);
+    std::uint64_t low = 0, total = 50000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        low += (z.sample(rng) < 100);
+    // With theta=0.99 the first 1% of items should draw far more than
+    // 1% of the probability mass.
+    EXPECT_GT(low, total / 4);
+}
+
+TEST(Zipf, NearUniformWhenThetaSmall)
+{
+    Rng rng(5);
+    ZipfSampler z(100, 0.05);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        counts[z.sample(rng)]++;
+    // Rank 0 should not dominate.
+    EXPECT_LT(counts[0], 50000 / 20);
+}
+
+TEST(WeightedPicker, RespectsWeights)
+{
+    Rng rng(17);
+    WeightedPicker p({1.0, 0.0, 3.0});
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        counts[p.pick(rng)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / double(counts[0]), 3.0, 0.3);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatGroup g("g");
+    stats::Scalar s(&g, "s", "a counter");
+    ++s;
+    s += 4;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "walk refs", 0, 30, 1);
+    d.sample(4);
+    d.sample(24);
+    d.sample(4);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_NEAR(d.mean(), 32.0 / 3, 1e-9);
+    EXPECT_EQ(d.minSeen(), 4u);
+    EXPECT_EQ(d.maxSeen(), 24u);
+    EXPECT_EQ(d.buckets()[4], 2u);
+    EXPECT_EQ(d.buckets()[24], 1u);
+}
+
+TEST(Stats, DistributionOverflowUnderflow)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 10, 20, 5);
+    d.sample(5);
+    d.sample(25);
+    d.sample(15);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    stats::StatGroup g("g");
+    stats::Scalar a(&g, "a", "");
+    stats::Scalar b(&g, "b", "");
+    stats::Formula f(&g, "ratio", "a per b", [&] {
+        return b.value() ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    a += 6;
+    b += 3;
+    EXPECT_DOUBLE_EQ(f.value(), 2.0);
+}
+
+TEST(Stats, GroupDumpContainsHierarchy)
+{
+    stats::StatGroup root("machine");
+    stats::StatGroup child("tlb", &root);
+    stats::Scalar hits(&child, "hits", "TLB hits");
+    hits += 7;
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("machine.tlb.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("7"), std::string::npos);
+}
+
+TEST(Stats, ResetRecurses)
+{
+    stats::StatGroup root("r");
+    stats::StatGroup child("c", &root);
+    stats::Scalar s(&child, "s", "");
+    s += 3;
+    root.resetStats();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, FindStat)
+{
+    stats::StatGroup g("g");
+    stats::Scalar s(&g, "present", "");
+    EXPECT_NE(g.findStat("present"), nullptr);
+    EXPECT_EQ(g.findStat("absent"), nullptr);
+}
+
+TEST(Debug, FlagsDefaultOff)
+{
+    EXPECT_FALSE(debug::enabled(debug::Flag::Walker));
+}
+
+TEST(Debug, SetAndClearFlag)
+{
+    debug::setFlag(debug::Flag::Tlb, true);
+    EXPECT_TRUE(debug::enabled(debug::Flag::Tlb));
+    debug::setFlag(debug::Flag::Tlb, false);
+    EXPECT_FALSE(debug::enabled(debug::Flag::Tlb));
+}
+
+TEST(Debug, ParseFlagList)
+{
+    EXPECT_TRUE(debug::setFlagsFromString("walker,policy"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Walker));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Policy));
+    EXPECT_FALSE(debug::enabled(debug::Flag::Vmm));
+    debug::setFlag(debug::Flag::Walker, false);
+    debug::setFlag(debug::Flag::Policy, false);
+}
+
+TEST(Debug, ParseAllAndUnknown)
+{
+    EXPECT_FALSE(debug::setFlagsFromString("walker,bogus"));
+    EXPECT_TRUE(debug::enabled(debug::Flag::Walker));
+    EXPECT_TRUE(debug::setFlagsFromString("all"));
+    for (std::size_t i = 0; i < debug::kNumFlags; ++i) {
+        auto f = static_cast<debug::Flag>(i);
+        EXPECT_TRUE(debug::enabled(f)) << debug::flagName(f);
+        debug::setFlag(f, false);
+    }
+}
+
+TEST(Debug, FlagNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < debug::kNumFlags; ++i) {
+        auto f = static_cast<debug::Flag>(i);
+        EXPECT_TRUE(debug::setFlagsFromString(debug::flagName(f)));
+        EXPECT_TRUE(debug::enabled(f));
+        debug::setFlag(f, false);
+    }
+}
+
+TEST(Logging, PanicThrows)
+{
+    EXPECT_THROW(ap_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(ap_assert(1 + 1 == 2, "math"));
+    EXPECT_THROW(ap_assert(false, "nope"), std::logic_error);
+}
+
+} // namespace
+} // namespace ap

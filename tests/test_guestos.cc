@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Guest OS tests: demand paging, THP, fork/COW semantics, munmap with
+ * PT-page pruning, reclaim, and the native/virtualized duality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "guestos/guest_os.hh"
+
+namespace ap
+{
+namespace
+{
+
+/** Environment factory: native or virtualized guest OS. */
+class GuestOsTest : public ::testing::Test
+{
+  protected:
+    GuestOsTest() : mem(1 << 16) {}
+
+    void
+    makeVirt(PageSize ps = PageSize::Size4K, bool agile = true)
+    {
+        VmmConfig vcfg;
+        vcfg.guestPtFrames = 1 << 12;
+        vcfg.guestDataFrames = 1 << 14;
+        vcfg.hostPageSize = ps;
+        vmm = std::make_unique<Vmm>(&root, mem, vcfg, nullptr);
+        smgr = std::make_unique<ShadowMgr>(&root, mem, *vmm,
+                                           ShadowConfig{}, nullptr,
+                                           nullptr);
+        GuestOsConfig cfg;
+        cfg.pageSize = ps;
+        os = std::make_unique<GuestOs>(&root, mem, vmm.get(), smgr.get(),
+                                       nullptr, nullptr, cfg);
+        pid = os->createProcess(agile ? VirtMode::Agile
+                                      : VirtMode::Nested);
+    }
+
+    void
+    makeNative()
+    {
+        os = std::make_unique<GuestOs>(&root, mem, nullptr, nullptr,
+                                       nullptr, nullptr,
+                                       GuestOsConfig{});
+        pid = os->createProcess(VirtMode::Native);
+    }
+
+    stats::StatGroup root{"t"};
+    PhysMem mem;
+    std::unique_ptr<Vmm> vmm;
+    std::unique_ptr<ShadowMgr> smgr;
+    std::unique_ptr<GuestOs> os;
+    ProcId pid = 0;
+};
+
+TEST_F(GuestOsTest, DemandPagingInstallsMapping)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 16 * kPageBytes, true, VmaKind::Anon);
+    ASSERT_NE(base, 0u);
+    GuestProcess &p = os->process(pid);
+    EXPECT_FALSE(p.pt->lookup(base).has_value());
+    ASSERT_TRUE(os->handlePageFault(pid, base + 0x123, true));
+    auto m = p.pt->lookup(base);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->pte.writable);
+    EXPECT_TRUE(m->pte.dirty); // write fault installs dirty
+    EXPECT_EQ(os->demandPages.value(), 1.0);
+}
+
+TEST_F(GuestOsTest, ReadFaultInstallsClean)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, kPageBytes, true, VmaKind::Anon);
+    ASSERT_TRUE(os->handlePageFault(pid, base, false));
+    EXPECT_FALSE(os->process(pid).pt->lookup(base)->pte.dirty);
+}
+
+TEST_F(GuestOsTest, FaultOutsideVmaFails)
+{
+    makeVirt();
+    EXPECT_FALSE(os->handlePageFault(pid, 0xdeadbeef000, false));
+}
+
+TEST_F(GuestOsTest, ThpMapsWholeRegion)
+{
+    makeVirt(PageSize::Size2M);
+    Addr base = os->mmap(pid, 4 * kLargePageBytes, true, VmaKind::Anon);
+    ASSERT_EQ(base % kLargePageBytes, 0u);
+    ASSERT_TRUE(os->handlePageFault(pid, base + 0x5000, true));
+    auto m = os->process(pid).pt->lookup(base);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->size, PageSize::Size2M);
+    EXPECT_EQ(os->thpMappings.value(), 1.0);
+    // A second fault in the same 2M region is spurious (covered).
+    EXPECT_TRUE(os->handlePageFault(pid, base + 0x100000, false));
+    EXPECT_EQ(os->thpMappings.value(), 1.0);
+}
+
+TEST_F(GuestOsTest, SmallVmaFallsBackTo4K)
+{
+    makeVirt(PageSize::Size2M);
+    Addr base = os->mmap(pid, 8 * kPageBytes, true, VmaKind::Anon);
+    ASSERT_TRUE(os->handlePageFault(pid, base, true));
+    EXPECT_EQ(os->process(pid).pt->lookup(base)->size, PageSize::Size4K);
+}
+
+TEST_F(GuestOsTest, MunmapFreesFramesAndPrunes)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, kLargePageBytes, true, VmaKind::Anon);
+    // Align probe VAs on the mapped region; back frames as the first
+    // hardware touch would.
+    for (unsigned i = 0; i < 512; ++i) {
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+        vmm->ensureDataBacked(os->leafFrame(pid, base + i * kPageBytes));
+    }
+    GuestProcess &p = os->process(pid);
+    std::uint64_t pt_pages = p.pt->pageCount();
+    std::uint64_t backed = vmm->backedDataFrames();
+    os->munmap(pid, base, kLargePageBytes);
+    EXPECT_LT(vmm->backedDataFrames(), backed);
+    EXPECT_FALSE(p.pt->lookup(base).has_value());
+    // Fully-empty leaf PT pages are pruned.
+    EXPECT_LT(p.pt->pageCount(), pt_pages);
+    EXPECT_EQ(os->vmaWritable(pid, base), false);
+}
+
+TEST_F(GuestOsTest, ForkSharesCow)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 8 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 8; ++i)
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+    ProcId child = os->fork(pid);
+    ASSERT_NE(child, 0u);
+    // Both sides read-only on the same frames.
+    GuestProcess &pp = os->process(pid);
+    GuestProcess &cp = os->process(child);
+    auto pm = pp.pt->lookup(base);
+    auto cm = cp.pt->lookup(base);
+    ASSERT_TRUE(pm && cm);
+    EXPECT_EQ(pm->pfn, cm->pfn);
+    EXPECT_FALSE(pm->pte.writable);
+    EXPECT_FALSE(cm->pte.writable);
+
+    // Child write breaks COW: new frame, writable; parent untouched.
+    ASSERT_TRUE(os->handleCowWrite(child, base));
+    auto cm2 = cp.pt->lookup(base);
+    EXPECT_TRUE(cm2->pte.writable);
+    EXPECT_NE(cm2->pfn, pm->pfn);
+    EXPECT_FALSE(pp.pt->lookup(base)->pte.writable);
+    EXPECT_EQ(os->cowBreaks.value(), 1.0);
+}
+
+TEST_F(GuestOsTest, LastOwnerCowJustRestoresWrite)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, kPageBytes, true, VmaKind::Anon);
+    os->handlePageFault(pid, base, true);
+    ProcId child = os->fork(pid);
+    os->exitProcess(child);
+    FrameId before = os->leafFrame(pid, base);
+    ASSERT_TRUE(os->handleCowWrite(pid, base));
+    // Sole owner again: no copy, same frame, writable.
+    EXPECT_EQ(os->leafFrame(pid, base), before);
+    EXPECT_TRUE(os->guestMappingWritable(pid, base));
+}
+
+TEST_F(GuestOsTest, ExitReleasesEverything)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 64 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 64; ++i) {
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+        vmm->ensureDataBacked(os->leafFrame(pid, base + i * kPageBytes));
+    }
+    std::uint64_t backed = vmm->backedDataFrames();
+    EXPECT_GT(backed, 0u);
+    os->exitProcess(pid);
+    EXPECT_FALSE(os->hasProcess(pid));
+    EXPECT_EQ(vmm->backedDataFrames(), 0u);
+    EXPECT_FALSE(smgr->hasProcess(pid));
+}
+
+TEST_F(GuestOsTest, ForkedFramesSurviveParentExit)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 4 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 4; ++i) {
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+        vmm->ensureDataBacked(os->leafFrame(pid, base + i * kPageBytes));
+    }
+    ProcId child = os->fork(pid);
+    FrameId shared = os->leafFrame(child, base);
+    os->exitProcess(pid);
+    // The child still maps the shared frames.
+    EXPECT_EQ(os->leafFrame(child, base), shared);
+    EXPECT_NE(vmm->backing(shared), 0u);
+    os->exitProcess(child);
+    EXPECT_EQ(vmm->backedDataFrames(), 0u);
+}
+
+TEST_F(GuestOsTest, ReclaimEvictsOnlyCold)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 32 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 32; ++i)
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+    GuestProcess &p = os->process(pid);
+    // First scan clears reference bits (demand paging set A on all).
+    EXPECT_EQ(os->reclaimScan(pid, 32), 0u);
+    // Re-reference half the pages.
+    for (unsigned i = 0; i < 16; ++i)
+        p.pt->entry(base + i * kPageBytes, 3)->accessed = true;
+    // Second scan evicts the un-referenced half.
+    EXPECT_EQ(os->reclaimScan(pid, 32), 16u);
+    EXPECT_TRUE(p.pt->lookup(base).has_value());
+    EXPECT_FALSE(p.pt->lookup(base + 20 * kPageBytes).has_value());
+}
+
+TEST_F(GuestOsTest, ClockHandRotates)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 64 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 64; ++i)
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+    // Two partial scans cover different pages.
+    os->reclaimScan(pid, 16);
+    Addr hand1 = os->process(pid).clockHand;
+    os->reclaimScan(pid, 16);
+    Addr hand2 = os->process(pid).clockHand;
+    EXPECT_NE(hand1, hand2);
+}
+
+TEST_F(GuestOsTest, NativeModeUsesHostFrames)
+{
+    makeNative();
+    Addr base = os->mmap(pid, 2 * kPageBytes, true, VmaKind::Anon);
+    ASSERT_TRUE(os->handlePageFault(pid, base, true));
+    FrameId f = os->leafFrame(pid, base);
+    ASSERT_NE(f, 0u);
+    // Native frames are host frames directly.
+    EXPECT_EQ(mem.kind(f), FrameKind::Data);
+    EXPECT_EQ(os->context(pid).mode, VirtMode::Native);
+    EXPECT_EQ(os->context(pid).nativeRoot,
+              os->process(pid).pt->root());
+}
+
+TEST_F(GuestOsTest, FileContentDeterministicAndShared)
+{
+    makeVirt();
+    Addr a = os->mmap(pid, 4 * kPageBytes, true, VmaKind::File, 42);
+    Addr b = os->mmap(pid, 4 * kPageBytes, true, VmaKind::File, 42);
+    os->handlePageFault(pid, a, false);
+    os->handlePageFault(pid, b, false);
+    FrameId fa = os->leafFrame(pid, a);
+    FrameId fb = os->leafFrame(pid, b);
+    vmm->ensureDataBacked(fa);
+    vmm->ensureDataBacked(fb);
+    // Same file offset => same content id => dedupable.
+    EXPECT_EQ(mem.contentId(vmm->backing(fa)),
+              mem.contentId(vmm->backing(fb)));
+    EXPECT_EQ(vmm->sharePages(), 1u);
+}
+
+TEST_F(GuestOsTest, RandomMappedVaLandsInsideVmas)
+{
+    makeVirt();
+    os->mmap(pid, 16 * kPageBytes, true, VmaKind::Anon);
+    os->mmap(pid, 4 * kPageBytes, true, VmaKind::Anon);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        Addr va = os->randomMappedVa(pid, rng);
+        ASSERT_NE(va, 0u);
+        EXPECT_TRUE(os->vmaWritable(pid, va));
+    }
+}
+
+TEST_F(GuestOsTest, MmapFixedCollisionFails)
+{
+    makeVirt();
+    ASSERT_TRUE(os->mmapFixed(pid, 0x40000000, 0x2000, true,
+                              VmaKind::Anon));
+    EXPECT_FALSE(os->mmapFixed(pid, 0x40001000, 0x2000, true,
+                               VmaKind::Anon));
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * End-to-end machine tests: every virtualization mode runs workloads
+ * with functional translation verification enabled, and mode-specific
+ * behaviours (trap profiles, walk costs, policy adaptation) are
+ * checked against the paper's qualitative expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+namespace
+{
+
+SimConfig
+baseConfig(VirtMode mode, PageSize ps = PageSize::Size4K)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.pageSize = ps;
+    cfg.guestOs.pageSize = ps;
+    cfg.hostMemFrames = 1 << 16; // 256 MB host
+    cfg.guestPtFrames = 1 << 13;
+    cfg.guestDataFrames = 1 << 15; // 128 MB guest data
+    cfg.verifyTranslations = true;
+    cfg.policyIntervalOps = 5'000;
+    return cfg;
+}
+
+WorkloadParams
+smallParams(std::uint64_t ops = 30'000)
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = ops;
+    p.seed = 7;
+    return p;
+}
+
+class MachineModeTest : public ::testing::TestWithParam<VirtMode>
+{
+};
+
+TEST_P(MachineModeTest, McfRunsVerified)
+{
+    Machine m(baseConfig(GetParam()));
+    auto w = makeWorkload("mcf", smallParams());
+    RunResult r = m.run(*w);
+    // Measured region: the post-warmup ~75% of 30k ops at cyclesPerOp
+    // each (plus L2-TLB hit latency folded into base execution).
+    EXPECT_GE(r.instructions, 30'000u * m.config().cyclesPerOp / 2);
+    EXPECT_GT(r.walks, 0u);
+    EXPECT_GT(r.tlbMisses, 0u);
+}
+
+TEST_P(MachineModeTest, ChurnWorkloadRunsVerified)
+{
+    Machine m(baseConfig(GetParam()));
+    auto w = makeWorkload("dedup", smallParams(40'000));
+    RunResult r = m.run(*w);
+    EXPECT_GT(r.walks, 0u);
+}
+
+TEST_P(MachineModeTest, MemcachedWithYieldsAndReclaim)
+{
+    Machine m(baseConfig(GetParam()));
+    auto w = makeWorkload("memcached", smallParams(40'000));
+    RunResult r = m.run(*w);
+    EXPECT_GT(r.walks, 0u);
+}
+
+TEST_P(MachineModeTest, TwoMegaPagesRunVerified)
+{
+    SimConfig cfg = baseConfig(GetParam(), PageSize::Size2M);
+    Machine m(cfg);
+    // Exceed the 32-entry 2M TLB's reach so misses occur.
+    WorkloadParams p = smallParams();
+    p.footprintBytes = 96ull << 20;
+    auto w = makeWorkload("mcf", p);
+    RunResult r = m.run(*w);
+    EXPECT_GT(r.walks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MachineModeTest,
+                         ::testing::Values(VirtMode::Native,
+                                           VirtMode::Nested,
+                                           VirtMode::Shadow,
+                                           VirtMode::Agile,
+                                           VirtMode::Shsp),
+                         [](const auto &info) {
+                             return virtModeName(info.param);
+                         });
+
+TEST(MachineBehaviour, NativeHasNoTraps)
+{
+    Machine m(baseConfig(VirtMode::Native));
+    auto w = makeWorkload("mcf", smallParams());
+    RunResult r = m.run(*w);
+    EXPECT_EQ(r.traps, 0u);
+    EXPECT_EQ(r.trapCycles, 0u);
+    EXPECT_DOUBLE_EQ(r.vmmOverhead(), 0.0);
+}
+
+TEST(MachineBehaviour, NestedWalksCostMoreThanNative)
+{
+    RunResult native, nested;
+    {
+        Machine m(baseConfig(VirtMode::Native));
+        auto w = makeWorkload("mcf", smallParams());
+        native = m.run(*w);
+    }
+    {
+        Machine m(baseConfig(VirtMode::Nested));
+        auto w = makeWorkload("mcf", smallParams());
+        nested = m.run(*w);
+    }
+    EXPECT_GT(nested.avgWalkRefs, native.avgWalkRefs);
+    EXPECT_GT(nested.walkOverhead(), native.walkOverhead());
+}
+
+TEST(MachineBehaviour, NestedHasNoPtWriteTraps)
+{
+    Machine m(baseConfig(VirtMode::Nested));
+    // Long enough that buffer churn (munmap + re-mmap + refault)
+    // lands inside the measured region.
+    auto w = makeWorkload("dedup", smallParams(300'000));
+    RunResult r = m.run(*w);
+    EXPECT_EQ(r.trapByKind[size_t(TrapKind::ShadowPtWrite)], 0u);
+    EXPECT_EQ(r.trapByKind[size_t(TrapKind::Unsync)], 0u);
+    // Only host faults (EPT violations) occur.
+    EXPECT_GT(r.trapByKind[size_t(TrapKind::HostFault)], 0u);
+}
+
+TEST(MachineBehaviour, ShadowWalksAreNativeSpeed)
+{
+    Machine m(baseConfig(VirtMode::Shadow));
+    auto w = makeWorkload("mcf", smallParams());
+    RunResult r = m.run(*w);
+    // Pure shadow: every successful walk is a 1D walk (<= 4 refs;
+    // PWC makes most shorter).
+    EXPECT_LE(r.avgWalkRefs, 4.0);
+    EXPECT_GT(r.coverage[0], 0.99);
+}
+
+TEST(MachineBehaviour, ShadowPaysTrapsOnChurn)
+{
+    RunResult shadow, nested;
+    {
+        SimConfig cfg = baseConfig(VirtMode::Shadow);
+        cfg.warmupFraction = 0.0;
+        Machine m(cfg);
+        auto w = makeWorkload("dedup", smallParams(150'000));
+        shadow = m.run(*w);
+    }
+    {
+        SimConfig cfg = baseConfig(VirtMode::Nested);
+        cfg.warmupFraction = 0.0;
+        Machine m(cfg);
+        auto w = makeWorkload("dedup", smallParams(150'000));
+        nested = m.run(*w);
+    }
+    EXPECT_GT(shadow.vmmOverhead(), nested.vmmOverhead());
+    EXPECT_GT(shadow.trapByKind[size_t(TrapKind::Unsync)] +
+                  shadow.trapByKind[size_t(TrapKind::ShadowPtWrite)],
+              0u);
+}
+
+TEST(MachineBehaviour, AgileConvertsChurnRegionsToNested)
+{
+    SimConfig cfg = baseConfig(VirtMode::Agile);
+    cfg.warmupFraction = 0.0;
+    cfg.policy.startNested = false; // exercise shadow from the start
+    Machine m(cfg);
+    auto w = makeWorkload("dedup", smallParams(200'000));
+    RunResult r = m.run(*w);
+    // The policy demoted some PT pages to nested mode...
+    EXPECT_GT(r.trapByKind[size_t(TrapKind::ModeConvert)], 0u);
+    // ...and some TLB misses were served with partial nesting.
+    double nested_frac = r.coverage[1] + r.coverage[2] + r.coverage[3] +
+                         r.coverage[4] + r.coverage[5];
+    EXPECT_GT(nested_frac, 0.0);
+}
+
+TEST(MachineBehaviour, AgileBeatsBothOnMixedWorkload)
+{
+    auto run = [](VirtMode mode) {
+        SimConfig cfg = baseConfig(mode);
+        cfg.verifyTranslations = false;
+        cfg.policyIntervalOps = SimConfig{}.policyIntervalOps;
+        if (mode == VirtMode::Agile)
+            cfg.enableHwOpts();
+        Machine m(cfg);
+        WorkloadParams p = smallParams(2'000'000);
+        auto w = makeWorkload("dedup", p);
+        return m.run(*w);
+    };
+    RunResult nested = run(VirtMode::Nested);
+    RunResult shadow = run(VirtMode::Shadow);
+    RunResult agile = run(VirtMode::Agile);
+    double best = std::min(nested.totalOverhead(), shadow.totalOverhead());
+    // The headline claim, on a churn-heavy workload: agile matches or
+    // beats the best constituent (small slack for run-length noise).
+    EXPECT_LT(agile.totalOverhead(), best * 1.05)
+        << "agile " << agile.totalOverhead() << " nested "
+        << nested.totalOverhead() << " shadow " << shadow.totalOverhead();
+}
+
+TEST(MachineBehaviour, MostMissesStayShadowUnderAgile)
+{
+    SimConfig cfg = baseConfig(VirtMode::Agile);
+    // Realistic policy interval (the 5k-cycle test default is
+    // deliberately twitchy for the conversion unit tests).
+    cfg.policyIntervalOps = SimConfig{}.policyIntervalOps;
+    Machine m(cfg);
+    // A stable-page-table workload must not be demoted at all; churny
+    // workloads' mode mix at experiment scale is checked by
+    // bench_table6_mode_coverage.
+    auto w = makeWorkload("mcf", smallParams(100'000));
+    RunResult r = m.run(*w);
+    // Table VI: the bulk of TLB misses are served fully in shadow.
+    EXPECT_GT(r.coverage[0], 0.95);
+}
+
+TEST(MachineBehaviour, HwOptAdRemovesAdTraps)
+{
+    // Read a page first (shadow fill withholds write access), then
+    // store to it: without hardware A/D the store traps for dirty
+    // emulation; with it the fill grants write access immediately.
+    auto run = [](bool hw_ad) {
+        SimConfig cfg = baseConfig(VirtMode::Agile);
+        cfg.hwOptAd = hw_ad;
+        Machine m(cfg);
+        m.spawnProcess();
+        Addr base = m.mmap(64 * kPageBytes, true, false, 0);
+        for (unsigned i = 0; i < 64; ++i)
+            m.touch(base + i * kPageBytes, false);
+        for (unsigned i = 0; i < 64; ++i)
+            m.touch(base + i * kPageBytes, true);
+        return m.snapshot("ad");
+    };
+    RunResult without = run(false);
+    RunResult with = run(true);
+    EXPECT_GT(without.trapByKind[size_t(TrapKind::AdEmulation)], 0u);
+    EXPECT_EQ(with.trapByKind[size_t(TrapKind::AdEmulation)], 0u);
+}
+
+TEST(MachineBehaviour, SptrCacheCutsCtxSwitchTraps)
+{
+    auto run = [](std::size_t entries) {
+        SimConfig cfg = baseConfig(VirtMode::Agile);
+        cfg.sptrCacheEntries = entries;
+        Machine m(cfg);
+        auto w = makeWorkload("memcached", smallParams(60'000));
+        return m.run(*w);
+    };
+    RunResult without = run(0);
+    RunResult with = run(8);
+    EXPECT_LT(with.trapByKind[size_t(TrapKind::CtxSwitch)],
+              without.trapByKind[size_t(TrapKind::CtxSwitch)]);
+}
+
+TEST(MachineBehaviour, ShspSwitchesModes)
+{
+    SimConfig cfg = baseConfig(VirtMode::Shsp);
+    Machine m(cfg);
+    // graph500 faults everything in during generation, then runs a
+    // TLB-miss-bound phase with stable page tables: SHSP must move the
+    // whole process to shadow.
+    WorkloadParams p = smallParams(120'000);
+    p.footprintBytes = 4ull << 20;
+    auto w = makeWorkload("graph500", p);
+    RunResult r = m.run(*w);
+    // The switch may land inside warmup, so check the full-run trap
+    // count rather than the measured delta.
+    EXPECT_GT(m.vmm()->trapCount(TrapKind::ShspSwitch), 0u);
+    EXPECT_GT(r.coverage[0], 0.0);
+}
+
+TEST(MachineBehaviour, LargePagesReduceWalkOverhead)
+{
+    auto run = [](PageSize ps) {
+        Machine m(baseConfig(VirtMode::Nested, ps));
+        auto w = makeWorkload("mcf", smallParams(50'000));
+        return m.run(*w);
+    };
+    RunResult r4k = run(PageSize::Size4K);
+    RunResult r2m = run(PageSize::Size2M);
+    EXPECT_LT(r2m.walkOverhead(), r4k.walkOverhead());
+    EXPECT_LT(r2m.tlbMisses, r4k.tlbMisses);
+}
+
+TEST(MachineBehaviour, SnapshotCoverageSumsToOne)
+{
+    Machine m(baseConfig(VirtMode::Agile));
+    auto w = makeWorkload("gcc", smallParams(40'000));
+    RunResult r = m.run(*w);
+    double sum = 0;
+    for (double c : r.coverage)
+        sum += c;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MachineBehaviour, DirectApiDrivesAccesses)
+{
+    Machine m(baseConfig(VirtMode::Agile));
+    m.spawnProcess();
+    Addr base = m.mmap(1 << 20, true, false, 0);
+    ASSERT_NE(base, 0u);
+    for (Addr va = base; va < base + (1 << 20); va += kPageBytes)
+        m.touch(va, true);
+    // Everything mapped, faulted, verified; re-touch is TLB-cheap.
+    RunResult r = m.snapshot("direct");
+    EXPECT_GT(r.instructions, 256u);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for PTE encoding, PhysMem, and RadixPageTable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/bitfield.hh"
+#include "base/rng.hh"
+#include "mem/page_table.hh"
+#include "mem/phys_mem.hh"
+#include "mem/pte.hh"
+
+namespace ap
+{
+namespace
+{
+
+TEST(Pte, RawRoundTrip)
+{
+    Pte p;
+    p.valid = true;
+    p.writable = true;
+    p.user = false;
+    p.accessed = true;
+    p.dirty = true;
+    p.pageSize = true;
+    p.switching = true;
+    p.pfn = 0xabcde;
+    EXPECT_EQ(Pte::fromRaw(p.toRaw()), p);
+}
+
+TEST(Pte, DefaultIsInvalid)
+{
+    Pte p;
+    EXPECT_FALSE(p.valid);
+    EXPECT_EQ(Pte::fromRaw(0), p);
+}
+
+TEST(Pte, SwitchingBitIsSoftwareBit)
+{
+    Pte p;
+    p.switching = true;
+    EXPECT_EQ(p.toRaw(), std::uint64_t{1} << pte_bits::kSwitching);
+}
+
+class PhysMemTest : public ::testing::Test
+{
+  protected:
+    PhysMem mem{1024};
+};
+
+TEST_F(PhysMemTest, AllocDistinctFrames)
+{
+    std::set<FrameId> seen;
+    for (int i = 0; i < 100; ++i) {
+        FrameId f = mem.allocData(i);
+        ASSERT_NE(f, PhysMem::kNoFrame);
+        EXPECT_TRUE(seen.insert(f).second);
+    }
+    EXPECT_EQ(mem.allocated(), 100u);
+}
+
+TEST_F(PhysMemTest, FrameZeroNeverAllocated)
+{
+    for (int i = 0; i < 1000; ++i) {
+        FrameId f = mem.allocData(0);
+        if (f == PhysMem::kNoFrame)
+            break;
+        EXPECT_NE(f, 0u);
+    }
+}
+
+TEST_F(PhysMemTest, ExhaustionReturnsNoFrame)
+{
+    while (mem.allocData(0) != PhysMem::kNoFrame) {
+    }
+    EXPECT_EQ(mem.freeFrames(), 0u);
+    EXPECT_EQ(mem.allocData(0), PhysMem::kNoFrame);
+}
+
+TEST_F(PhysMemTest, FreeRecycles)
+{
+    FrameId f = mem.allocData(7);
+    mem.free(f);
+    EXPECT_EQ(mem.kind(f), FrameKind::Free);
+    FrameId g = mem.allocTable(TableOwner::HostPt);
+    EXPECT_EQ(g, f); // LIFO free list
+    EXPECT_EQ(mem.kind(g), FrameKind::PageTable);
+}
+
+TEST_F(PhysMemTest, DoubleFreePanics)
+{
+    FrameId f = mem.allocData(0);
+    mem.free(f);
+    EXPECT_THROW(mem.free(f), std::logic_error);
+}
+
+TEST_F(PhysMemTest, TableFramesZeroed)
+{
+    FrameId f = mem.allocTable(TableOwner::ShadowPt);
+    for (const Pte &pte : mem.table(f))
+        EXPECT_FALSE(pte.valid);
+}
+
+TEST_F(PhysMemTest, TableAccessOnDataFramePanics)
+{
+    FrameId f = mem.allocData(0);
+    EXPECT_THROW(mem.table(f), std::logic_error);
+}
+
+TEST_F(PhysMemTest, ContentIdTracked)
+{
+    FrameId f = mem.allocData(123);
+    EXPECT_EQ(mem.contentId(f), 123u);
+    mem.setContentId(f, 456);
+    EXPECT_EQ(mem.contentId(f), 456u);
+}
+
+TEST_F(PhysMemTest, TableOwnerCounts)
+{
+    FrameId a = mem.allocTable(TableOwner::GuestPt);
+    mem.allocTable(TableOwner::GuestPt);
+    mem.allocTable(TableOwner::ShadowPt);
+    EXPECT_EQ(mem.tableFrames(TableOwner::GuestPt), 2u);
+    EXPECT_EQ(mem.tableFrames(TableOwner::ShadowPt), 1u);
+    mem.free(a);
+    EXPECT_EQ(mem.tableFrames(TableOwner::GuestPt), 1u);
+}
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PageTableTest() : space(mem, TableOwner::HostPt), pt(space, "pt") {}
+
+    PhysMem mem{4096};
+    HostPtSpace space;
+    RadixPageTable pt;
+};
+
+TEST_F(PageTableTest, EmptyLookupFails)
+{
+    EXPECT_FALSE(pt.lookup(0x1000).has_value());
+    EXPECT_EQ(pt.mappingCount(), 0u);
+    EXPECT_EQ(pt.pageCount(), 1u); // root only
+}
+
+TEST_F(PageTableTest, Map4KAndLookup)
+{
+    ASSERT_NE(pt.map(0x7000, 99, PageSize::Size4K, true), nullptr);
+    auto m = pt.lookup(0x7abc);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pfn, 99u);
+    EXPECT_EQ(m->size, PageSize::Size4K);
+    EXPECT_EQ(m->depth, 3u);
+    EXPECT_TRUE(m->pte.writable);
+    EXPECT_EQ(pt.pageCount(), 4u); // root + 3 intermediate
+}
+
+TEST_F(PageTableTest, Map2MAndLookup)
+{
+    Addr va = 5 * kLargePageBytes;
+    ASSERT_NE(pt.map(va, 77, PageSize::Size2M, false), nullptr);
+    auto m = pt.lookup(va + 0x12345);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pfn, 77u);
+    EXPECT_EQ(m->size, PageSize::Size2M);
+    EXPECT_EQ(m->depth, 2u);
+    EXPECT_TRUE(m->pte.pageSize);
+    EXPECT_FALSE(m->pte.writable);
+    EXPECT_EQ(pt.pageCount(), 3u); // no leaf level needed
+}
+
+TEST_F(PageTableTest, Map1GAndLookup)
+{
+    Addr va = 3 * kHugePageBytes;
+    ASSERT_NE(pt.map(va, 55, PageSize::Size1G, true), nullptr);
+    auto m = pt.lookup(va + kLargePageBytes + 0x321);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->size, PageSize::Size1G);
+    EXPECT_EQ(m->depth, 1u);
+}
+
+TEST_F(PageTableTest, DistinctVasDistinctMappings)
+{
+    for (Addr va = 0; va < 64 * kPageBytes; va += kPageBytes)
+        ASSERT_NE(pt.map(va, frameOf(va) + 1000, PageSize::Size4K, true),
+                  nullptr);
+    for (Addr va = 0; va < 64 * kPageBytes; va += kPageBytes) {
+        auto m = pt.lookup(va);
+        ASSERT_TRUE(m.has_value());
+        EXPECT_EQ(m->pfn, frameOf(va) + 1000);
+    }
+    EXPECT_EQ(pt.mappingCount(), 64u);
+}
+
+TEST_F(PageTableTest, RemapReplaces)
+{
+    pt.map(0x4000, 1, PageSize::Size4K, true);
+    pt.map(0x4000, 2, PageSize::Size4K, true);
+    EXPECT_EQ(pt.lookup(0x4000)->pfn, 2u);
+    EXPECT_EQ(pt.mappingCount(), 1u);
+}
+
+TEST_F(PageTableTest, UnmapRemoves)
+{
+    pt.map(0x4000, 1, PageSize::Size4K, true);
+    EXPECT_TRUE(pt.unmap(0x4000));
+    EXPECT_FALSE(pt.lookup(0x4000).has_value());
+    EXPECT_FALSE(pt.unmap(0x4000));
+}
+
+TEST_F(PageTableTest, LargePageReplacesSmallSubtree)
+{
+    // Fill a 2 MB region with 4 KB pages, then promote it.
+    for (unsigned i = 0; i < kPtEntries; ++i)
+        pt.map(i * kPageBytes, 2000 + i, PageSize::Size4K, true);
+    std::uint64_t pages_before = pt.pageCount();
+    ASSERT_NE(pt.map(0, 4242, PageSize::Size2M, true), nullptr);
+    EXPECT_EQ(pt.pageCount(), pages_before - 1); // leaf table freed
+    auto m = pt.lookup(0x5000);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pfn, 4242u);
+    EXPECT_EQ(m->size, PageSize::Size2M);
+}
+
+TEST_F(PageTableTest, SmallPageBreaksLargeMapping)
+{
+    pt.map(0, 4242, PageSize::Size2M, true);
+    ASSERT_NE(pt.map(0x3000, 9, PageSize::Size4K, true), nullptr);
+    EXPECT_EQ(pt.lookup(0x3000)->pfn, 9u);
+    // The rest of the old 2 MB mapping is gone (demotion splits it).
+    EXPECT_FALSE(pt.lookup(0x4000).has_value());
+}
+
+TEST_F(PageTableTest, EntryAtDepth)
+{
+    pt.map(0x123456789000, 42, PageSize::Size4K, true);
+    for (unsigned d = 0; d < kPtLevels; ++d) {
+        Pte *e = pt.entry(0x123456789000, d);
+        ASSERT_NE(e, nullptr) << "depth " << d;
+        EXPECT_TRUE(e->valid);
+    }
+    EXPECT_EQ(pt.entry(0x123456789000, 3)->pfn, 42u);
+    // A va with no path returns nullptr below the root.
+    EXPECT_EQ(pt.entry(0x7fff00000000, 3), nullptr);
+    ASSERT_NE(pt.entry(0x7fff00000000, 0), nullptr);
+    EXPECT_FALSE(pt.entry(0x7fff00000000, 0)->valid);
+}
+
+TEST_F(PageTableTest, TableFrameIdentifiesContainingPage)
+{
+    pt.map(0x5000, 1, PageSize::Size4K, true);
+    pt.map(0x6000, 2, PageSize::Size4K, true);
+    // Same leaf table page for adjacent pages.
+    EXPECT_EQ(pt.tableFrame(0x5000, 3), pt.tableFrame(0x6000, 3));
+    EXPECT_EQ(pt.tableFrame(0x5000, 0), pt.root());
+    EXPECT_EQ(pt.tableFrame(0x7fff00000000, 3), PhysMem::kNoFrame);
+}
+
+TEST_F(PageTableTest, InvalidateEntryFreesSubtree)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        pt.map(i * kPageBytes, 100 + i, PageSize::Size4K, true);
+    std::uint64_t before = pt.pageCount();
+    // Invalidate the depth-2 entry covering the whole 2 MB region.
+    EXPECT_TRUE(pt.invalidateEntry(0, 2));
+    EXPECT_EQ(pt.pageCount(), before - 1);
+    EXPECT_FALSE(pt.lookup(0).has_value());
+    EXPECT_FALSE(pt.invalidateEntry(0, 2));
+}
+
+TEST_F(PageTableTest, ClearDropsEverything)
+{
+    for (unsigned i = 0; i < 32; ++i)
+        pt.map(i * kLargePageBytes, i, PageSize::Size2M, true);
+    pt.clear();
+    EXPECT_EQ(pt.pageCount(), 1u);
+    EXPECT_EQ(pt.mappingCount(), 0u);
+    // Table is usable after clear.
+    pt.map(0x1000, 3, PageSize::Size4K, true);
+    EXPECT_EQ(pt.lookup(0x1000)->pfn, 3u);
+}
+
+TEST_F(PageTableTest, ForEachTerminalVisitsAll)
+{
+    pt.map(0x1000, 1, PageSize::Size4K, true);
+    pt.map(kLargePageBytes * 9, 2, PageSize::Size2M, true);
+    std::set<Addr> vas;
+    pt.forEachTerminal([&](Addr va, const Pte &, unsigned) {
+        vas.insert(va);
+    });
+    EXPECT_EQ(vas.size(), 2u);
+    EXPECT_TRUE(vas.count(0x1000));
+    EXPECT_TRUE(vas.count(kLargePageBytes * 9));
+}
+
+TEST_F(PageTableTest, SwitchingEntryIsTerminal)
+{
+    // Build a path and plant a switching entry at depth 2 (as the
+    // shadow manager does at a mode-switch point).
+    Pte *e = pt.ensurePath(0x40000000, 2);
+    ASSERT_NE(e, nullptr);
+    e->valid = true;
+    e->switching = true;
+    e->pfn = 777; // host frame of next guest-PT level
+    auto m = pt.lookup(0x40000000 + 0x1234);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->pte.switching);
+    EXPECT_EQ(m->depth, 2u);
+    EXPECT_EQ(m->pfn, 777u);
+}
+
+TEST_F(PageTableTest, DestructorFreesAllTablePages)
+{
+    std::uint64_t base = mem.allocated();
+    {
+        RadixPageTable t(space, "tmp");
+        for (unsigned i = 0; i < 64; ++i)
+            t.map(i * kHugePageBytes, i, PageSize::Size4K, true);
+        EXPECT_GT(mem.allocated(), base);
+    }
+    EXPECT_EQ(mem.allocated(), base);
+}
+
+TEST_F(PageTableTest, MapFailsGracefullyWhenSpaceExhausted)
+{
+    // Exhaust physical memory, then mapping a fresh region must return
+    // nullptr rather than crash.
+    while (mem.allocData(0) != PhysMem::kNoFrame) {
+    }
+    EXPECT_EQ(pt.map(0x123400000000, 1, PageSize::Size4K, true), nullptr);
+}
+
+// Property-style sweep: map/lookup agreement over many random addresses.
+class PageTablePropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PageTablePropertyTest, RandomMapLookupUnmapAgree)
+{
+    PhysMem mem(1 << 16);
+    HostPtSpace space(mem, TableOwner::HostPt);
+    RadixPageTable pt(space, "prop");
+    Rng rng(GetParam());
+
+    std::map<Addr, FrameId> model;
+    for (int i = 0; i < 2000; ++i) {
+        Addr va = pageBase(rng.next() & ((Addr{1} << 47) - 1));
+        if (rng.chance(0.7)) {
+            FrameId pfn = 1 + (rng.next() & 0xffffff);
+            // Model semantics only hold for non-overlapping 4K pages.
+            ASSERT_NE(pt.map(va, pfn, PageSize::Size4K, true), nullptr);
+            model[va] = pfn;
+        } else if (!model.empty()) {
+            auto it = model.begin();
+            std::advance(it, rng.nextBelow(model.size()));
+            EXPECT_TRUE(pt.unmap(it->first));
+            model.erase(it);
+        }
+    }
+    EXPECT_EQ(pt.mappingCount(), model.size());
+    for (const auto &[va, pfn] : model) {
+        auto m = pt.lookup(va);
+        ASSERT_TRUE(m.has_value()) << std::hex << va;
+        EXPECT_EQ(m->pfn, pfn);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTablePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace ap

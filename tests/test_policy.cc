@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Agile policy and SHSP controller unit tests, driven through a
+ * hand-built VMM/shadow environment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/agile_policy.hh"
+#include "vmm/guest_pt_space.hh"
+#include "vmm/shsp.hh"
+
+namespace ap
+{
+namespace
+{
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    static constexpr ProcId kProc = 1;
+
+    PolicyTest()
+        : mem(1 << 15),
+          vmm(&root, mem,
+              VmmConfig{1 << 12, 1 << 14, PageSize::Size4K, TrapCosts{},
+                        0},
+              nullptr),
+          mgr(&root, mem, vmm, ShadowConfig{}, nullptr, nullptr),
+          gspace(vmm),
+          gpt(gspace, "gPT")
+    {
+        mgr.registerProcess(kProc, &gpt, gpt.root(), true);
+    }
+
+    AgilePolicy
+    makePolicy(AgilePolicyConfig cfg = {})
+    {
+        return AgilePolicy(&root, mgr, cfg);
+    }
+
+    /** Map a guest page and build its shadow path. */
+    void
+    mapAndFill(Addr va)
+    {
+        FrameId g = vmm.allocGuestDataFrame();
+        gpt.map(va, g, PageSize::Size4K, true);
+        vmm.ensureDataBacked(g);
+        ASSERT_EQ(mgr.handleShadowFault(kProc, va),
+                  ShadowFillResult::Filled);
+    }
+
+    /** One protected write, routed through interception + policy. */
+    GptWriteOutcome
+    mediate(AgilePolicy &policy, Addr va, unsigned depth)
+    {
+        GptWriteOutcome out = mgr.onGptWrite(kProc, va, depth);
+        if (out.trapped)
+            policy.onMediatedWrite(kProc, va, depth, out);
+        return out;
+    }
+
+    bool
+    leafNested(Addr va)
+    {
+        return mgr.leafUnderNestedMode(kProc, va);
+    }
+
+    stats::StatGroup root{"t"};
+    PhysMem mem;
+    Vmm vmm;
+    ShadowMgr mgr;
+    GuestPtSpace gspace;
+    RadixPageTable gpt;
+};
+
+TEST_F(PolicyTest, SingleWriteDoesNotDemote)
+{
+    AgilePolicyConfig cfg;
+    cfg.writeThreshold = 2;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    // Disable unsync masking by writing an upper (pointer) level.
+    mediate(policy, 0x1000, 1);
+    EXPECT_FALSE(leafNested(0x1000));
+    EXPECT_EQ(policy.demotions.value(), 0.0);
+}
+
+TEST_F(PolicyTest, WriteBurstDemotesLevelAndBelow)
+{
+    AgilePolicyConfig cfg;
+    cfg.writeThreshold = 2;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 1);
+    mediate(policy, 0x1000, 1);
+    EXPECT_TRUE(leafNested(0x1000));
+    EXPECT_EQ(policy.demotions.value(), 1.0);
+    // Writes below the demoted level are now direct.
+    auto out = mgr.onGptWrite(kProc, 0x1000, 3);
+    EXPECT_FALSE(out.trapped);
+}
+
+TEST_F(PolicyTest, DirtyScanPromotesAfterHysteresis)
+{
+    AgilePolicyConfig cfg;
+    cfg.writeThreshold = 2;
+    cfg.backPolicy = BackPolicy::DirtyScan;
+    cfg.promoteAfterCleanIntervals = 3;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 1);
+    mediate(policy, 0x1000, 1);
+    ASSERT_TRUE(leafNested(0x1000));
+
+    PolicySample quiet{};
+    quiet.idealCycles = 1000;
+    // Two clean intervals: still nested (hysteresis = 3).
+    policy.onInterval(kProc, quiet);
+    policy.onInterval(kProc, quiet);
+    EXPECT_TRUE(leafNested(0x1000));
+    policy.onInterval(kProc, quiet);
+    EXPECT_FALSE(leafNested(0x1000));
+    EXPECT_GT(policy.promotions.value(), 0.0);
+}
+
+TEST_F(PolicyTest, DirtyWritesKeepNested)
+{
+    AgilePolicyConfig cfg;
+    cfg.promoteAfterCleanIntervals = 1;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 1);
+    mediate(policy, 0x1000, 1);
+    ASSERT_TRUE(leafNested(0x1000));
+    PolicySample quiet{};
+    quiet.idealCycles = 1000;
+    for (int i = 0; i < 5; ++i) {
+        // A direct write each interval re-dirties the nested page.
+        mgr.onGptWrite(kProc, 0x1000, 1);
+        policy.onInterval(kProc, quiet);
+        EXPECT_TRUE(leafNested(0x1000)) << "interval " << i;
+    }
+}
+
+TEST_F(PolicyTest, PeriodicResetPromotesImmediately)
+{
+    AgilePolicyConfig cfg;
+    cfg.backPolicy = BackPolicy::PeriodicReset;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 1);
+    mediate(policy, 0x1000, 1);
+    ASSERT_TRUE(leafNested(0x1000));
+    PolicySample quiet{};
+    quiet.idealCycles = 1000;
+    policy.onInterval(kProc, quiet);
+    EXPECT_FALSE(leafNested(0x1000));
+}
+
+TEST_F(PolicyTest, BackPolicyNoneNeverPromotes)
+{
+    AgilePolicyConfig cfg;
+    cfg.backPolicy = BackPolicy::None;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 1);
+    mediate(policy, 0x1000, 1);
+    PolicySample quiet{};
+    quiet.idealCycles = 1000;
+    for (int i = 0; i < 10; ++i)
+        policy.onInterval(kProc, quiet);
+    EXPECT_TRUE(leafNested(0x1000));
+}
+
+TEST_F(PolicyTest, StartNestedEngagesOnTlbPressure)
+{
+    AgilePolicyConfig cfg;
+    cfg.startNested = true;
+    cfg.tlbOverheadThreshold = 0.02;
+    AgilePolicy policy = makePolicy(cfg);
+    policy.onProcessStart(kProc);
+    EXPECT_TRUE(mgr.context(kProc).fullNested);
+
+    // Low pressure: stays nested.
+    PolicySample low{};
+    low.walkCycles = 10;
+    low.idealCycles = 10'000;
+    policy.onInterval(kProc, low);
+    EXPECT_TRUE(mgr.context(kProc).fullNested);
+
+    // High walk pressure, no PT writes: engage shadowing.
+    PolicySample high{};
+    high.walkCycles = 5'000;
+    high.idealCycles = 10'000;
+    policy.onInterval(kProc, high);
+    EXPECT_FALSE(mgr.context(kProc).fullNested);
+    EXPECT_EQ(policy.shadowEngagements.value(), 1.0);
+}
+
+TEST_F(PolicyTest, StartNestedStaysNestedUnderWriteStorm)
+{
+    AgilePolicyConfig cfg;
+    cfg.startNested = true;
+    AgilePolicy policy = makePolicy(cfg);
+    policy.onProcessStart(kProc);
+    PolicySample storm{};
+    storm.walkCycles = 5'000;
+    storm.idealCycles = 10'000;
+    storm.gptWrites = 1'000; // projected mediation dwarfs the benefit
+    policy.onInterval(kProc, storm);
+    EXPECT_TRUE(mgr.context(kProc).fullNested);
+}
+
+TEST_F(PolicyTest, RootDemotionUsesRootSwitch)
+{
+    AgilePolicyConfig cfg;
+    cfg.writeThreshold = 2;
+    AgilePolicy policy = makePolicy(cfg);
+    mapAndFill(0x1000);
+    mediate(policy, 0x1000, 0);
+    mediate(policy, 0x1000, 0);
+    EXPECT_TRUE(mgr.context(kProc).rootSwitch);
+    EXPECT_TRUE(leafNested(0x1000));
+}
+
+class ShspTest : public PolicyTest
+{
+};
+
+TEST_F(ShspTest, SwitchesToShadowWhenWalksDominate)
+{
+    ShspConfig cfg;
+    cfg.minResidency = 1;
+    ShspController shsp(&root, mgr, cfg);
+    shsp.onProcessStart(kProc);
+    EXPECT_FALSE(shsp.inShadow(kProc));
+
+    ShspSample s{};
+    s.walkCycles = 100'000;
+    s.gptWrites = 0;
+    s.idealCycles = 200'000;
+    shsp.onInterval(kProc, s);
+    shsp.onInterval(kProc, s);
+    EXPECT_TRUE(shsp.inShadow(kProc));
+    EXPECT_GT(vmm.trapCount(TrapKind::ShspSwitch), 0u);
+}
+
+TEST_F(ShspTest, SwitchesBackWhenTrapsDominate)
+{
+    ShspConfig cfg;
+    cfg.minResidency = 1;
+    ShspController shsp(&root, mgr, cfg);
+    shsp.onProcessStart(kProc);
+    ShspSample to_shadow{};
+    to_shadow.walkCycles = 100'000;
+    to_shadow.idealCycles = 200'000;
+    shsp.onInterval(kProc, to_shadow);
+    shsp.onInterval(kProc, to_shadow);
+    ASSERT_TRUE(shsp.inShadow(kProc));
+
+    ShspSample trappy{};
+    trappy.walkCycles = 1'000; // below the switch-benefit floor
+    trappy.trapCycles = 1'000'000;
+    trappy.idealCycles = 200'000;
+    shsp.onInterval(kProc, trappy);
+    shsp.onInterval(kProc, trappy);
+    EXPECT_FALSE(shsp.inShadow(kProc));
+    EXPECT_GT(shsp.switchesToNested.value(), 0.0);
+}
+
+TEST_F(ShspTest, MinResidencyBlocksThrashing)
+{
+    ShspConfig cfg;
+    cfg.minResidency = 100; // effectively never
+    ShspController shsp(&root, mgr, cfg);
+    shsp.onProcessStart(kProc);
+    ShspSample s{};
+    s.walkCycles = 1'000'000;
+    s.idealCycles = 1'000'000;
+    for (int i = 0; i < 10; ++i)
+        shsp.onInterval(kProc, s);
+    EXPECT_FALSE(shsp.inShadow(kProc));
+}
+
+TEST_F(ShspTest, SwitchToShadowPrefillsTable)
+{
+    mapAndFill(0x5000);
+    mgr.zapProcess(kProc); // start from an empty shadow table
+    ShspConfig cfg;
+    cfg.minResidency = 1;
+    ShspController shsp(&root, mgr, cfg);
+    shsp.onProcessStart(kProc);
+    ShspSample s{};
+    s.walkCycles = 100'000;
+    s.idealCycles = 200'000;
+    shsp.onInterval(kProc, s);
+    shsp.onInterval(kProc, s);
+    ASSERT_TRUE(shsp.inShadow(kProc));
+    // The eager rebuild merged the existing guest mapping.
+    auto sm = mgr.state(kProc).spt->lookup(0x5000);
+    EXPECT_TRUE(sm.has_value());
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Consolidation scheduler tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+namespace
+{
+
+SimConfig
+schedConfig(VirtMode mode, std::size_t sptr = 0)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.hostMemFrames = 1 << 17;
+    cfg.guestPtFrames = 1 << 13;
+    cfg.guestDataFrames = 1 << 16;
+    cfg.verifyTranslations = true;
+    cfg.sptrCacheEntries = sptr;
+    return cfg;
+}
+
+WorkloadParams
+schedParams(std::uint64_t ops)
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = ops;
+    p.seed = 3;
+    return p;
+}
+
+TEST(Scheduler, RunsAllWorkloadsToCompletion)
+{
+    Machine m(schedConfig(VirtMode::Agile));
+    auto a = makeWorkload("mcf", schedParams(20'000));
+    auto b = makeWorkload("canneal", schedParams(30'000));
+    Scheduler sched(m, 1'000);
+    sched.add(*a);
+    sched.add(*b);
+    ConsolidationResult r = sched.run();
+    ASSERT_EQ(r.runs.size(), 2u);
+    EXPECT_TRUE(r.runs[0].finished);
+    EXPECT_TRUE(r.runs[1].finished);
+    EXPECT_EQ(r.runs[0].steps, 20'000u);
+    EXPECT_EQ(r.runs[1].steps, 30'000u);
+    EXPECT_GT(r.contextSwitches, 10u);
+    EXPECT_GT(r.machine.walks, 0u);
+}
+
+TEST(Scheduler, DistinctProcessesPerWorkload)
+{
+    Machine m(schedConfig(VirtMode::Nested));
+    auto a = makeWorkload("astar", schedParams(15'000));
+    auto b = makeWorkload("astar", schedParams(15'000));
+    Scheduler sched(m);
+    sched.add(*a);
+    sched.add(*b);
+    ConsolidationResult r = sched.run();
+    EXPECT_NE(r.runs[0].pid, r.runs[1].pid);
+}
+
+TEST(Scheduler, CtxSwitchTrapsUnderShadowNotNested)
+{
+    auto run = [](VirtMode mode, std::size_t sptr) {
+        Machine m(schedConfig(mode, sptr));
+        auto a = makeWorkload("mcf", schedParams(25'000));
+        auto b = makeWorkload("canneal", schedParams(25'000));
+        Scheduler sched(m, 500);
+        sched.add(*a);
+        sched.add(*b);
+        ConsolidationResult r = sched.run();
+        return r.machine
+            .trapByKind[std::size_t(TrapKind::CtxSwitch)];
+    };
+    EXPECT_EQ(run(VirtMode::Nested, 0), 0u);
+    std::uint64_t shadow = run(VirtMode::Shadow, 0);
+    EXPECT_GT(shadow, 0u);
+    // The sptr cache eliminates (nearly) all of them.
+    std::uint64_t cached = run(VirtMode::Shadow, 8);
+    EXPECT_LT(cached, shadow / 4);
+}
+
+} // namespace
+} // namespace ap

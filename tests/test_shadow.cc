@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Shadow manager tests: on-demand fills, write protection and sync,
+ * unsync/resync, A/D emulation, agile mode conversions, and the
+ * shadow-vs-guest coherence invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "vmm/guest_pt_space.hh"
+#include "vmm/shadow_mgr.hh"
+#include "walker/walker.hh"
+
+namespace ap
+{
+namespace
+{
+
+class ShadowTest : public ::testing::Test
+{
+  protected:
+    static constexpr ProcId kProc = 1;
+
+    ShadowTest()
+        : mem(1 << 16),
+          pwc(&root, 32, 4, false),
+          ntlb(&root, 64, 4, false),
+          tlb(&root, TlbHierarchyConfig{}),
+          vmm(&root, mem,
+              VmmConfig{4096, 1 << 15, PageSize::Size4K, TrapCosts{},
+                        0},
+              &ntlb),
+          mgr(&root, mem, vmm, ShadowConfig{}, &tlb, &pwc),
+          walker(&root, mem, pwc, ntlb),
+          gspace(vmm),
+          gpt(gspace, "gPT")
+    {
+        gspace.onFree = [this](FrameId g) { mgr.onGptPageFree(kProc, g); };
+        mgr.registerProcess(kProc, &gpt, gpt.root(), /*agile=*/true);
+        ctx_ = &mgr.context(kProc);
+        ctx_->mode = VirtMode::Agile;
+    }
+
+    /** Map and back one guest 4K data page. */
+    FrameId
+    mapGuest(Addr gva, bool writable = true)
+    {
+        FrameId g = vmm.allocGuestDataFrame();
+        EXPECT_NE(g, 0u);
+        EXPECT_NE(gpt.map(gva, g, PageSize::Size4K, writable), nullptr);
+        vmm.ensureDataBacked(g);
+        return g;
+    }
+
+    /** Translate va the way the machine does: walk, service faults. */
+    WalkResult
+    translate(Addr va, bool write = false)
+    {
+        for (int attempts = 0; attempts < 10; ++attempts) {
+            WalkResult r = walker.walk(*ctx_, va, write);
+            if (r.ok())
+                return r;
+            if (r.fault == WalkFault::ShadowFault) {
+                auto fill = mgr.handleShadowFault(kProc, va);
+                if (fill == ShadowFillResult::NeedGuestFault)
+                    return r; // caller deals with the guest fault
+                continue;
+            }
+            if (r.fault == WalkFault::HostFault) {
+                EXPECT_TRUE(vmm.handleHostFault(r.faultGpa));
+                continue;
+            }
+            return r;
+        }
+        ADD_FAILURE() << "translation did not converge";
+        return WalkResult{};
+    }
+
+    stats::StatGroup root{"t"};
+    PhysMem mem;
+    PageWalkCache pwc;
+    NestedTlb ntlb;
+    TlbHierarchy tlb;
+    Vmm vmm;
+    ShadowMgr mgr;
+    Walker walker;
+    GuestPtSpace gspace;
+    RadixPageTable gpt;
+    TranslationContext *ctx_;
+};
+
+TEST_F(ShadowTest, FillOnDemandThenFourRefWalks)
+{
+    FrameId g = mapGuest(0x1000);
+    WalkResult r = translate(0x1000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.hframe, vmm.backing(g));
+    EXPECT_GT(mgr.fills.value(), 0.0);
+    // Once filled, walks are pure shadow: 4 references.
+    WalkResult again = walker.walk(*ctx_, 0x1000, false);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.refs, 4u);
+}
+
+TEST_F(ShadowTest, FillReportsMissingGuestMapping)
+{
+    EXPECT_EQ(mgr.handleShadowFault(kProc, 0xdead000),
+              ShadowFillResult::NeedGuestFault);
+}
+
+TEST_F(ShadowTest, FirstWriteTrapsForDirtyEmulation)
+{
+    mapGuest(0x2000, true);
+    WalkResult r = translate(0x2000, false);
+    ASSERT_TRUE(r.ok());
+    // Write-enable withheld although the guest grants it (dirty trick).
+    EXPECT_FALSE(r.writable);
+    std::uint64_t before = vmm.trapCount(TrapKind::AdEmulation);
+    mgr.emulateDirtyWrite(kProc, 0x2000);
+    EXPECT_EQ(vmm.trapCount(TrapKind::AdEmulation), before + 1);
+    WalkResult after = translate(0x2000, true);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after.writable);
+    // Guest leaf carries A/D now.
+    const Pte *gpte = gpt.entry(0x2000, 3);
+    EXPECT_TRUE(gpte->accessed);
+    EXPECT_TRUE(gpte->dirty);
+}
+
+TEST_F(ShadowTest, HwOptAdSkipsDirtyTrick)
+{
+    ShadowConfig cfg;
+    cfg.hwOptAd = true;
+    ShadowMgr mgr2(&root, mem, vmm, cfg, &tlb, &pwc);
+    GuestPtSpace gs2(vmm);
+    RadixPageTable gpt2(gs2, "gPT2");
+    mgr2.registerProcess(2, &gpt2, gpt2.root(), true);
+    mgr2.context(2).mode = VirtMode::Agile;
+
+    FrameId g = vmm.allocGuestDataFrame();
+    gpt2.map(0x3000, g, PageSize::Size4K, true);
+    vmm.ensureDataBacked(g);
+    EXPECT_EQ(mgr2.handleShadowFault(2, 0x3000), ShadowFillResult::Filled);
+    WalkResult r = walker.walk(mgr2.context(2), 0x3000, true);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.writable); // no protection trick with hardware A/D
+}
+
+TEST_F(ShadowTest, UnshadowedWriteIsFree)
+{
+    mapGuest(0x4000);
+    // Nothing filled yet below the root: writes to the (never-
+    // shadowed) leaf PT page are not mediated.
+    auto out = mgr.onGptWrite(kProc, 0x4000, 3);
+    EXPECT_FALSE(out.trapped);
+    EXPECT_EQ(out.node, nullptr);
+}
+
+TEST_F(ShadowTest, ProtectedLeafWriteBecomesUnsynced)
+{
+    mapGuest(0x5000);
+    translate(0x5000);
+    std::uint64_t traps = vmm.trapCountTotal();
+    // Guest updates an entry in the now-shadowed leaf PT page.
+    mapGuest(0x6000); // same leaf table page (adjacent VA)
+    auto out = mgr.onGptWrite(kProc, 0x6000, 3);
+    EXPECT_TRUE(out.trapped);
+    EXPECT_TRUE(out.unsynced);
+    EXPECT_EQ(vmm.trapCountTotal(), traps + 1);
+    // Second write to the same page: free.
+    mapGuest(0x7000);
+    auto out2 = mgr.onGptWrite(kProc, 0x7000, 3);
+    EXPECT_FALSE(out2.trapped);
+}
+
+TEST_F(ShadowTest, ResyncDropsStaleShadowEntries)
+{
+    FrameId g_old = mapGuest(0x8000);
+    translate(0x8000);
+    // Guest remaps the page to a different frame (e.g. COW): the
+    // shadow leaf goes stale, the page unsyncs.
+    FrameId g_new = vmm.allocGuestDataFrame();
+    vmm.ensureDataBacked(g_new);
+    gpt.map(0x8000, g_new, PageSize::Size4K, true);
+    mgr.onGptWrite(kProc, 0x8000, 3);
+    // Flush resyncs: the stale entry must go, next walk refills.
+    mgr.onGuestTlbFlush(kProc, false);
+    WalkResult r = translate(0x8000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.hframe, vmm.backing(g_new));
+    EXPECT_NE(r.hframe, vmm.backing(g_old));
+    EXPECT_GT(mgr.resyncPages.value(), 0.0);
+}
+
+TEST_F(ShadowTest, NonLeafWriteSyncsInPlace)
+{
+    mapGuest(0x9000);
+    translate(0x9000);
+    std::uint64_t syncs = vmm.trapCount(TrapKind::ShadowPtWrite);
+    // An upper-level write (the guest replacing a whole subtree);
+    // depth 2 and 3 are unsync-eligible, pointer levels sync in place.
+    auto out = mgr.onGptWrite(kProc, 0x9000, 1);
+    EXPECT_TRUE(out.trapped);
+    EXPECT_FALSE(out.unsynced);
+    EXPECT_EQ(vmm.trapCount(TrapKind::ShadowPtWrite), syncs + 1);
+    // The covered shadow subtree was invalidated: next walk refaults.
+    WalkResult r = walker.walk(*ctx_, 0x9000, false);
+    EXPECT_EQ(r.fault, WalkFault::ShadowFault);
+}
+
+TEST_F(ShadowTest, ConvertToNestedInstallsSwitchingEntry)
+{
+    mapGuest(0xa000);
+    translate(0xa000);
+    mgr.convertToNested(kProc, 0xa000, 3);
+    WalkResult r = translate(0xa000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 8u); // leaf level nested: 3 shadow + 5 nested
+    EXPECT_EQ(r.switchDepth, 3u);
+    // Writes to the leaf PT page are now free.
+    mapGuest(0xb000);
+    auto out = mgr.onGptWrite(kProc, 0xb000, 3);
+    EXPECT_FALSE(out.trapped);
+}
+
+TEST_F(ShadowTest, ConvertToNestedDepth0UsesRootSwitch)
+{
+    mapGuest(0xc000);
+    translate(0xc000);
+    mgr.convertToNested(kProc, 0xc000, 0);
+    EXPECT_TRUE(ctx_->rootSwitch);
+    WalkResult r = translate(0xc000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 20u);
+    // Root writes are free now.
+    auto out = mgr.onGptWrite(kProc, 0xc000, 0);
+    EXPECT_FALSE(out.trapped);
+}
+
+TEST_F(ShadowTest, ConvertBackToShadowRestoresFastWalks)
+{
+    mapGuest(0xd000);
+    translate(0xd000);
+    mgr.convertToNested(kProc, 0xd000, 3);
+    translate(0xd000);
+    mgr.convertToShadow(kProc, 0xd000, 3);
+    WalkResult r = translate(0xd000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 4u);
+    EXPECT_EQ(r.switchDepth, kPtLevels);
+    // Writes are mediated again.
+    mapGuest(0xe000);
+    auto out = mgr.onGptWrite(kProc, 0xe000, 3);
+    EXPECT_TRUE(out.trapped);
+}
+
+TEST_F(ShadowTest, NestedWritesLeaveDirtyTraceForPolicy)
+{
+    mapGuest(0xf000);
+    translate(0xf000);
+    mgr.convertToNested(kProc, 0xf000, 3);
+    FrameId leaf_frame = gpt.tableFrame(0xf000, 3);
+    EXPECT_FALSE(vmm.consumeGptDirty(leaf_frame));
+    mapGuest(0xf000 + kPageBytes);
+    mgr.onGptWrite(kProc, 0xf000 + kPageBytes, 3);
+    EXPECT_TRUE(vmm.consumeGptDirty(leaf_frame));
+}
+
+TEST_F(ShadowTest, CtxSwitchTrapsWithoutSptrCache)
+{
+    std::uint64_t before = vmm.trapCount(TrapKind::CtxSwitch);
+    EXPECT_TRUE(mgr.onCtxSwitchIn(kProc));
+    EXPECT_EQ(vmm.trapCount(TrapKind::CtxSwitch), before + 1);
+}
+
+TEST_F(ShadowTest, ShadowMatchesGuestComposedWithHost)
+{
+    // Coherence invariant: for every mapped VA, the shadow walk result
+    // equals gPT composed with hPT.
+    for (Addr va = 0x100000; va < 0x100000 + 64 * kPageBytes;
+         va += kPageBytes) {
+        mapGuest(va);
+    }
+    for (Addr va = 0x100000; va < 0x100000 + 64 * kPageBytes;
+         va += kPageBytes) {
+        WalkResult r = translate(va);
+        ASSERT_TRUE(r.ok());
+        auto gm = gpt.lookup(va);
+        ASSERT_TRUE(gm.has_value());
+        EXPECT_EQ(r.hframe, vmm.backing(gm->pfn)) << std::hex << va;
+    }
+}
+
+TEST_F(ShadowTest, ZapRebuildsFromScratch)
+{
+    mapGuest(0x10000);
+    translate(0x10000);
+    double fills_before = mgr.fills.value();
+    mgr.zapProcess(kProc);
+    WalkResult r = walker.walk(*ctx_, 0x10000, false);
+    EXPECT_EQ(r.fault, WalkFault::ShadowFault);
+    translate(0x10000);
+    EXPECT_GT(mgr.fills.value(), fills_before);
+}
+
+TEST_F(ShadowTest, GptPageFreeDropsNode)
+{
+    mapGuest(0x11000);
+    translate(0x11000);
+    // Unmapping the only page under a leaf PT page does not free it,
+    // but clearing a whole region does (invalidateEntry at depth 2).
+    FrameId leaf_frame = gpt.tableFrame(0x11000, 3);
+    ASSERT_NE(leaf_frame, PhysMem::kNoFrame);
+    gpt.invalidateEntry(0x11000, 2); // frees the leaf table page
+    // Node is gone: a write "through" a recycled frame is unmediated.
+    auto out = mgr.onGptWrite(kProc, 0x11000, 3);
+    EXPECT_FALSE(out.trapped);
+    EXPECT_EQ(out.node, nullptr);
+}
+
+TEST_F(ShadowTest, SptrCacheSuppressesRepeatCtxSwitchTraps)
+{
+    PhysMem mem2(1 << 15);
+    Vmm vmm2(&root, mem2,
+             VmmConfig{512, 1 << 12, PageSize::Size4K, TrapCosts{}, 8},
+             nullptr);
+    ShadowMgr mgr2(&root, mem2, vmm2, ShadowConfig{}, nullptr, nullptr);
+    GuestPtSpace gs2(vmm2);
+    RadixPageTable gpt2(gs2, "gPT");
+    mgr2.registerProcess(7, &gpt2, gpt2.root(), false);
+    // First switch misses the sptr cache and traps; second hits.
+    EXPECT_TRUE(mgr2.onCtxSwitchIn(7));
+    EXPECT_FALSE(mgr2.onCtxSwitchIn(7));
+    EXPECT_EQ(vmm2.trapCount(TrapKind::CtxSwitch), 1u);
+}
+
+} // namespace
+} // namespace ap

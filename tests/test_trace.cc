@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Trace subsystem tests: recording fidelity, serialization round-trip,
+ * and the key methodology property — replaying a captured trace on an
+ * identically configured machine reproduces the original measurements
+ * exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/machine.hh"
+#include "trace/record.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+namespace
+{
+
+SimConfig
+testConfig(VirtMode mode)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.hostMemFrames = 1 << 16;
+    cfg.guestPtFrames = 1 << 13;
+    cfg.guestDataFrames = 1 << 15;
+    return cfg;
+}
+
+WorkloadParams
+testParams()
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = 40'000;
+    p.seed = 11;
+    return p;
+}
+
+TEST(Trace, SerializationRoundTrip)
+{
+    Trace t;
+    t.workload = "unit";
+    t.seed = 99;
+    t.warmupEvents = 1;
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::MmapAt, 0x10000, 0x4000, 7, true,
+                   true});
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Access, 0x10123, 0, 0, true, false});
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Yield, 0, 0, 0, false, false});
+
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(t, ss));
+    Trace back;
+    ASSERT_TRUE(readTrace(ss, back));
+    EXPECT_EQ(back.workload, "unit");
+    EXPECT_EQ(back.seed, 99u);
+    EXPECT_EQ(back.warmupEvents, 1u);
+    ASSERT_EQ(back.events.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(back.events[i], t.events[i]);
+}
+
+TEST(Trace, RejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "not a trace at all";
+    Trace t;
+    EXPECT_FALSE(readTrace(ss, t));
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    Trace t;
+    t.workload = "filetest";
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Access, 0x1000, 0, 0, false, false});
+    std::string path = ::testing::TempDir() + "ap_trace_test.bin";
+    ASSERT_TRUE(writeTraceFile(t, path));
+    Trace back;
+    ASSERT_TRUE(readTraceFile(path, back));
+    EXPECT_EQ(back.events.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, RecorderCapturesResolvedBases)
+{
+    Machine m(testConfig(VirtMode::Nested));
+    m.spawnProcess();
+    TraceRecorder rec(m);
+    Addr base = rec.mmap(4 * kPageBytes, true, false, 0);
+    rec.access(base + 0x1000, true);
+    rec.munmap(base, 4 * kPageBytes);
+    const Trace &t = rec.trace();
+    ASSERT_EQ(t.events.size(), 3u);
+    EXPECT_EQ(t.events[0].kind, TraceEvent::Kind::MmapAt);
+    EXPECT_EQ(t.events[0].addr, base);
+    EXPECT_EQ(t.events[1].addr, base + 0x1000);
+    EXPECT_EQ(t.events[2].kind, TraceEvent::Kind::Munmap);
+}
+
+TEST(Trace, ReplayReproducesRunExactly)
+{
+    // Record dedup (churny: exercises mmapAt/munmap/yield paths).
+    WorkloadParams params = testParams();
+    RecordedRun recorded;
+    {
+        Machine m(testConfig(VirtMode::Agile));
+        auto w = makeWorkload("dedup", params);
+        recorded = recordRun(m, *w);
+    }
+    ASSERT_GT(recorded.trace.events.size(), 0u);
+
+    // Replay on a fresh, identically configured machine.
+    Machine m2(testConfig(VirtMode::Agile));
+    TraceReplayWorkload replay(recorded.trace);
+    RunResult replayed = m2.run(replay);
+
+    EXPECT_EQ(replayed.tlbMisses, recorded.result.tlbMisses);
+    EXPECT_EQ(replayed.walks, recorded.result.walks);
+    EXPECT_EQ(replayed.walkCycles, recorded.result.walkCycles);
+    EXPECT_EQ(replayed.trapCycles, recorded.result.trapCycles);
+    EXPECT_EQ(replayed.guestPageFaults,
+              recorded.result.guestPageFaults);
+}
+
+TEST(Trace, OneTraceManyTechniques)
+{
+    // The paper's trace-driven idea: capture once, evaluate each
+    // technique on the identical event stream.
+    WorkloadParams params = testParams();
+    RecordedRun recorded;
+    {
+        Machine m(testConfig(VirtMode::Nested));
+        auto w = makeWorkload("mcf", params);
+        recorded = recordRun(m, *w);
+    }
+
+    std::uint64_t misses[3];
+    int i = 0;
+    for (VirtMode mode :
+         {VirtMode::Nested, VirtMode::Shadow, VirtMode::Agile}) {
+        Machine m(testConfig(mode));
+        TraceReplayWorkload replay(recorded.trace);
+        RunResult r = m.run(replay);
+        EXPECT_GT(r.walks, 0u);
+        misses[i++] = r.tlbMisses;
+    }
+    // The address stream is identical, so miss counts are close (they
+    // differ only via shadow-side flush effects).
+    EXPECT_EQ(misses[0], recorded.result.tlbMisses);
+}
+
+} // namespace
+} // namespace ap

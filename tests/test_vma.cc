@@ -1,0 +1,130 @@
+/**
+ * @file
+ * AddressSpace / VMA unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guestos/vma.hh"
+
+namespace ap
+{
+namespace
+{
+
+Vma
+mk(Addr base, Addr len, bool writable = true)
+{
+    Vma v;
+    v.base = base;
+    v.length = len;
+    v.writable = writable;
+    return v;
+}
+
+TEST(AddressSpace, AddAndFind)
+{
+    AddressSpace as;
+    ASSERT_TRUE(as.add(mk(0x10000, 0x3000)));
+    EXPECT_NE(as.find(0x10000), nullptr);
+    EXPECT_NE(as.find(0x12fff), nullptr);
+    EXPECT_EQ(as.find(0x13000), nullptr);
+    EXPECT_EQ(as.find(0xffff), nullptr);
+}
+
+TEST(AddressSpace, RejectsOverlap)
+{
+    AddressSpace as;
+    ASSERT_TRUE(as.add(mk(0x10000, 0x3000)));
+    EXPECT_FALSE(as.add(mk(0x11000, 0x1000)));
+    EXPECT_FALSE(as.add(mk(0xf000, 0x2000)));
+    EXPECT_TRUE(as.add(mk(0x13000, 0x1000))); // adjacent is fine
+    EXPECT_TRUE(as.add(mk(0xe000, 0x2000)));
+}
+
+TEST(AddressSpace, AddAnywhereRespectsAlignment)
+{
+    AddressSpace as;
+    Addr a = as.addAnywhere(0x5000, kLargePageBytes, true, VmaKind::Anon);
+    ASSERT_NE(a, 0u);
+    EXPECT_EQ(a % kLargePageBytes, 0u);
+    Addr b = as.addAnywhere(0x1000, kPageBytes, true, VmaKind::Anon);
+    ASSERT_NE(b, 0u);
+    EXPECT_EQ(as.find(b)->length, 0x1000u);
+}
+
+TEST(AddressSpace, AddAnywhereDoesNotOverlap)
+{
+    AddressSpace as;
+    for (int i = 0; i < 50; ++i) {
+        Addr a =
+            as.addAnywhere(0x3000, kPageBytes, true, VmaKind::Anon);
+        ASSERT_NE(a, 0u);
+    }
+    EXPECT_EQ(as.count(), 50u);
+    EXPECT_EQ(as.mappedBytes(), 50u * 0x3000);
+}
+
+TEST(AddressSpace, RemoveWhole)
+{
+    AddressSpace as;
+    as.add(mk(0x10000, 0x3000));
+    EXPECT_TRUE(as.remove(0x10000, 0x3000));
+    EXPECT_EQ(as.find(0x11000), nullptr);
+    EXPECT_FALSE(as.remove(0x10000, 0x3000));
+}
+
+TEST(AddressSpace, RemoveSplitsMiddle)
+{
+    AddressSpace as;
+    as.add(mk(0x10000, 0x5000));
+    EXPECT_TRUE(as.remove(0x11000, 0x1000));
+    EXPECT_NE(as.find(0x10000), nullptr);
+    EXPECT_EQ(as.find(0x11000), nullptr);
+    EXPECT_NE(as.find(0x12000), nullptr);
+    EXPECT_EQ(as.count(), 2u);
+    EXPECT_EQ(as.mappedBytes(), 0x4000u);
+}
+
+TEST(AddressSpace, RemoveSpansMultipleVmas)
+{
+    AddressSpace as;
+    as.add(mk(0x10000, 0x2000));
+    as.add(mk(0x12000, 0x2000));
+    as.add(mk(0x14000, 0x2000));
+    EXPECT_TRUE(as.remove(0x11000, 0x4000));
+    EXPECT_NE(as.find(0x10000), nullptr); // left stub
+    EXPECT_EQ(as.find(0x12000), nullptr);
+    EXPECT_NE(as.find(0x15000), nullptr); // right stub
+}
+
+TEST(AddressSpace, FileVmaKeepsIdentity)
+{
+    AddressSpace as;
+    Vma v = mk(0x20000, 0x4000, false);
+    v.kind = VmaKind::File;
+    v.fileId = 99;
+    as.add(v);
+    const Vma *f = as.find(0x21000);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->kind, VmaKind::File);
+    EXPECT_EQ(f->fileId, 99u);
+    EXPECT_FALSE(f->writable);
+}
+
+TEST(AddressSpace, ForEachInAddressOrder)
+{
+    AddressSpace as;
+    as.add(mk(0x30000, 0x1000));
+    as.add(mk(0x10000, 0x1000));
+    as.add(mk(0x20000, 0x1000));
+    Addr last = 0;
+    as.forEach([&](const Vma &v) {
+        EXPECT_GT(v.base, last);
+        last = v.base;
+    });
+    EXPECT_EQ(last, 0x30000u);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * VMM unit tests: guest physical space, backing, host faults, trap
+ * accounting, content-based page sharing, and host COW.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "vmm/vmm.hh"
+
+namespace ap
+{
+namespace
+{
+
+class VmmTest : public ::testing::Test
+{
+  protected:
+    VmmTest()
+        : mem(1 << 15),
+          vmm(&root, mem,
+              VmmConfig{1024, 1 << 14, PageSize::Size4K, TrapCosts{}, 0},
+              nullptr)
+    {
+    }
+
+    stats::StatGroup root{"t"};
+    PhysMem mem;
+    Vmm vmm;
+};
+
+TEST_F(VmmTest, PtFramesAreLowAndBackedEagerly)
+{
+    FrameId g = vmm.allocGuestPtFrame();
+    ASSERT_NE(g, 0u);
+    EXPECT_TRUE(vmm.isPtRegion(g));
+    FrameId h = vmm.backing(g);
+    ASSERT_NE(h, 0u);
+    EXPECT_EQ(mem.kind(h), FrameKind::PageTable);
+    EXPECT_EQ(mem.owner(h), TableOwner::GuestPt);
+    // hPT maps it 4K.
+    auto m = vmm.hostPt().lookup(frameAddr(g));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->pfn, h);
+    EXPECT_EQ(m->size, PageSize::Size4K);
+}
+
+TEST_F(VmmTest, DataFramesAreLazy)
+{
+    FrameId g = vmm.allocGuestDataFrame();
+    ASSERT_NE(g, 0u);
+    EXPECT_FALSE(vmm.isPtRegion(g));
+    EXPECT_EQ(vmm.backing(g), 0u);
+    EXPECT_FALSE(vmm.hostPt().lookup(frameAddr(g)).has_value());
+}
+
+TEST_F(VmmTest, HostFaultBacksAndCharges)
+{
+    FrameId g = vmm.allocGuestDataFrame();
+    std::uint64_t traps_before = vmm.trapCount(TrapKind::HostFault);
+    Cycles cycles_before = vmm.trapCycles();
+    ASSERT_TRUE(vmm.handleHostFault(frameAddr(g)));
+    EXPECT_EQ(vmm.trapCount(TrapKind::HostFault), traps_before + 1);
+    EXPECT_GT(vmm.trapCycles(), cycles_before);
+    EXPECT_NE(vmm.backing(g), 0u);
+    EXPECT_TRUE(vmm.hostPt().lookup(frameAddr(g)).has_value());
+}
+
+TEST_F(VmmTest, ContiguousDataFramesAligned)
+{
+    FrameId g = vmm.allocGuestDataFrames(512);
+    ASSERT_NE(g, 0u);
+    EXPECT_TRUE(isAligned(frameAddr(g), PageSize::Size2M));
+}
+
+TEST_F(VmmTest, FreeRecyclesGuestFrames)
+{
+    FrameId g = vmm.allocGuestDataFrame();
+    vmm.handleHostFault(frameAddr(g));
+    std::uint64_t backed = vmm.backedDataFrames();
+    vmm.freeGuestDataFrame(g);
+    EXPECT_EQ(vmm.backedDataFrames(), backed - 1);
+    EXPECT_EQ(vmm.backing(g), 0u);
+}
+
+TEST_F(VmmTest, DirtyTrackingRoundTrip)
+{
+    FrameId g = vmm.allocGuestPtFrame();
+    EXPECT_FALSE(vmm.consumeGptDirty(g));
+    vmm.markGptWriteDirty(g);
+    // Architectural hPT dirty bit mirrors.
+    const Pte *pte = vmm.hostPt().entry(frameAddr(g), kPtLevels - 1);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->dirty);
+    EXPECT_TRUE(vmm.consumeGptDirty(g));
+    EXPECT_FALSE(vmm.consumeGptDirty(g));
+    EXPECT_FALSE(pte->dirty);
+}
+
+TEST_F(VmmTest, SharePagesCollapsesDuplicates)
+{
+    FrameId a = vmm.allocGuestDataFrame();
+    FrameId b = vmm.allocGuestDataFrame();
+    FrameId c = vmm.allocGuestDataFrame();
+    vmm.handleHostFault(frameAddr(a));
+    vmm.handleHostFault(frameAddr(b));
+    vmm.handleHostFault(frameAddr(c));
+    vmm.setContent(a, 777);
+    vmm.setContent(b, 777);
+    vmm.setContent(c, 888);
+    std::uint64_t backed = vmm.backedDataFrames();
+    EXPECT_EQ(vmm.sharePages(), 1u);
+    EXPECT_EQ(vmm.backedDataFrames(), backed - 1);
+    EXPECT_EQ(vmm.backing(a), vmm.backing(b));
+    EXPECT_NE(vmm.backing(a), vmm.backing(c));
+    // Both mappings now read-only.
+    EXPECT_FALSE(vmm.hostWritable(a));
+    EXPECT_FALSE(vmm.hostWritable(b));
+    EXPECT_TRUE(vmm.hostWritable(c));
+}
+
+TEST_F(VmmTest, CowBreakRestoresPrivateWritable)
+{
+    FrameId a = vmm.allocGuestDataFrame();
+    FrameId b = vmm.allocGuestDataFrame();
+    vmm.handleHostFault(frameAddr(a));
+    vmm.handleHostFault(frameAddr(b));
+    vmm.setContent(a, 42);
+    vmm.setContent(b, 42);
+    vmm.sharePages();
+    ASSERT_FALSE(vmm.hostWritable(b));
+    std::uint64_t cows = vmm.trapCount(TrapKind::HostCow);
+    ASSERT_TRUE(vmm.breakHostCow(b));
+    EXPECT_EQ(vmm.trapCount(TrapKind::HostCow), cows + 1);
+    EXPECT_TRUE(vmm.hostWritable(b));
+    EXPECT_NE(vmm.backing(a), vmm.backing(b));
+    auto m = vmm.hostPt().lookup(frameAddr(b));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->pte.writable);
+}
+
+TEST_F(VmmTest, TrapCostsMatchModel)
+{
+    TrapCosts costs;
+    Cycles before = vmm.trapCycles();
+    vmm.chargeTrap(TrapKind::CtxSwitch, 10);
+    EXPECT_EQ(vmm.trapCycles() - before,
+              costs.cost(TrapKind::CtxSwitch, 10));
+    EXPECT_EQ(vmm.trapCountTotal(), vmm.trapCount(TrapKind::CtxSwitch));
+}
+
+TEST_F(VmmTest, PtRegionExhaustionReturnsZero)
+{
+    std::uint64_t got = 0;
+    while (vmm.allocGuestPtFrame() != 0)
+        ++got;
+    EXPECT_EQ(got, 1024u);
+    EXPECT_EQ(vmm.allocGuestPtFrame(), 0u);
+}
+
+class Vmm2MTest : public ::testing::Test
+{
+  protected:
+    Vmm2MTest()
+        : mem(1 << 15),
+          vmm(&root, mem,
+              VmmConfig{512, 1 << 14, PageSize::Size2M, TrapCosts{}, 0},
+              nullptr)
+    {
+    }
+
+    stats::StatGroup root{"t"};
+    PhysMem mem;
+    Vmm vmm;
+};
+
+TEST_F(Vmm2MTest, HostFaultBacksWholeGroup)
+{
+    FrameId g = vmm.allocGuestDataFrame();
+    ASSERT_TRUE(vmm.handleHostFault(frameAddr(g)));
+    // The containing 2M group is backed with one 2M host mapping.
+    FrameId group = g & ~std::uint64_t{511};
+    auto m = vmm.hostPt().lookup(frameAddr(group));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->size, PageSize::Size2M);
+    EXPECT_TRUE(isAligned(frameAddr(m->pfn), PageSize::Size2M));
+    // Every frame of the group is backed contiguously.
+    for (unsigned i = 0; i < 512; ++i)
+        EXPECT_EQ(vmm.backing(group + i), m->pfn + i);
+}
+
+TEST_F(Vmm2MTest, PtFramesStillBacked4K)
+{
+    FrameId g = vmm.allocGuestPtFrame();
+    auto m = vmm.hostPt().lookup(frameAddr(g));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->size, PageSize::Size4K);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Walker tests: exact Table II reference counts for every degree of
+ * nesting, fault reporting, cache interactions, A/D side effects, and
+ * mixed-page-size effective translations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitfield.hh"
+#include "mem/page_table.hh"
+#include "tlb/nested_tlb.hh"
+#include "tlb/pwc.hh"
+#include "vmm/guest_pt_space.hh"
+#include "vmm/vmm.hh"
+#include "walker/walker.hh"
+
+namespace ap
+{
+namespace
+{
+
+/**
+ * A hand-assembled virtualized environment: host memory, VMM (host PT
+ * + backings), one guest page table, one shadow table.
+ */
+class WalkerTest : public ::testing::Test
+{
+  protected:
+    WalkerTest()
+        : mem(1 << 16),
+          pwc(&root, 32, 4, false),
+          ntlb(&root, 64, 4, false),
+          vmm(&root, mem, VmmConfig{4096, 1 << 15, PageSize::Size4K,
+                                    TrapCosts{}, 0},
+              &ntlb),
+          walker(&root, mem, pwc, ntlb),
+          gspace(vmm),
+          gpt(gspace, "gPT"),
+          sspace(mem, TableOwner::ShadowPt),
+          spt(sspace, "sPT")
+    {
+        ctx.asid = 1;
+        ctx.gptRoot = gpt.root();
+        ctx.gptRootBacking = vmm.ensurePtBacked(gpt.root());
+        ctx.hptRoot = vmm.hostPtRoot();
+        ctx.sptRoot = spt.root();
+    }
+
+    /** Map a guest data page at @p gva and pre-back it. */
+    FrameId
+    mapGuest(Addr gva, PageSize ps = PageSize::Size4K, bool writable = true)
+    {
+        std::uint64_t frames = pageBytes(ps) / kPageBytes;
+        FrameId gframe = frames == 1 ? vmm.allocGuestDataFrame()
+                                     : vmm.allocGuestDataFrames(frames);
+        EXPECT_NE(gframe, 0u);
+        EXPECT_NE(gpt.map(gva, gframe, ps, writable), nullptr);
+        for (std::uint64_t i = 0; i < frames; ++i)
+            EXPECT_NE(vmm.ensureDataBacked(gframe + i), PhysMem::kNoFrame);
+        return gframe;
+    }
+
+    /** Build the full shadow leaf for a 4K guest page at @p gva. */
+    void
+    shadowLeaf(Addr gva, FrameId gframe, bool writable = true)
+    {
+        ASSERT_NE(spt.map(gva, vmm.backing(gframe), PageSize::Size4K,
+                          writable),
+                  nullptr);
+    }
+
+    /** Plant a switching entry at shadow depth @p depth for @p gva. */
+    void
+    plantSwitch(Addr gva, unsigned depth)
+    {
+        // The switching entry holds the host frame of the *next* level
+        // of the guest page table.
+        FrameId next_gframe = gpt.tableFrame(gva, depth + 1);
+        ASSERT_NE(next_gframe, PhysMem::kNoFrame);
+        Pte *spte = spt.ensurePath(gva, depth);
+        ASSERT_NE(spte, nullptr);
+        *spte = Pte{};
+        spte->valid = true;
+        spte->switching = true;
+        spte->pfn = vmm.ensurePtBacked(next_gframe);
+    }
+
+    stats::StatGroup root{"test"};
+    PhysMem mem;
+    PageWalkCache pwc;
+    NestedTlb ntlb;
+    Vmm vmm;
+    Walker walker;
+    GuestPtSpace gspace;
+    RadixPageTable gpt;
+    HostPtSpace sspace;
+    RadixPageTable spt;
+    TranslationContext ctx;
+};
+
+// ---------------------------------------------------------------------
+// Native walks
+// ---------------------------------------------------------------------
+
+TEST_F(WalkerTest, NativeWalkFourRefs)
+{
+    HostPtSpace nspace(mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    FrameId data = mem.allocData(0);
+    npt.map(0x40001000, data, PageSize::Size4K, true);
+
+    TranslationContext nctx;
+    nctx.mode = VirtMode::Native;
+    nctx.asid = 1;
+    nctx.nativeRoot = npt.root();
+
+    WalkResult r = walker.walk(nctx, 0x40001234, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 4u); // Table II base native: 4
+    EXPECT_EQ(r.hframe, data);
+    EXPECT_EQ(r.size, PageSize::Size4K);
+}
+
+TEST_F(WalkerTest, NativeWalk2MThreeRefs)
+{
+    HostPtSpace nspace(mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    FrameId base = mem.allocDataContiguous(512);
+    npt.map(kLargePageBytes * 8, base, PageSize::Size2M, true);
+
+    TranslationContext nctx;
+    nctx.mode = VirtMode::Native;
+    nctx.nativeRoot = npt.root();
+
+    WalkResult r = walker.walk(nctx, kLargePageBytes * 8 + 0x5000, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 3u);
+    EXPECT_EQ(r.size, PageSize::Size2M);
+}
+
+TEST_F(WalkerTest, NativeFaultReported)
+{
+    HostPtSpace nspace(mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    TranslationContext nctx;
+    nctx.mode = VirtMode::Native;
+    nctx.nativeRoot = npt.root();
+
+    WalkResult r = walker.walk(nctx, 0xdead000, true);
+    EXPECT_EQ(r.fault, WalkFault::NativeFault);
+    EXPECT_EQ(r.faultVa, 0xdead000u);
+    EXPECT_EQ(r.faultDepth, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Nested walks (Fig. 2b)
+// ---------------------------------------------------------------------
+
+TEST_F(WalkerTest, NestedWalkExactly24Refs)
+{
+    ctx.mode = VirtMode::Nested;
+    FrameId gframe = mapGuest(0x7f0000001000);
+    WalkResult r = walker.walk(ctx, 0x7f0000001abc, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 24u); // Table II nested paging: 24
+    EXPECT_TRUE(r.fullNested);
+    EXPECT_EQ(r.hframe, vmm.backing(gframe));
+}
+
+TEST_F(WalkerTest, NestedWalkChronologyMatchesFig1b)
+{
+    ctx.mode = VirtMode::Nested;
+    mapGuest(0x1000);
+    walker.setTracing(true);
+    WalkResult r = walker.walk(ctx, 0x1000, false);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.trace.size(), 24u);
+    // First four references translate gptr through the host table.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(r.trace[i].table, WalkTable::HostPt);
+    // Then each guest level: one gPT read followed by four hPT reads.
+    for (int level = 0; level < 4; ++level) {
+        EXPECT_EQ(r.trace[4 + level * 5].table, WalkTable::GuestPt);
+        EXPECT_EQ(r.trace[4 + level * 5].depth,
+                  static_cast<unsigned>(level));
+        for (int j = 1; j <= 4; ++j)
+            EXPECT_EQ(r.trace[4 + level * 5 + j].table, WalkTable::HostPt);
+    }
+}
+
+TEST_F(WalkerTest, NestedGuestFault)
+{
+    ctx.mode = VirtMode::Nested;
+    WalkResult r = walker.walk(ctx, 0x123456000, false);
+    EXPECT_EQ(r.fault, WalkFault::GuestFault);
+    EXPECT_EQ(r.faultVa, 0x123456000u);
+    EXPECT_EQ(r.faultDepth, 0u);
+}
+
+TEST_F(WalkerTest, NestedHostFaultOnUnbackedData)
+{
+    ctx.mode = VirtMode::Nested;
+    FrameId gframe = vmm.allocGuestDataFrame();
+    gpt.map(0x5000, gframe, PageSize::Size4K, true);
+    // Data frame deliberately not backed: the final host walk faults.
+    WalkResult r = walker.walk(ctx, 0x5000, false);
+    EXPECT_EQ(r.fault, WalkFault::HostFault);
+    EXPECT_EQ(frameOf(r.faultGpa), gframe);
+}
+
+TEST_F(WalkerTest, NestedTlbCutsHostWalks)
+{
+    ctx.mode = VirtMode::Nested;
+    NestedTlb ntlb_on(&root, 64, 4, true);
+    Walker w2(&root, mem, pwc, ntlb_on);
+    mapGuest(0x9000);
+    WalkResult first = w2.walk(ctx, 0x9000, false);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.refs, 24u);
+    // All five host walks now hit the nested TLB: only 4 gPT reads.
+    WalkResult second = w2.walk(ctx, 0x9000, false);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.refs, 4u);
+}
+
+TEST_F(WalkerTest, PwcSkipsGuestLevels)
+{
+    ctx.mode = VirtMode::Nested;
+    PageWalkCache pwc_on(&root, 32, 4, true);
+    Walker w2(&root, mem, pwc_on, ntlb);
+    mapGuest(0xa000);
+    WalkResult first = w2.walk(ctx, 0xa000, false);
+    EXPECT_EQ(first.refs, 24u);
+    // Resume at depth 3: one gPT read plus its host walk.
+    WalkResult second = w2.walk(ctx, 0xa000, false);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.refs, 5u);
+}
+
+TEST_F(WalkerTest, Nested2MGuestAnd4KHostBreaksPage)
+{
+    ctx.mode = VirtMode::Nested;
+    Addr va = kLargePageBytes * 16;
+    mapGuest(va, PageSize::Size2M);
+    WalkResult r = walker.walk(ctx, va + 0x3456, false);
+    ASSERT_TRUE(r.ok());
+    // Host backs with 4K mappings: the TLB entry is broken to 4K.
+    EXPECT_EQ(r.size, PageSize::Size4K);
+}
+
+// ---------------------------------------------------------------------
+// Shadow walks (Fig. 2c) and agile walks (Fig. 4)
+// ---------------------------------------------------------------------
+
+TEST_F(WalkerTest, ShadowWalkFourRefs)
+{
+    ctx.mode = VirtMode::Shadow;
+    FrameId gframe = mapGuest(0xb000);
+    shadowLeaf(0xb000, gframe);
+    WalkResult r = walker.walk(ctx, 0xb123, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 4u); // Table II shadow paging: 4
+    EXPECT_EQ(r.switchDepth, kPtLevels);
+    EXPECT_EQ(r.hframe, vmm.backing(gframe));
+}
+
+TEST_F(WalkerTest, ShadowFaultOnEmptyShadow)
+{
+    ctx.mode = VirtMode::Shadow;
+    mapGuest(0xc000);
+    WalkResult r = walker.walk(ctx, 0xc000, false);
+    EXPECT_EQ(r.fault, WalkFault::ShadowFault);
+    EXPECT_EQ(r.faultVa, 0xc000u);
+}
+
+TEST_F(WalkerTest, AgileSwitchAtLeafIsEightRefs)
+{
+    ctx.mode = VirtMode::Agile;
+    mapGuest(0xd000);
+    plantSwitch(0xd000, 2); // leaf gPT level handled nested (Fig. 3b)
+    WalkResult r = walker.walk(ctx, 0xd000, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 8u);
+    EXPECT_EQ(r.switchDepth, 3u);
+}
+
+TEST_F(WalkerTest, AgileSwitchDepthsMatchTable2)
+{
+    // Table II / Table VI reference counts: 8, 12, 16 for switching
+    // entries planted at shadow depths 2, 1, 0.
+    ctx.mode = VirtMode::Agile;
+    struct Case
+    {
+        Addr va;
+        unsigned plant_depth;
+        unsigned refs;
+    } cases[] = {
+        {0x000100000000, 2, 8},
+        {0x008000000000, 1, 12},
+        {0x010000000000, 0, 16},
+    };
+    for (const Case &c : cases) {
+        mapGuest(c.va);
+        plantSwitch(c.va, c.plant_depth);
+        WalkResult r = walker.walk(ctx, c.va, false);
+        ASSERT_TRUE(r.ok()) << "va " << std::hex << c.va;
+        EXPECT_EQ(r.refs, c.refs);
+        EXPECT_EQ(r.switchDepth, c.plant_depth + 1);
+    }
+}
+
+TEST_F(WalkerTest, AgileRootSwitchTwentyRefs)
+{
+    ctx.mode = VirtMode::Agile;
+    ctx.rootSwitch = true;
+    mapGuest(0xe000);
+    WalkResult r = walker.walk(ctx, 0xe000, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 20u);
+    EXPECT_EQ(r.switchDepth, 0u);
+    EXPECT_FALSE(r.fullNested);
+}
+
+TEST_F(WalkerTest, AgileFullNestedTwentyFourRefs)
+{
+    ctx.mode = VirtMode::Agile;
+    ctx.fullNested = true;
+    mapGuest(0xf000);
+    WalkResult r = walker.walk(ctx, 0xf000, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.refs, 24u);
+    EXPECT_TRUE(r.fullNested);
+}
+
+TEST_F(WalkerTest, AgileGuestFaultInNestedPortion)
+{
+    ctx.mode = VirtMode::Agile;
+    mapGuest(0x11000);
+    plantSwitch(0x11000, 2);
+    // Remove the guest leaf after planting the switch: the nested
+    // portion of the walk must report a guest fault.
+    gpt.unmap(0x11000);
+    WalkResult r = walker.walk(ctx, 0x11000, false);
+    EXPECT_EQ(r.fault, WalkFault::GuestFault);
+    EXPECT_EQ(r.faultDepth, 3u);
+}
+
+TEST_F(WalkerTest, CoverageCountersTrackModes)
+{
+    ctx.mode = VirtMode::Agile;
+    FrameId g1 = mapGuest(0x20000);
+    shadowLeaf(0x20000, g1);
+    mapGuest(0x008000000000);
+    plantSwitch(0x008000000000, 1);
+    walker.walk(ctx, 0x20000, false);
+    walker.walk(ctx, 0x008000000000, false);
+    EXPECT_EQ(walker.coverage[0].value(), 1.0); // full shadow
+    EXPECT_EQ(walker.coverage[2].value(), 1.0); // switched, 12 refs
+}
+
+// ---------------------------------------------------------------------
+// Permissions and A/D bits
+// ---------------------------------------------------------------------
+
+TEST_F(WalkerTest, WritePermissionIntersection)
+{
+    ctx.mode = VirtMode::Nested;
+    // Guest maps read-only.
+    FrameId gframe = vmm.allocGuestDataFrame();
+    gpt.map(0x30000, gframe, PageSize::Size4K, false);
+    vmm.ensureDataBacked(gframe);
+    WalkResult r = walker.walk(ctx, 0x30000, false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.writable);
+}
+
+TEST_F(WalkerTest, WalkSetsAccessedAndDirty)
+{
+    ctx.mode = VirtMode::Nested;
+    mapGuest(0x40000);
+    WalkResult r = walker.walk(ctx, 0x40000, true);
+    ASSERT_TRUE(r.ok());
+    const Pte *leaf = gpt.entry(0x40000, 3);
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_TRUE(leaf->accessed);
+    EXPECT_TRUE(leaf->dirty);
+    // A read does not set dirty elsewhere.
+    mapGuest(0x41000);
+    walker.walk(ctx, 0x41000, false);
+    EXPECT_FALSE(gpt.entry(0x41000, 3)->dirty);
+}
+
+TEST_F(WalkerTest, ShadowLeafDirtySetOnWrite)
+{
+    ctx.mode = VirtMode::Shadow;
+    FrameId gframe = mapGuest(0x50000);
+    shadowLeaf(0x50000, gframe, true);
+    walker.walk(ctx, 0x50000, true);
+    auto sm = spt.lookup(0x50000);
+    ASSERT_TRUE(sm.has_value());
+    EXPECT_TRUE(sm->pte.dirty);
+}
+
+TEST_F(WalkerTest, StatsAccumulate)
+{
+    ctx.mode = VirtMode::Nested;
+    mapGuest(0x60000);
+    walker.walk(ctx, 0x60000, false);
+    walker.walk(ctx, 0x60000, false);
+    EXPECT_EQ(walker.walks.value(), 2.0);
+    EXPECT_EQ(walker.refsTotal.value(), 48.0);
+    EXPECT_EQ(walker.refsDist.mean(), 24.0);
+}
+
+} // namespace
+} // namespace ap

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Workload generator tests: a mock host records the event stream and
+ * checks determinism, address validity, and each benchmark's
+ * characteristic behaviour profile.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/access_pattern.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+namespace
+{
+
+/** Records workload activity without simulating anything. */
+class MockHost : public WorkloadHost
+{
+  public:
+    Addr
+    mmap(Addr length, bool writable, bool file_backed,
+         std::uint64_t file_id) override
+    {
+        (void)writable;
+        (void)file_id;
+        Addr base = next_;
+        next_ += (length + kLargePageBytes) & ~(kLargePageBytes - 1);
+        mapped_[base] = length;
+        ++mmaps;
+        fileBacked += file_backed;
+        return base;
+    }
+
+    bool
+    mmapAt(Addr base, Addr length, bool, bool, std::uint64_t) override
+    {
+        mapped_[base] = length;
+        ++mmaps;
+        return true;
+    }
+
+    void
+    munmap(Addr base, Addr length) override
+    {
+        (void)length;
+        mapped_.erase(base);
+        ++munmaps;
+    }
+
+    void
+    access(Addr va, bool write) override
+    {
+        ++accesses;
+        writes += write;
+        EXPECT_TRUE(covered(va)) << std::hex << va;
+        touchedPages.insert(va / kPageBytes);
+        trace.push_back(va);
+    }
+
+    void
+    instrFetch(Addr va) override
+    {
+        ++fetches;
+        EXPECT_TRUE(covered(va)) << std::hex << va;
+    }
+
+    void compute(std::uint64_t n) override { computeCycles += n; }
+    void forkTouchExit(std::uint64_t) override { ++forks; }
+    void yield() override { ++yields; }
+    void reclaimTick(std::uint64_t) override { ++reclaims; }
+    void sharePagesScan() override { ++shares; }
+    Rng &rng() override { return rng_; }
+
+    bool
+    covered(Addr va) const
+    {
+        auto it = mapped_.upper_bound(va);
+        if (it == mapped_.begin())
+            return false;
+        --it;
+        return va < it->first + it->second;
+    }
+
+    std::uint64_t accesses = 0, writes = 0, fetches = 0, mmaps = 0,
+                  munmaps = 0, forks = 0, yields = 0, reclaims = 0,
+                  shares = 0, fileBacked = 0, computeCycles = 0;
+    std::set<std::uint64_t> touchedPages;
+    std::vector<Addr> trace;
+
+  private:
+    Addr next_ = 0x100000000;
+    std::map<Addr, Addr> mapped_;
+    Rng rng_{7};
+};
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = 50'000;
+    p.seed = 7;
+    return p;
+}
+
+class WorkloadNameTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadNameTest, RunsToCompletionInsideItsMappings)
+{
+    auto w = makeWorkload(GetParam(), smallParams());
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), GetParam());
+    MockHost host;
+    w->init(host);
+    w->warmup(host);
+    std::uint64_t steps = 0;
+    while (w->step(host)) {
+        ASSERT_LT(++steps, 200'000u);
+    }
+    EXPECT_GE(steps + 1, 50'000u);
+    EXPECT_GT(host.accesses + host.fetches, steps / 2);
+}
+
+TEST_P(WorkloadNameTest, DeterministicAcrossRuns)
+{
+    auto run = [&] {
+        auto w = makeWorkload(GetParam(), smallParams());
+        MockHost host;
+        w->init(host);
+        w->warmup(host);
+        while (w->step(host)) {
+        }
+        return host.trace;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadNameTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, NamesAreComplete)
+{
+    auto names = workloadNames();
+    EXPECT_EQ(names.size(), 8u); // Table V
+    for (const auto &n : names)
+        EXPECT_NE(makeWorkload(n, smallParams()), nullptr);
+    EXPECT_EQ(makeWorkload("nosuch", smallParams()), nullptr);
+}
+
+TEST(WorkloadProfile, GccChurnsPageTables)
+{
+    WorkloadParams p = smallParams();
+    p.operations = 250'000; // long enough for several recycle events
+    auto w = makeWorkload("gcc", p);
+    MockHost host;
+    w->init(host);
+    w->warmup(host);
+    while (w->step(host)) {
+    }
+    EXPECT_GT(host.munmaps, 0u);
+    EXPECT_GT(host.fetches, 0u); // big code footprint
+}
+
+TEST(WorkloadProfile, McfDoesNotChurn)
+{
+    auto w = makeWorkload("mcf", smallParams());
+    MockHost host;
+    w->init(host);
+    w->warmup(host);
+    while (w->step(host)) {
+    }
+    EXPECT_EQ(host.munmaps, 0u);
+    EXPECT_EQ(host.forks, 0u);
+}
+
+TEST(WorkloadProfile, MemcachedYieldsAndReclaims)
+{
+    WorkloadParams p = smallParams();
+    p.operations = 120'000;
+    auto w = makeWorkload("memcached", p);
+    MockHost host;
+    w->init(host);
+    w->warmup(host);
+    while (w->step(host)) {
+    }
+    EXPECT_GT(host.yields, 0u);
+    EXPECT_GT(host.reclaims, 0u);
+    EXPECT_GT(host.mmaps, 1u); // slab growth
+}
+
+TEST(WorkloadProfile, DedupUsesFileBackedChunks)
+{
+    auto w = makeWorkload("dedup", smallParams());
+    MockHost host;
+    w->init(host);
+    EXPECT_GT(host.fileBacked, 0u);
+}
+
+TEST(WorkloadProfile, WarmupTouchesFootprint)
+{
+    auto w = makeWorkload("mcf", smallParams());
+    MockHost host;
+    w->init(host);
+    w->warmup(host);
+    // Every page of the 8 MB arena touched once.
+    EXPECT_GE(host.touchedPages.size(), (8ull << 20) / kPageBytes);
+}
+
+TEST(AccessPattern, ZipfRegionStaysInRange)
+{
+    Rng rng(3);
+    ZipfRegion z(0x10000, 1 << 20, 0.99, 5);
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = z.pick(rng);
+        EXPECT_GE(a, 0x10000u);
+        EXPECT_LT(a, 0x10000u + (1 << 20));
+    }
+}
+
+TEST(AccessPattern, ZipfRegionIsSkewed)
+{
+    Rng rng(3);
+    ZipfRegion z(0, 16 << 20, 0.99, 5);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        counts[z.pick(rng) / kPageBytes]++;
+    int max = 0;
+    for (auto &[page, n] : counts)
+        max = std::max(max, n);
+    // The hottest page draws far more than a uniform share.
+    EXPECT_GT(max, 20000 / 4096 * 20);
+}
+
+TEST(AccessPattern, PointerChaseMixesLocalAndFar)
+{
+    Rng rng(3);
+    PointerChase pc(0, 64 << 20, 0.7, 1 << 20);
+    Addr prev = pc.next(rng);
+    int local = 0, total = 4000;
+    for (int i = 0; i < total; ++i) {
+        Addr cur = pc.next(rng);
+        Addr d = cur > prev ? cur - prev : prev - cur;
+        local += (d <= (1 << 20));
+        prev = cur;
+    }
+    EXPECT_GT(local, total / 3);
+    EXPECT_LT(local, total);
+}
+
+TEST(AccessPattern, StreamScanWrapsSequentially)
+{
+    StreamScan s(0x1000, 0x4000, 0x1000);
+    EXPECT_EQ(s.next(), 0x1000u);
+    EXPECT_EQ(s.next(), 0x2000u);
+    EXPECT_EQ(s.next(), 0x3000u);
+    EXPECT_EQ(s.next(), 0x4000u);
+    EXPECT_EQ(s.next(), 0x1000u); // wrap
+}
+
+} // namespace
+} // namespace ap
