@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hwopts.dir/bench_ablation_hwopts.cc.o"
+  "CMakeFiles/bench_ablation_hwopts.dir/bench_ablation_hwopts.cc.o.d"
+  "bench_ablation_hwopts"
+  "bench_ablation_hwopts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hwopts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

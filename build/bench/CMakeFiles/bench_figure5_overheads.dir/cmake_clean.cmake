@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_overheads.dir/bench_figure5_overheads.cc.o"
+  "CMakeFiles/bench_figure5_overheads.dir/bench_figure5_overheads.cc.o.d"
+  "bench_figure5_overheads"
+  "bench_figure5_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_memory_pressure.cc" "bench/CMakeFiles/bench_memory_pressure.dir/bench_memory_pressure.cc.o" "gcc" "bench/CMakeFiles/bench_memory_pressure.dir/bench_memory_pressure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_walker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shsp_comparison.dir/bench_shsp_comparison.cc.o"
+  "CMakeFiles/bench_shsp_comparison.dir/bench_shsp_comparison.cc.o.d"
+  "bench_shsp_comparison"
+  "bench_shsp_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shsp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vmtrap_costs.dir/bench_vmtrap_costs.cc.o"
+  "CMakeFiles/bench_vmtrap_costs.dir/bench_vmtrap_costs.cc.o.d"
+  "bench_vmtrap_costs"
+  "bench_vmtrap_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vmtrap_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

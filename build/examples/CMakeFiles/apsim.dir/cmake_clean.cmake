@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsim.dir/apsim.cpp.o"
+  "CMakeFiles/apsim.dir/apsim.cpp.o.d"
+  "apsim"
+  "apsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

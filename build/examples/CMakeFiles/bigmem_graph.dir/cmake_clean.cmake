@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigmem_graph.dir/bigmem_graph.cpp.o"
+  "CMakeFiles/bigmem_graph.dir/bigmem_graph.cpp.o.d"
+  "bigmem_graph"
+  "bigmem_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigmem_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_fork_demo.dir/cow_fork_demo.cpp.o"
+  "CMakeFiles/cow_fork_demo.dir/cow_fork_demo.cpp.o.d"
+  "cow_fork_demo"
+  "cow_fork_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_fork_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_base.dir/base/debug.cc.o"
+  "CMakeFiles/ap_base.dir/base/debug.cc.o.d"
+  "CMakeFiles/ap_base.dir/base/logging.cc.o"
+  "CMakeFiles/ap_base.dir/base/logging.cc.o.d"
+  "CMakeFiles/ap_base.dir/base/rng.cc.o"
+  "CMakeFiles/ap_base.dir/base/rng.cc.o.d"
+  "CMakeFiles/ap_base.dir/base/stats.cc.o"
+  "CMakeFiles/ap_base.dir/base/stats.cc.o.d"
+  "libap_base.a"
+  "libap_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_core.dir/core/agile_policy.cc.o"
+  "CMakeFiles/ap_core.dir/core/agile_policy.cc.o.d"
+  "libap_core.a"
+  "libap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

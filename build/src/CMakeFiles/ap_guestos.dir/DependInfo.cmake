@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guestos/guest_os.cc" "src/CMakeFiles/ap_guestos.dir/guestos/guest_os.cc.o" "gcc" "src/CMakeFiles/ap_guestos.dir/guestos/guest_os.cc.o.d"
+  "/root/repo/src/guestos/vma.cc" "src/CMakeFiles/ap_guestos.dir/guestos/vma.cc.o" "gcc" "src/CMakeFiles/ap_guestos.dir/guestos/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_walker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_guestos.dir/guestos/guest_os.cc.o"
+  "CMakeFiles/ap_guestos.dir/guestos/guest_os.cc.o.d"
+  "CMakeFiles/ap_guestos.dir/guestos/vma.cc.o"
+  "CMakeFiles/ap_guestos.dir/guestos/vma.cc.o.d"
+  "libap_guestos.a"
+  "libap_guestos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_guestos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

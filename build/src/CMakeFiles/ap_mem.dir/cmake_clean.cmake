@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_mem.dir/mem/page_table.cc.o"
+  "CMakeFiles/ap_mem.dir/mem/page_table.cc.o.d"
+  "CMakeFiles/ap_mem.dir/mem/phys_mem.cc.o"
+  "CMakeFiles/ap_mem.dir/mem/phys_mem.cc.o.d"
+  "CMakeFiles/ap_mem.dir/mem/pte.cc.o"
+  "CMakeFiles/ap_mem.dir/mem/pte.cc.o.d"
+  "libap_mem.a"
+  "libap_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/ap_sim.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/ap_sim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/ap_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/CMakeFiles/ap_sim.dir/sim/perf_model.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/perf_model.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/ap_sim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/ap_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/ap_sim.dir/sim/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ap_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_walker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

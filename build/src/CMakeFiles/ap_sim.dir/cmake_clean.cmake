@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_sim.dir/sim/config.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/ap_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/ap_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/ap_sim.dir/sim/perf_model.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/perf_model.cc.o.d"
+  "CMakeFiles/ap_sim.dir/sim/report.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/ap_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/ap_sim.dir/sim/scheduler.cc.o.d"
+  "libap_sim.a"
+  "libap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

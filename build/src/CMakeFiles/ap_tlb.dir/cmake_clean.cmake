@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_tlb.dir/tlb/nested_tlb.cc.o"
+  "CMakeFiles/ap_tlb.dir/tlb/nested_tlb.cc.o.d"
+  "CMakeFiles/ap_tlb.dir/tlb/pwc.cc.o"
+  "CMakeFiles/ap_tlb.dir/tlb/pwc.cc.o.d"
+  "CMakeFiles/ap_tlb.dir/tlb/tlb.cc.o"
+  "CMakeFiles/ap_tlb.dir/tlb/tlb.cc.o.d"
+  "CMakeFiles/ap_tlb.dir/tlb/tlb_hierarchy.cc.o"
+  "CMakeFiles/ap_tlb.dir/tlb/tlb_hierarchy.cc.o.d"
+  "libap_tlb.a"
+  "libap_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_trace.dir/trace/record.cc.o"
+  "CMakeFiles/ap_trace.dir/trace/record.cc.o.d"
+  "CMakeFiles/ap_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/ap_trace.dir/trace/trace.cc.o.d"
+  "libap_trace.a"
+  "libap_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

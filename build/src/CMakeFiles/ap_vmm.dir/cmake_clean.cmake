@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_vmm.dir/vmm/shadow_mgr.cc.o"
+  "CMakeFiles/ap_vmm.dir/vmm/shadow_mgr.cc.o.d"
+  "CMakeFiles/ap_vmm.dir/vmm/shsp.cc.o"
+  "CMakeFiles/ap_vmm.dir/vmm/shsp.cc.o.d"
+  "CMakeFiles/ap_vmm.dir/vmm/sptr_cache.cc.o"
+  "CMakeFiles/ap_vmm.dir/vmm/sptr_cache.cc.o.d"
+  "CMakeFiles/ap_vmm.dir/vmm/trap_costs.cc.o"
+  "CMakeFiles/ap_vmm.dir/vmm/trap_costs.cc.o.d"
+  "CMakeFiles/ap_vmm.dir/vmm/vmm.cc.o"
+  "CMakeFiles/ap_vmm.dir/vmm/vmm.cc.o.d"
+  "libap_vmm.a"
+  "libap_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_walker.dir/walker/walker.cc.o"
+  "CMakeFiles/ap_walker.dir/walker/walker.cc.o.d"
+  "libap_walker.a"
+  "libap_walker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/access_pattern.cc" "src/CMakeFiles/ap_workloads.dir/workloads/access_pattern.cc.o" "gcc" "src/CMakeFiles/ap_workloads.dir/workloads/access_pattern.cc.o.d"
+  "/root/repo/src/workloads/bigmem_workloads.cc" "src/CMakeFiles/ap_workloads.dir/workloads/bigmem_workloads.cc.o" "gcc" "src/CMakeFiles/ap_workloads.dir/workloads/bigmem_workloads.cc.o.d"
+  "/root/repo/src/workloads/parsec_workloads.cc" "src/CMakeFiles/ap_workloads.dir/workloads/parsec_workloads.cc.o" "gcc" "src/CMakeFiles/ap_workloads.dir/workloads/parsec_workloads.cc.o.d"
+  "/root/repo/src/workloads/spec_workloads.cc" "src/CMakeFiles/ap_workloads.dir/workloads/spec_workloads.cc.o" "gcc" "src/CMakeFiles/ap_workloads.dir/workloads/spec_workloads.cc.o.d"
+  "/root/repo/src/workloads/workload_factory.cc" "src/CMakeFiles/ap_workloads.dir/workloads/workload_factory.cc.o" "gcc" "src/CMakeFiles/ap_workloads.dir/workloads/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

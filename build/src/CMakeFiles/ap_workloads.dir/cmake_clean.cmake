@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_workloads.dir/workloads/access_pattern.cc.o"
+  "CMakeFiles/ap_workloads.dir/workloads/access_pattern.cc.o.d"
+  "CMakeFiles/ap_workloads.dir/workloads/bigmem_workloads.cc.o"
+  "CMakeFiles/ap_workloads.dir/workloads/bigmem_workloads.cc.o.d"
+  "CMakeFiles/ap_workloads.dir/workloads/parsec_workloads.cc.o"
+  "CMakeFiles/ap_workloads.dir/workloads/parsec_workloads.cc.o.d"
+  "CMakeFiles/ap_workloads.dir/workloads/spec_workloads.cc.o"
+  "CMakeFiles/ap_workloads.dir/workloads/spec_workloads.cc.o.d"
+  "CMakeFiles/ap_workloads.dir/workloads/workload_factory.cc.o"
+  "CMakeFiles/ap_workloads.dir/workloads/workload_factory.cc.o.d"
+  "libap_workloads.a"
+  "libap_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

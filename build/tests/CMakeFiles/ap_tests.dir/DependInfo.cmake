@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/ap_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/ap_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_guestos.cc" "tests/CMakeFiles/ap_tests.dir/test_guestos.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_guestos.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/ap_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/ap_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/ap_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_policy.cc" "tests/CMakeFiles/ap_tests.dir/test_policy.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_policy.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/ap_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_shadow.cc" "tests/CMakeFiles/ap_tests.dir/test_shadow.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_shadow.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/ap_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/ap_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_vma.cc" "tests/CMakeFiles/ap_tests.dir/test_vma.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_vma.cc.o.d"
+  "/root/repo/tests/test_vmm.cc" "tests/CMakeFiles/ap_tests.dir/test_vmm.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_vmm.cc.o.d"
+  "/root/repo/tests/test_walker.cc" "tests/CMakeFiles/ap_tests.dir/test_walker.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_walker.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/ap_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/ap_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ap_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_guestos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_walker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
