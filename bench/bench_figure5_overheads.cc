@@ -5,7 +5,8 @@
  * workload under base native (B), nested (N), shadow (S), and agile
  * (A) paging, at both 4 KB and 2 MB pages.
  *
- * Usage: bench_figure5_overheads [--ops N] [--csv] [--workload NAME]
+ * Usage: bench_figure5_overheads [--ops N] [--jobs N] [--csv]
+ *                                [--workload NAME]
  */
 
 #include <cstdio>
@@ -15,6 +16,7 @@
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 
 int
@@ -22,45 +24,33 @@ main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
     std::uint64_t ops = 0;
+    unsigned jobs = 1;
     bool csv = false;
     std::string only;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
             ops = std::stoull(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (!std::strcmp(argv[i], "--csv")) {
             csv = true;
         } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
             only = argv[++i];
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--ops N] [--csv] [--workload NAME]\n";
+                      << " [--ops N] [--jobs N] [--csv]"
+                         " [--workload NAME]\n";
             return 1;
         }
     }
 
-    std::vector<ap::RunResult> runs;
-    const ap::VirtMode modes[] = {ap::VirtMode::Native,
-                                  ap::VirtMode::Nested,
-                                  ap::VirtMode::Shadow,
-                                  ap::VirtMode::Agile};
-    const ap::PageSize sizes[] = {ap::PageSize::Size4K,
-                                  ap::PageSize::Size2M};
-    for (const std::string &wl : ap::workloadNames()) {
-        if (!only.empty() && wl != only)
-            continue;
-        for (ap::PageSize ps : sizes) {
-            for (ap::VirtMode mode : modes) {
-                ap::ExperimentSpec spec;
-                spec.workload = wl;
-                spec.mode = mode;
-                spec.pageSize = ps;
-                spec.operations = ops;
-                runs.push_back(ap::runExperiment(spec));
-                std::cerr << "." << std::flush;
-            }
-        }
+    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(ops);
+    if (!only.empty()) {
+        std::erase_if(specs, [&](const ap::ExperimentSpec &s) {
+            return s.workload != only;
+        });
     }
-    std::cerr << "\n";
+    std::vector<ap::RunResult> runs = ap::runExperiments(specs, jobs);
 
     if (csv) {
         ap::printCsv(std::cout, runs);

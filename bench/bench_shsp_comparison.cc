@@ -9,33 +9,58 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 1'000'000;
+    std::uint64_t ops = 1'000'000;
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+            ops = std::stoull(argv[++i]);
+        } else {
+            // Positional operation count (legacy invocation).
+            ops = std::stoull(argv[i]);
+        }
+    }
+
+    // One row per workload, four cells per row, all independent.
+    const ap::VirtMode modes[] = {ap::VirtMode::Nested,
+                                  ap::VirtMode::Shadow,
+                                  ap::VirtMode::Shsp,
+                                  ap::VirtMode::Agile};
+    std::vector<ap::ExperimentSpec> specs;
+    for (const std::string &wl : ap::workloadNames()) {
+        for (ap::VirtMode mode : modes) {
+            ap::ExperimentSpec spec;
+            spec.workload = wl;
+            spec.mode = mode;
+            spec.operations = ops;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<ap::RunResult> runs = ap::runExperiments(specs, jobs);
 
     std::printf("SHSP vs agile paging (4K pages)\n\n");
     std::printf("%-11s %8s %8s %8s %8s %8s   %s\n", "workload", "nested",
                 "shadow", "best", "SHSP", "agile", "agile vs SHSP");
     double geo = 1.0;
     int n = 0;
-    for (const std::string &wl : ap::workloadNames()) {
-        auto run = [&](ap::VirtMode mode) {
-            ap::ExperimentSpec spec;
-            spec.workload = wl;
-            spec.mode = mode;
-            spec.operations = ops;
-            return ap::runExperiment(spec);
-        };
-        double nested = run(ap::VirtMode::Nested).slowdown();
-        double shadow = run(ap::VirtMode::Shadow).slowdown();
-        double shsp = run(ap::VirtMode::Shsp).slowdown();
-        double agile = run(ap::VirtMode::Agile).slowdown();
+    for (std::size_t row = 0; row + 3 < runs.size(); row += 4) {
+        const std::string &wl = runs[row].workload;
+        double nested = runs[row + 0].slowdown();
+        double shadow = runs[row + 1].slowdown();
+        double shsp = runs[row + 2].slowdown();
+        double agile = runs[row + 3].slowdown();
         double best = std::min(nested, shadow);
         double vs = (shsp - agile) / agile * 100.0;
         std::printf("%-11s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%   "

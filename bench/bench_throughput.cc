@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Experiment-engine throughput: runs the Figure 5 matrix serially and
+ * with the parallel runner, reports wall-clock, simulated accesses per
+ * second, speedup, and whether the parallel results are bit-identical
+ * to the serial ones. Machine-readable copy goes to
+ * BENCH_throughput.json.
+ *
+ * Usage: bench_throughput [--ops N] [--jobs N] [--json PATH]
+ *        --jobs 0 (default) uses every hardware thread.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
+
+namespace
+{
+
+/** Fields that must match cell-for-cell between serial and parallel. */
+bool
+sameResult(const ap::RunResult &a, const ap::RunResult &b)
+{
+    bool same = a.workload == b.workload && a.mode == b.mode &&
+                a.pageSize == b.pageSize &&
+                a.instructions == b.instructions &&
+                a.idealCycles == b.idealCycles &&
+                a.walkCycles == b.walkCycles &&
+                a.trapCycles == b.trapCycles &&
+                a.tlbMisses == b.tlbMisses && a.walks == b.walks &&
+                a.traps == b.traps &&
+                a.guestPageFaults == b.guestPageFaults &&
+                a.avgWalkRefs == b.avgWalkRefs;
+    for (int c = 0; c < 6; ++c)
+        same = same && a.coverage[c] == b.coverage[c];
+    return same;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    using fsec = std::chrono::duration<double>;
+    return fsec(std::chrono::steady_clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    std::uint64_t ops = 200'000;
+    unsigned jobs = 0;
+    std::string json_path = "BENCH_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+            ops = std::stoull(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--ops N] [--jobs N] [--json PATH]\n";
+            return 1;
+        }
+    }
+    jobs = ap::effectiveJobs(jobs);
+
+    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(ops);
+    std::printf("experiment-engine throughput: %zu cells x %llu ops, "
+                "%u hardware threads\n",
+                specs.size(),
+                static_cast<unsigned long long>(ops),
+                std::thread::hardware_concurrency());
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<ap::RunResult> serial = ap::runExperiments(specs, 1);
+    double serial_sec = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::vector<ap::RunResult> parallel = ap::runExperiments(specs, jobs);
+    double parallel_sec = secondsSince(t0);
+
+    std::uint64_t accesses = 0;
+    for (const ap::RunResult &r : serial)
+        accesses += r.instructions;
+
+    bool identical = serial.size() == parallel.size();
+    for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = sameResult(serial[i], parallel[i]);
+
+    double serial_aps = accesses / serial_sec;
+    double parallel_aps = accesses / parallel_sec;
+    double speedup = serial_sec / parallel_sec;
+
+    std::printf("  serial   (jobs=1):  %7.3f s  %12.0f accesses/s\n",
+                serial_sec, serial_aps);
+    std::printf("  parallel (jobs=%u):  %7.3f s  %12.0f accesses/s\n",
+                jobs, parallel_sec, parallel_aps);
+    std::printf("  speedup: %.2fx   results bit-identical: %s\n", speedup,
+                identical ? "yes" : "NO (BUG)");
+
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"cells\": " << specs.size() << ",\n"
+         << "  \"ops_per_cell\": " << ops << ",\n"
+         << "  \"total_accesses\": " << accesses << ",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"serial\": {\"jobs\": 1, \"seconds\": " << serial_sec
+         << ", \"accesses_per_sec\": " << serial_aps << "},\n"
+         << "  \"parallel\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << parallel_sec
+         << ", \"accesses_per_sec\": " << parallel_aps << "},\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"deterministic\": " << (identical ? "true" : "false")
+         << "\n}\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+
+    return identical ? 0 : 1;
+}

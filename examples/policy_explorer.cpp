@@ -5,31 +5,44 @@
  * workload and prints the overhead surface — the tool you would use
  * to re-tune Section III-C's policies for a new workload.
  *
- *   ./policy_explorer [workload] [ops]
+ * All sweep cells are independent machines, so they fan out across
+ * worker threads; jobs=0 uses every hardware thread.
+ *
+ *   ./policy_explorer [workload] [ops] [jobs]
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel_runner.hh"
 
 namespace
 {
 
 using namespace ap;
 
+/** One cell of the sweep surface. */
+struct PolicyCell
+{
+    Tick interval;
+    std::uint32_t threshold;
+    BackPolicy back;
+    std::uint32_t hysteresis;
+};
+
 double
-run(const std::string &wl, std::uint64_t ops, Tick interval,
-    std::uint32_t threshold, BackPolicy back, std::uint32_t hysteresis)
+run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell)
 {
     WorkloadParams params = defaultParamsFor(wl);
     params.operations = ops;
     SimConfig cfg = configFor(VirtMode::Agile, PageSize::Size4K, params);
-    cfg.policyIntervalOps = interval;
-    cfg.policy.writeThreshold = threshold;
-    cfg.policy.backPolicy = back;
-    cfg.policy.promoteAfterCleanIntervals = hysteresis;
+    cfg.policyIntervalOps = cell.interval;
+    cfg.policy.writeThreshold = cell.threshold;
+    cfg.policy.backPolicy = cell.back;
+    cfg.policy.promoteAfterCleanIntervals = cell.hysteresis;
     Machine machine(cfg);
     auto w = makeWorkload(wl, params);
     return machine.run(*w).totalOverhead();
@@ -43,33 +56,13 @@ main(int argc, char **argv)
     ap::setQuietLogging(true);
     std::string wl = argc > 1 ? argv[1] : "dedup";
     std::uint64_t ops = argc > 2 ? std::stoull(argv[2]) : 600'000;
+    unsigned jobs = argc > 3
+                        ? static_cast<unsigned>(std::stoul(argv[3]))
+                        : 1;
 
-    std::printf("agile policy sweep on %s (%lu ops); cells are total "
-                "overhead\n\n",
-                wl.c_str(), static_cast<unsigned long>(ops));
-
-    std::printf("interval sweep (threshold=2, dirty-scan, "
-                "hysteresis=8):\n");
-    for (ap::Tick interval : {25'000u, 50'000u, 100'000u, 200'000u,
-                              400'000u}) {
-        std::printf("  interval=%-7lu  %6.1f%%\n",
-                    static_cast<unsigned long>(interval),
-                    run(wl, ops, interval, 2, ap::BackPolicy::DirtyScan,
-                        8) *
-                        100);
-    }
-
-    std::printf("\nhysteresis sweep (interval=200k, threshold=2, "
-                "dirty-scan):\n");
-    for (std::uint32_t h : {1u, 2u, 4u, 8u, 16u}) {
-        std::printf("  hysteresis=%-3u  %6.1f%%\n", h,
-                    run(wl, ops, 200'000, 2, ap::BackPolicy::DirtyScan,
-                        h) *
-                        100);
-    }
-
-    std::printf("\nback-policy x threshold matrix (interval=200k):\n");
-    std::printf("  %-10s %8s %8s %8s\n", "", "thr=1", "thr=2", "thr=4");
+    const ap::Tick intervals[] = {25'000, 50'000, 100'000, 200'000,
+                                  400'000};
+    const std::uint32_t hystereses[] = {1, 2, 4, 8, 16};
     struct
     {
         const char *name;
@@ -77,11 +70,50 @@ main(int argc, char **argv)
     } policies[] = {{"none", ap::BackPolicy::None},
                     {"periodic", ap::BackPolicy::PeriodicReset},
                     {"dirty", ap::BackPolicy::DirtyScan}};
+    const std::uint32_t thresholds[] = {1, 2, 4};
+
+    // Flatten the three sweeps into one work list so a single pool
+    // covers them all; results print from their index slots.
+    std::vector<PolicyCell> cells;
+    for (ap::Tick interval : intervals)
+        cells.push_back({interval, 2, ap::BackPolicy::DirtyScan, 8});
+    for (std::uint32_t h : hystereses)
+        cells.push_back({200'000, 2, ap::BackPolicy::DirtyScan, h});
+    for (auto &p : policies)
+        for (std::uint32_t thr : thresholds)
+            cells.push_back({200'000, thr, p.bp, 8});
+
+    std::vector<double> overhead = ap::parallelMap(
+        cells.size(), jobs,
+        [&](std::size_t i) { return run(wl, ops, cells[i]); });
+
+    std::printf("agile policy sweep on %s (%lu ops); cells are total "
+                "overhead\n\n",
+                wl.c_str(), static_cast<unsigned long>(ops));
+
+    std::size_t at = 0;
+    std::printf("interval sweep (threshold=2, dirty-scan, "
+                "hysteresis=8):\n");
+    for (ap::Tick interval : intervals) {
+        std::printf("  interval=%-7lu  %6.1f%%\n",
+                    static_cast<unsigned long>(interval),
+                    overhead[at++] * 100);
+    }
+
+    std::printf("\nhysteresis sweep (interval=200k, threshold=2, "
+                "dirty-scan):\n");
+    for (std::uint32_t h : hystereses) {
+        std::printf("  hysteresis=%-3u  %6.1f%%\n", h,
+                    overhead[at++] * 100);
+    }
+
+    std::printf("\nback-policy x threshold matrix (interval=200k):\n");
+    std::printf("  %-10s %8s %8s %8s\n", "", "thr=1", "thr=2", "thr=4");
     for (auto &p : policies) {
         std::printf("  %-10s", p.name);
-        for (std::uint32_t thr : {1u, 2u, 4u}) {
-            std::printf(" %7.1f%%",
-                        run(wl, ops, 200'000, thr, p.bp, 8) * 100);
+        for (std::uint32_t thr : thresholds) {
+            (void)thr;
+            std::printf(" %7.1f%%", overhead[at++] * 100);
         }
         std::printf("\n");
     }

@@ -17,7 +17,6 @@ namespace ap::debug
 namespace
 {
 std::array<bool, kNumFlags> flags{};
-bool env_parsed = false;
 
 const char *const kNames[kNumFlags] = {
     "walker", "tlb", "vmm", "shadow", "policy", "guestos", "machine",
@@ -41,16 +40,14 @@ flagName(Flag flag)
 bool
 enabled(Flag flag)
 {
-    if (!env_parsed)
-        initFromEnvironment();
+    initFromEnvironment();
     return flags[static_cast<std::size_t>(flag)];
 }
 
 void
 setFlag(Flag flag, bool on)
 {
-    if (!env_parsed)
-        initFromEnvironment();
+    initFromEnvironment();
     flags[static_cast<std::size_t>(flag)] = on;
 }
 
@@ -87,11 +84,16 @@ setFlagsFromString(const std::string &list)
 void
 initFromEnvironment()
 {
-    env_parsed = true;
-    if (const char *env = std::getenv("AP_DEBUG")) {
-        if (!setFlagsFromString(env))
-            ap_warn("AP_DEBUG contains unknown flag names: ", env);
-    }
+    // A magic static makes the one-time parse safe to race from
+    // parallel experiment workers.
+    static const bool parsed = [] {
+        if (const char *env = std::getenv("AP_DEBUG")) {
+            if (!setFlagsFromString(env))
+                ap_warn("AP_DEBUG contains unknown flag names: ", env);
+        }
+        return true;
+    }();
+    (void)parsed;
 }
 
 void

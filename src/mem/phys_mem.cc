@@ -79,7 +79,13 @@ PhysMem::allocTable(TableOwner owner)
     fi.kind = FrameKind::PageTable;
     fi.owner = owner;
     fi.contentId = 0;
-    fi.table = std::make_unique<PtPage>();
+    if (!table_pool_.empty()) {
+        fi.table = std::move(table_pool_.back());
+        table_pool_.pop_back();
+        fi.table->fill(Pte{});
+    } else {
+        fi.table = std::make_unique<PtPage>();
+    }
     ++table_counts_[static_cast<std::size_t>(owner)];
     return f;
 }
@@ -89,8 +95,12 @@ PhysMem::free(FrameId frame)
 {
     FrameInfo &fi = info(frame);
     ap_assert(fi.kind != FrameKind::Free, "double free of frame ", frame);
-    if (fi.kind == FrameKind::PageTable)
+    if (fi.kind == FrameKind::PageTable) {
         --table_counts_[static_cast<std::size_t>(fi.owner)];
+        // Park the 4 KB PTE array for the next allocTable instead of
+        // returning it to the heap.
+        table_pool_.push_back(std::move(fi.table));
+    }
     fi.kind = FrameKind::Free;
     fi.owner = TableOwner::None;
     fi.table.reset();

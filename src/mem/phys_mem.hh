@@ -122,6 +122,9 @@ class PhysMem
     std::vector<FrameId> free_list_;
     std::vector<FrameInfo> frames_;
     std::array<std::uint64_t, 5> table_counts_{};
+    /** Retired PtPage storage, recycled by allocTable so page-table
+     *  churn (shadow rebuilds, CoW, mmap/munmap) stops allocating. */
+    std::vector<std::unique_ptr<PtPage>> table_pool_;
 };
 
 } // namespace ap

@@ -6,6 +6,7 @@
 #include "sim/experiment.hh"
 
 #include "base/logging.hh"
+#include "sim/parallel_runner.hh"
 
 namespace ap
 {
@@ -82,10 +83,10 @@ runExperiment(const ExperimentSpec &spec)
     return machine.run(*workload);
 }
 
-std::vector<RunResult>
-runFigure5Matrix(std::uint64_t operations)
+std::vector<ExperimentSpec>
+figure5Specs(std::uint64_t operations)
 {
-    std::vector<RunResult> results;
+    std::vector<ExperimentSpec> specs;
     const VirtMode modes[] = {VirtMode::Native, VirtMode::Nested,
                               VirtMode::Shadow, VirtMode::Agile};
     const PageSize sizes[] = {PageSize::Size4K, PageSize::Size2M};
@@ -97,11 +98,17 @@ runFigure5Matrix(std::uint64_t operations)
                 spec.mode = mode;
                 spec.pageSize = ps;
                 spec.operations = operations;
-                results.push_back(runExperiment(spec));
+                specs.push_back(spec);
             }
         }
     }
-    return results;
+    return specs;
+}
+
+std::vector<RunResult>
+runFigure5Matrix(std::uint64_t operations, unsigned jobs)
+{
+    return runExperiments(figure5Specs(operations), jobs);
 }
 
 } // namespace ap

@@ -48,11 +48,20 @@ SimConfig configFor(VirtMode mode, PageSize page_size,
 RunResult runExperiment(const ExperimentSpec &spec);
 
 /**
- * Run the full Figure 5 matrix: every Table V workload under
- * {Native, Nested, Shadow, Agile} x {4K, 2M}.
+ * The cells of the Figure 5 matrix: every Table V workload under
+ * {Native, Nested, Shadow, Agile} x {4K, 2M}, in Figure 5 order.
  * @param operations 0 = workload defaults
  */
-std::vector<RunResult> runFigure5Matrix(std::uint64_t operations = 0);
+std::vector<ExperimentSpec> figure5Specs(std::uint64_t operations = 0);
+
+/**
+ * Run the full Figure 5 matrix.
+ * @param operations 0 = workload defaults
+ * @param jobs worker threads (1 = serial, 0 = hardware concurrency);
+ *        results are bit-identical regardless of @p jobs
+ */
+std::vector<RunResult> runFigure5Matrix(std::uint64_t operations = 0,
+                                        unsigned jobs = 1);
 
 } // namespace ap
 

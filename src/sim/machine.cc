@@ -118,7 +118,10 @@ Machine::translate(ProcId pid, Addr va, bool write)
 {
     for (int attempt = 0; attempt < 32; ++attempt) {
         TranslationContext &ctx = guest_os_->context(pid);
-        WalkResult r = walker_->walk(ctx, va, write);
+        // The walker hands back its reused scratch result; no handler
+        // below re-enters the walker, so the reference stays valid
+        // until the retry.
+        const WalkResult &r = walker_->walk(ctx, va, write);
         walk_cycles_ += r.coldRefs * cfg_.walkRefCycles +
                         (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles;
         if (r.ok()) {

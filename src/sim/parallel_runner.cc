@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Parallel experiment engine implementation.
+ */
+
+#include "sim/parallel_runner.hh"
+
+#include "base/debug.hh"
+
+namespace ap
+{
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+{
+    // Force the one lazy global (the AP_DEBUG flag parse) before any
+    // worker can race to it.
+    debug::initFromEnvironment();
+    return parallelMap(specs.size(), jobs, [&](std::size_t i) {
+        return runExperiment(specs[i]);
+    });
+}
+
+} // namespace ap

@@ -5,13 +5,19 @@
  * Shared machinery for the TLBs, page-walk caches, nested TLB, and the
  * sptr hardware cache. Keys are 64-bit; the set index is the low bits
  * of the key, the tag is the remainder.
+ *
+ * This is the inner loop of every simulated memory access, so the
+ * layout is tuned for the probe path: tags, generations, and LRU
+ * stamps live in flat arrays (no per-line struct hop), a set's ways
+ * are scanned as one contiguous open-addressed run, and bulk
+ * invalidation bumps a generation counter instead of clearing lines —
+ * a line is live only when its stored generation matches the cache's.
  */
 
 #ifndef AGILEPAGING_TLB_ASSOC_CACHE_HH
 #define AGILEPAGING_TLB_ASSOC_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "base/logging.hh"
@@ -37,7 +43,10 @@ class AssocCache
     {
         ap_assert(entries > 0 && ways > 0, "bad cache geometry");
         ap_assert(entries % ways == 0, "entries not divisible by ways");
-        lines_.resize(entries);
+        keys_.resize(entries, 0);
+        gens_.resize(entries, 0); // generation 0 < gen_ = never live
+        last_use_.resize(entries, 0);
+        values_.resize(entries);
     }
 
     /**
@@ -47,19 +56,19 @@ class AssocCache
     V *
     lookup(std::uint64_t key)
     {
-        Line *line = find(key);
-        if (!line)
+        std::size_t i = findIndex(key);
+        if (i == kNotFound)
             return nullptr;
-        line->lastUse = ++use_clock_;
-        return &line->value;
+        last_use_[i] = ++use_clock_;
+        return &values_[i];
     }
 
     /** Look up without disturbing LRU state (for inspection). */
     const V *
     peek(std::uint64_t key) const
     {
-        const Line *line = const_cast<AssocCache *>(this)->find(key);
-        return line ? &line->value : nullptr;
+        std::size_t i = findIndex(key);
+        return i == kNotFound ? nullptr : &values_[i];
     }
 
     /**
@@ -70,56 +79,63 @@ class AssocCache
     bool
     insert(std::uint64_t key, V value)
     {
-        std::size_t set = key % sets_;
-        Line *victim = nullptr;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line &line = lines_[set * ways_ + w];
-            if (line.valid && line.key == key) {
-                line.value = std::move(value);
-                line.lastUse = ++use_clock_;
+        std::size_t base = (key % sets_) * ways_;
+        std::size_t victim = base;
+        bool victim_live = false;
+        bool first = true;
+        for (std::size_t i = base; i < base + ways_; ++i) {
+            bool live = gens_[i] == gen_;
+            if (live && keys_[i] == key) {
+                values_[i] = std::move(value);
+                last_use_[i] = ++use_clock_;
                 return false;
             }
-            if (!victim || !line.valid ||
-                (victim->valid && line.lastUse < victim->lastUse)) {
-                if (!victim || victim->valid)
-                    victim = &line;
+            // Victim choice (matches true LRU): the first dead way,
+            // else the live way with the oldest use stamp.
+            if (first) {
+                victim = i;
+                victim_live = live;
+                first = false;
+            } else if (victim_live &&
+                       (!live || last_use_[i] < last_use_[victim])) {
+                victim = i;
+                victim_live = live;
             }
         }
-        bool evicted = victim->valid;
-        victim->valid = true;
-        victim->key = key;
-        victim->value = std::move(value);
-        victim->lastUse = ++use_clock_;
-        return evicted;
+        keys_[victim] = key;
+        gens_[victim] = gen_;
+        values_[victim] = std::move(value);
+        last_use_[victim] = ++use_clock_;
+        return victim_live;
     }
 
     /** Remove @p key. @return true if it was present. */
     bool
     erase(std::uint64_t key)
     {
-        Line *line = find(key);
-        if (!line)
+        std::size_t i = findIndex(key);
+        if (i == kNotFound)
             return false;
-        line->valid = false;
+        gens_[i] = 0;
         return true;
     }
 
     /** Remove every entry matching @p pred(key, value). */
+    template <typename Pred>
     void
-    eraseIf(const std::function<bool(std::uint64_t, const V &)> &pred)
+    eraseIf(const Pred &pred)
     {
-        for (Line &line : lines_) {
-            if (line.valid && pred(line.key, line.value))
-                line.valid = false;
+        for (std::size_t i = 0; i < entries_; ++i) {
+            if (gens_[i] == gen_ && pred(keys_[i], values_[i]))
+                gens_[i] = 0;
         }
     }
 
-    /** Drop everything. */
+    /** Drop everything: O(1) generation bump, no line is touched. */
     void
     clear()
     {
-        for (Line &line : lines_)
-            line.valid = false;
+        ++gen_;
     }
 
     /** Number of valid entries. */
@@ -127,8 +143,8 @@ class AssocCache
     size() const
     {
         std::size_t n = 0;
-        for (const Line &line : lines_)
-            n += line.valid;
+        for (std::size_t i = 0; i < entries_; ++i)
+            n += gens_[i] == gen_;
         return n;
     }
 
@@ -136,31 +152,29 @@ class AssocCache
     std::size_t ways() const { return ways_; }
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        std::uint64_t key = 0;
-        std::uint64_t lastUse = 0;
-        V value{};
-    };
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
 
-    Line *
-    find(std::uint64_t key)
+    std::size_t
+    findIndex(std::uint64_t key) const
     {
-        std::size_t set = key % sets_;
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Line &line = lines_[set * ways_ + w];
-            if (line.valid && line.key == key)
-                return &line;
+        std::size_t base = (key % sets_) * ways_;
+        for (std::size_t i = base; i < base + ways_; ++i) {
+            if (keys_[i] == key && gens_[i] == gen_)
+                return i;
         }
-        return nullptr;
+        return kNotFound;
     }
 
     std::size_t ways_;
     std::size_t sets_;
     std::size_t entries_;
     std::uint64_t use_clock_ = 0;
-    std::vector<Line> lines_;
+    /** Current generation; lines written under an older one are dead. */
+    std::uint64_t gen_ = 1;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> gens_;
+    std::vector<std::uint64_t> last_use_;
+    std::vector<V> values_;
 };
 
 } // namespace ap

@@ -31,22 +31,11 @@ Tlb::Tlb(const std::string &name, stats::StatGroup *parent,
 {
 }
 
-std::uint64_t
-Tlb::key(Addr va, ProcId asid) const
-{
-    // vpn in the low bits (drives set selection); asid in the high bits
-    // so different processes never alias.
-    return vpnOf(va, ps_) | (static_cast<std::uint64_t>(asid) << 40);
-}
-
 std::optional<TlbEntry>
 Tlb::lookup(Addr va, ProcId asid)
 {
-    if (TlbEntry *e = cache_.lookup(key(va, asid))) {
-        ++hits;
+    if (const TlbEntry *e = find(va, asid))
         return *e;
-    }
-    ++misses;
     return std::nullopt;
 }
 

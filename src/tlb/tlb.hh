@@ -53,6 +53,23 @@ class Tlb : public stats::StatGroup
      */
     std::optional<TlbEntry> lookup(Addr va, ProcId asid);
 
+    /**
+     * Hot-path probe: identical to lookup() (LRU refresh, hit/miss
+     * stats) but returns a pointer into the cache instead of copying
+     * the entry through an optional. The pointer is valid until the
+     * next mutating call.
+     */
+    const TlbEntry *
+    find(Addr va, ProcId asid)
+    {
+        if (TlbEntry *e = cache_.lookup(key(va, asid))) {
+            ++hits;
+            return e;
+        }
+        ++misses;
+        return nullptr;
+    }
+
     /** Probe without updating LRU or stats. */
     bool contains(Addr va, ProcId asid) const;
 
@@ -79,7 +96,14 @@ class Tlb : public stats::StatGroup
     stats::Scalar evictions;
 
   private:
-    std::uint64_t key(Addr va, ProcId asid) const;
+    std::uint64_t
+    key(Addr va, ProcId asid) const
+    {
+        // vpn in the low bits (drives set selection); asid in the high
+        // bits so different processes never alias.
+        return va / pageBytes(ps_) |
+               (static_cast<std::uint64_t>(asid) << 40);
+    }
 
     PageSize ps_;
     AssocCache<TlbEntry> cache_;

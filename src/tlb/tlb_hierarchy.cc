@@ -11,10 +11,14 @@ namespace ap
 TlbHierarchy::TlbHierarchy(stats::StatGroup *parent,
                            const TlbHierarchyConfig &cfg)
     : stats::StatGroup("tlb", parent),
-      probes(this, "probes", "hierarchy probes"),
-      l1Hits(this, "l1_hits", "probes hitting in an L1 TLB"),
-      l2Hits(this, "l2_hits", "probes hitting in the L2 TLB"),
-      missesStat(this, "misses", "probes missing the whole hierarchy"),
+      probes(this, "probes", "hierarchy probes",
+             [this] { return double(probe_count_); }),
+      l1Hits(this, "l1_hits", "probes hitting in an L1 TLB",
+             [this] { return double(l1_hit_count_); }),
+      l2Hits(this, "l2_hits", "probes hitting in the L2 TLB",
+             [this] { return double(l2_hit_count_); }),
+      missesStat(this, "misses", "probes missing the whole hierarchy",
+                 [this] { return double(miss_count_); }),
       l1d4k("l1d4k", this, cfg.l1d4k.entries, cfg.l1d4k.ways,
             PageSize::Size4K),
       l1d2m("l1d2m", this, cfg.l1d2m.entries, cfg.l1d2m.ways,
@@ -33,38 +37,46 @@ TlbHierarchy::TlbHierarchy(stats::StatGroup *parent,
 TlbProbeResult
 TlbHierarchy::probe(Addr va, ProcId asid, bool is_instr)
 {
-    ++probes;
+    ++probe_count_;
     TlbProbeResult result;
 
-    auto try_l1 = [&](Tlb &tlb) {
-        if (auto e = tlb.lookup(va, asid)) {
-            result.level = TlbHitLevel::L1;
-            result.entry = *e;
-            result.size = tlb.pageSize();
-            return true;
-        }
-        return false;
-    };
-
-    bool hit = is_instr ? (try_l1(l1i4k) || try_l1(l1i2m))
-                        : (try_l1(l1d4k) || try_l1(l1d2m) || try_l1(l1d1g));
-    if (hit) {
-        ++l1Hits;
+    // L1 fast path: pointer probes of each page-size sub-TLB (hardware
+    // probes them in parallel), no entry copies until a hit is known.
+    const TlbEntry *e = nullptr;
+    const Tlb *src = nullptr;
+    if (is_instr) {
+        if ((e = l1i4k.find(va, asid)))
+            src = &l1i4k;
+        else if ((e = l1i2m.find(va, asid)))
+            src = &l1i2m;
+    } else {
+        if ((e = l1d4k.find(va, asid)))
+            src = &l1d4k;
+        else if ((e = l1d2m.find(va, asid)))
+            src = &l1d2m;
+        else if ((e = l1d1g.find(va, asid)))
+            src = &l1d1g;
+    }
+    if (e) {
+        ++l1_hit_count_;
+        result.level = TlbHitLevel::L1;
+        result.entry = *e;
+        result.size = src->pageSize();
         return result;
     }
 
     // Unified L2 holds only 4K translations (Table III).
-    if (auto e = l2u4k.lookup(va, asid)) {
-        ++l2Hits;
+    if (const TlbEntry *e2 = l2u4k.find(va, asid)) {
+        ++l2_hit_count_;
         result.level = TlbHitLevel::L2;
-        result.entry = *e;
+        result.entry = *e2;
         result.size = PageSize::Size4K;
         // Refill the L1 that missed.
-        (is_instr ? l1i4k : l1d4k).insert(va, asid, *e);
+        (is_instr ? l1i4k : l1d4k).insert(va, asid, result.entry);
         return result;
     }
 
-    ++missesStat;
+    ++miss_count_;
     return result;
 }
 

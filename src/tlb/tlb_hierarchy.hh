@@ -91,15 +91,22 @@ class TlbHierarchy : public stats::StatGroup
     /** Invalidate everything (host-side invalidation). */
     void flushAll();
 
-    /** Aggregate probe counters across sub-TLBs. */
-    stats::Scalar probes;
-    stats::Scalar l1Hits;
-    stats::Scalar l2Hits;
-    stats::Scalar missesStat;
+    /** Aggregate probe counters. The hot path bumps plain integers;
+     *  the formulas expose them to stat dumps lazily. */
+    stats::Formula probes;
+    stats::Formula l1Hits;
+    stats::Formula l2Hits;
+    stats::Formula missesStat;
 
     Tlb l1d4k, l1d2m, l1d1g;
     Tlb l1i4k, l1i2m;
     Tlb l2u4k;
+
+  private:
+    std::uint64_t probe_count_ = 0;
+    std::uint64_t l1_hit_count_ = 0;
+    std::uint64_t l2_hit_count_ = 0;
+    std::uint64_t miss_count_ = 0;
 };
 
 } // namespace ap

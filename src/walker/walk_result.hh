@@ -113,6 +113,28 @@ struct WalkResult
     std::vector<WalkAccess> trace;
 
     bool ok() const { return fault == WalkFault::None; }
+
+    /**
+     * Return to the freshly-constructed state while keeping the trace
+     * vector's capacity, so a reused result never reallocates.
+     */
+    void
+    reset()
+    {
+        fault = WalkFault::None;
+        hframe = 0;
+        size = PageSize::Size4K;
+        writable = false;
+        refs = 0;
+        coldRefs = 0;
+        switchDepth = kPtLevels;
+        fullNested = false;
+        dirtyTransition = false;
+        faultVa = 0;
+        faultGpa = 0;
+        faultDepth = 0;
+        trace.clear();
+    }
 };
 
 } // namespace ap

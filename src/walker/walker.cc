@@ -37,24 +37,27 @@ Walker::Walker(stats::StatGroup *parent, PhysMem &mem, PageWalkCache &pwc,
 {
 }
 
-WalkResult
+const WalkResult &
 Walker::walk(const TranslationContext &ctx, Addr va, bool is_write)
 {
     ++walks;
-    WalkResult r;
+    WalkResult &r = result_;
+    r.reset();
     switch (ctx.mode) {
       case VirtMode::Native:
-        r = nativeWalk(ctx, va, is_write);
+        nativeWalk(ctx, va, is_write, r);
         break;
       case VirtMode::Nested:
-        r = nestedWalk(ctx, va, is_write);
+        nestedWalk(ctx, va, is_write, r);
         break;
       case VirtMode::Shadow:
       case VirtMode::Agile:
       case VirtMode::Shsp:
         // Fig. 4: "if sptr == gptr then return nested_walk(...)".
-        r = ctx.fullNested ? nestedWalk(ctx, va, is_write)
-                           : agileWalk(ctx, va, is_write);
+        if (ctx.fullNested)
+            nestedWalk(ctx, va, is_write, r);
+        else
+            agileWalk(ctx, va, is_write, r);
         break;
     }
     refsTotal += r.refs;
@@ -134,10 +137,10 @@ Walker::hostTranslate(const TranslationContext &ctx, FrameId gframe,
     ap_panic("host walk ran off the end");
 }
 
-WalkResult
-Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write)
+void
+Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                   WalkResult &r)
 {
-    WalkResult r;
     PwcHit hit = pwc_.probe(va, ctx.asid);
     unsigned depth = hit.startDepth;
     FrameId cur = depth ? hit.entry.frame : ctx.nativeRoot;
@@ -150,7 +153,7 @@ Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write)
             r.fault = WalkFault::NativeFault;
             r.faultVa = va;
             r.faultDepth = d;
-            return r;
+            return;
         }
         pte.accessed = true;
         if (d == kPtLevels - 1 || pte.pageSize) {
@@ -163,7 +166,7 @@ Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write)
                     r.dirtyTransition = true;
                 pte.dirty = true;
             }
-            return r;
+            return;
         }
         cur = pte.pfn;
         pwc_.fill(va, ctx.asid, d + 1, cur, false);
@@ -182,10 +185,10 @@ minSize(PageSize a, PageSize b)
 }
 } // namespace
 
-WalkResult
-Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
+void
+Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                   WalkResult &r)
 {
-    WalkResult r;
     r.fullNested = true;
     r.switchDepth = 0;
 
@@ -199,7 +202,7 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
         HostLeaf leaf;
         if (!hostTranslate(ctx, ctx.gptRoot, r, leaf)) {
             r.faultVa = va;
-            return r;
+            return;
         }
         cur = leaf.h4k;
     }
@@ -212,7 +215,7 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
             r.fault = WalkFault::GuestFault;
             r.faultVa = va;
             r.faultDepth = d;
-            return r;
+            return;
         }
         pte.accessed = true;
         if (d == kPtLevels - 1 || pte.pageSize) {
@@ -223,7 +226,7 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
             HostLeaf leaf;
             if (!hostTranslate(ctx, gf, r, leaf)) {
                 r.faultVa = va;
-                return r;
+                return;
             }
             r.size = minSize(gsize, leaf.hostSize);
             std::uint64_t eframes = pageBytes(r.size) / kPageBytes;
@@ -234,12 +237,12 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
                     r.dirtyTransition = true;
                 pte.dirty = true;
             }
-            return r;
+            return;
         }
         HostLeaf leaf;
         if (!hostTranslate(ctx, pte.pfn, r, leaf)) {
             r.faultVa = va;
-            return r;
+            return;
         }
         cur = leaf.h4k;
         pwc_.fill(va, ctx.asid, d + 1, cur, true);
@@ -247,11 +250,10 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write)
     ap_panic("nested walk ran off the end");
 }
 
-WalkResult
-Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
+void
+Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                  WalkResult &r)
 {
-    WalkResult r;
-
     PwcHit hit = pwc_.probe(va, ctx.asid);
     unsigned depth = hit.startDepth;
     bool nested;
@@ -281,7 +283,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
                 r.fault = WalkFault::ShadowFault;
                 r.faultVa = va;
                 r.faultDepth = d;
-                return r;
+                return;
             }
             pte.accessed = true;
             if (pte.switching) {
@@ -306,7 +308,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
                         r.dirtyTransition = true;
                     pte.dirty = true;
                 }
-                return r;
+                return;
             }
             cur = pte.pfn;
             pwc_.fill(va, ctx.asid, d + 1, cur, false);
@@ -318,7 +320,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
                 r.fault = WalkFault::GuestFault;
                 r.faultVa = va;
                 r.faultDepth = d;
-                return r;
+                return;
             }
             pte.accessed = true;
             if (d == kPtLevels - 1 || pte.pageSize) {
@@ -328,7 +330,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
                 HostLeaf leaf;
                 if (!hostTranslate(ctx, gf, r, leaf)) {
                     r.faultVa = va;
-                    return r;
+                    return;
                 }
                 r.size = minSize(gsize, leaf.hostSize);
                 std::uint64_t eframes = pageBytes(r.size) / kPageBytes;
@@ -339,12 +341,12 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write)
                         r.dirtyTransition = true;
                     pte.dirty = true;
                 }
-                return r;
+                return;
             }
             HostLeaf leaf;
             if (!hostTranslate(ctx, pte.pfn, r, leaf)) {
                 r.faultVa = va;
-                return r;
+                return;
             }
             cur = leaf.h4k;
             pwc_.fill(va, ctx.asid, d + 1, cur, true);

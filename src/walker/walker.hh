@@ -76,9 +76,14 @@ class Walker : public stats::StatGroup
      * fault it carries enough context for the guest OS or VMM to
      * handle it, after which the machine retries the walk.
      *
+     * The returned reference is to a scratch result reused across
+     * walks (so the per-walk trace vector never reallocates on the hot
+     * path); it is valid until the next walk() call. Copy it to keep.
+     *
      * @param is_write the access is a store (sets dirty bits)
      */
-    WalkResult walk(const TranslationContext &ctx, Addr va, bool is_write);
+    const WalkResult &walk(const TranslationContext &ctx, Addr va,
+                           bool is_write);
 
     /** Enable per-access chronological tracing (Table II bench). */
     void setTracing(bool on) { tracing_ = on; }
@@ -116,16 +121,16 @@ class Walker : public stats::StatGroup
                        WalkResult &result, HostLeaf &out);
 
     /** 1D walk used for native mode. */
-    WalkResult nativeWalk(const TranslationContext &ctx, Addr va,
-                          bool is_write);
+    void nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                    WalkResult &r);
 
     /** 2D walk of Fig. 2b (also agile's sptr==gptr case). */
-    WalkResult nestedWalk(const TranslationContext &ctx, Addr va,
-                          bool is_write);
+    void nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                    WalkResult &r);
 
     /** Shadow/agile walk of Fig. 4. */
-    WalkResult agileWalk(const TranslationContext &ctx, Addr va,
-                         bool is_write);
+    void agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                   WalkResult &r);
 
     /** Classify a successful walk into a Table VI coverage column. */
     void recordCoverage(const WalkResult &r);
@@ -150,6 +155,8 @@ class Walker : public stats::StatGroup
     PageWalkCache &pwc_;
     NestedTlb &ntlb_;
     bool tracing_ = false;
+    /** Scratch result reused across walks (no per-walk allocation). */
+    WalkResult result_;
 };
 
 } // namespace ap
