@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lock-step differential replay throughput: how much a checked
+ * three-machine replay costs per event, with and without the
+ * cross-machine and sweep checks — the price of turning a tier-1 run
+ * into a correctness gate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/logging.hh"
+#include "sim/oracle.hh"
+
+namespace
+{
+
+ap::OracleOptions
+benchOptions(std::uint64_t sweep_interval)
+{
+    ap::OracleOptions opts;
+    opts.seed = 7;
+    opts.operations = 2000;
+    opts.sweepInterval = sweep_interval;
+    return opts;
+}
+
+void
+BM_LockstepReplay(benchmark::State &state)
+{
+    ap::setQuietLogging(true);
+    ap::OracleOptions opts =
+        benchOptions(static_cast<std::uint64_t>(state.range(0)));
+    ap::Trace trace = ap::makeRandomTrace(opts);
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        ap::OracleReport rep = ap::runDifferential(trace, opts);
+        ap_assert(rep.passed, "benchmark trace must be violation-free");
+        events += rep.eventsReplayed;
+        benchmark::DoNotOptimize(rep.eventsReplayed);
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    ap::OracleOptions opts = benchOptions(256);
+    for (auto _ : state) {
+        ap::Trace t = ap::makeRandomTrace(opts);
+        benchmark::DoNotOptimize(t.events.size());
+        ++opts.seed;
+    }
+}
+
+} // namespace
+
+// Sweep every 64 events vs every 1024: the coherence sweep dominates
+// checked-replay cost, so this brackets the gate's overhead.
+BENCHMARK(BM_LockstepReplay)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration);
+
+BENCHMARK_MAIN();

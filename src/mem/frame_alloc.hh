@@ -8,6 +8,8 @@
 #ifndef AGILEPAGING_MEM_FRAME_ALLOC_HH
 #define AGILEPAGING_MEM_FRAME_ALLOC_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "base/logging.hh"
@@ -15,6 +17,39 @@
 
 namespace ap
 {
+
+/**
+ * Carve an @p n-aligned run of @p n consecutive frame ids out of
+ * @p free_list (sorting it in place), or return 0 when none exists.
+ *
+ * Freed large-page groups come back one frame at a time, so the only
+ * way to recycle them for a later contiguous allocation is to sort and
+ * scan. Callers pay this only when their bump region is exhausted —
+ * the state in which the alternative is failing the allocation.
+ */
+inline FrameId
+claimContiguousRun(std::vector<FrameId> &free_list, std::uint64_t n)
+{
+    std::sort(free_list.begin(), free_list.end());
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < free_list.size(); ++i) {
+        if (run > 0 && free_list[i] == free_list[i - 1] + 1) {
+            ++run;
+        } else {
+            run = free_list[i] % n == 0 ? 1 : 0;
+        }
+        if (run == n) {
+            std::size_t begin = i + 1 - n;
+            FrameId f = free_list[begin];
+            free_list.erase(free_list.begin() +
+                                static_cast<std::ptrdiff_t>(begin),
+                            free_list.begin() +
+                                static_cast<std::ptrdiff_t>(i + 1));
+            return f;
+        }
+    }
+    return 0;
+}
 
 /**
  * Allocates frame ids 1..capacity (0 is the null frame, as in PhysMem).
@@ -46,7 +81,11 @@ class FrameAllocator
 
     /**
      * Allocate @p n physically contiguous, naturally aligned frames
-     * (for large-page backing). Only served from the fresh region.
+     * (for large-page backing). Served from the fresh region while it
+     * lasts, then from aligned runs of freed frames — without the
+     * fallback, large-page churn (fork COW, mmap/munmap) burns through
+     * the pool monotonically and exhausts it even when almost every
+     * frame is free.
      * @return first frame id, or 0 when exhausted.
      */
     FrameId
@@ -54,15 +93,21 @@ class FrameAllocator
     {
         ap_assert(n >= 1, "allocContiguous(0)");
         FrameId first = ((next_ + n - 1) / n) * n; // align to n
-        if (first + n - 1 > capacity_)
-            return 0;
-        // Frames skipped by alignment go to the free list.
-        for (FrameId f = next_; f < first; ++f) {
-            free_list_.push_back(f);
+        if (first + n - 1 <= capacity_) {
+            // Frames skipped by alignment go to the free list.
+            for (FrameId f = next_; f < first; ++f) {
+                free_list_.push_back(f);
+            }
+            next_ = first + n;
+            allocated_ += n;
+            return first;
         }
-        next_ = first + n;
-        allocated_ += n;
-        return first;
+        if (n == 1)
+            return alloc();
+        FrameId f = claimContiguousRun(free_list_, n);
+        if (f)
+            allocated_ += n;
+        return f;
     }
 
     void

@@ -6,6 +6,7 @@
 #include "mem/phys_mem.hh"
 
 #include "base/logging.hh"
+#include "mem/frame_alloc.hh"
 
 namespace ap
 {
@@ -52,12 +53,20 @@ PhysMem::allocDataContiguous(std::uint64_t n, std::uint64_t content_id)
 {
     ap_assert(n >= 1, "allocDataContiguous(0)");
     FrameId first = ((next_fresh_ + n - 1) / n) * n;
-    if (first + n - 1 > capacity_)
-        return kNoFrame;
-    // Frames skipped to reach alignment stay available for 4K use.
-    for (FrameId f = next_fresh_; f < first; ++f)
-        free_list_.push_back(f);
-    next_fresh_ = first + n;
+    if (first + n - 1 <= capacity_) {
+        // Frames skipped to reach alignment stay available for 4K use.
+        for (FrameId f = next_fresh_; f < first; ++f)
+            free_list_.push_back(f);
+        next_fresh_ = first + n;
+    } else if (n == 1) {
+        return allocData(content_id);
+    } else {
+        // Fresh region exhausted: recycle an aligned run of freed
+        // frames so large-page churn cannot exhaust a mostly-free pool.
+        first = claimContiguousRun(free_list_, n);
+        if (first == kNoFrame)
+            return kNoFrame;
+    }
     allocated_ += n;
     for (FrameId f = first; f < first + n; ++f) {
         FrameInfo &fi = frames_[f];

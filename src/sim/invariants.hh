@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Architectural invariant checks for the differential oracle.
+ *
+ * Each check re-derives state through an independent path — a raw
+ * page-table walk over PhysMem, the guest's functional page table, or
+ * the stat counters — and compares against what the machine's hardware
+ * models (walker, TLBs, shadow manager) produced. The checks are
+ * side-effect-free: they never allocate frames, touch A/D bits, fill
+ * caches, or advance any counter, so running them between events
+ * cannot perturb the simulation they are checking.
+ *
+ * The invariants (ISSUE 2):
+ *  (a) every machine resolves the same gVA translation — checked
+ *      cross-machine at guest level (guest frame + permission bits;
+ *      host frame numbers legitimately differ between machines because
+ *      host allocation order is mode-dependent), and per-machine the
+ *      architectural walk must land on the frame backing the guest's
+ *      functional mapping;
+ *  (b) coverage fractions sum to 1 and the raw counters are monotone;
+ *  (c) shadow PTEs are bit-coherent with the guest page table whenever
+ *      the shadowed region is clean (not unsynced);
+ *  (d) guest/shadow A/D dirty bits are set by the time a store
+ *      retires, matching the walker's dirtyTransition accounting.
+ */
+
+#ifndef AGILEPAGING_SIM_INVARIANTS_HH
+#define AGILEPAGING_SIM_INVARIANTS_HH
+
+#include <optional>
+#include <string>
+
+#include "sim/machine.hh"
+
+namespace ap
+{
+
+/** One failed invariant, with enough context to debug it. */
+struct InvariantViolation
+{
+    /** Which invariant: "lockstep", "translation", "coverage",
+     *  "counters", "shadow-coherence", "dirty-bit". */
+    std::string invariant;
+    /** Human-readable description of the mismatch. */
+    std::string detail;
+    /** Trace event index after which the violation was detected. */
+    std::uint64_t eventIndex = 0;
+    /** Virtual address involved (0 when not address-specific). */
+    Addr va = 0;
+};
+
+/** Result of an independent architectural walk (see resolveArch). */
+struct ArchLeaf
+{
+    /** Host frame of @p va's exact 4 KB page. */
+    FrameId h4k = 0;
+    /** Write permission of the full translation as hardware sees it. */
+    bool writable = false;
+};
+
+/**
+ * Resolve @p va for @p pid by walking the machine's raw page tables
+ * (native, shadow+switching, or two-stage nested, per the process's
+ * translation context) without going through the walker, its caches,
+ * or its stats. Returns nullopt when the translation is incomplete.
+ */
+std::optional<ArchLeaf> resolveArch(Machine &m, ProcId pid, Addr va);
+
+/**
+ * Per-machine checks after an access to @p va completed: the
+ * architectural walk resolves, lands on the frame backing the guest's
+ * functional mapping, never grants write where the guest does not, and
+ * after a store the guest leaf dirty bit is set (invariant d).
+ */
+std::optional<InvariantViolation>
+checkAccessInvariants(Machine &m, Addr va, bool write,
+                      std::uint64_t event_index);
+
+/**
+ * Guest-level lock-step agreement between two machines (invariant a):
+ * same functional mapping (guest frame, granule) and same guest PTE
+ * writable/dirty bits for @p va. Accessed bits are excluded — they
+ * depend on TLB-hit timing, which hardware does not architect.
+ */
+std::optional<InvariantViolation>
+checkCrossMachine(Machine &a, Machine &b, Addr va,
+                  std::uint64_t event_index);
+
+/**
+ * Counter sanity for one machine (invariant b): walk/miss/trap/
+ * coverage counters are monotone versus @p prev, and the normalized
+ * coverage fractions sum to 1 (within 1e-9) once any walk completed.
+ * On success @p prev is updated to the current snapshot.
+ */
+std::optional<InvariantViolation>
+checkCounterInvariants(Machine &m, RunResult &prev,
+                       std::uint64_t event_index);
+
+/**
+ * Shadow-coherence sweep (invariant c): for every shadowed process,
+ * every terminal shadow entry agrees bit-for-bit with the guest page
+ * table — switching entries point at the backing of the next-level
+ * guest PT page, and leaves map the backing of the guest frame with
+ * writable = gpte.writable && hostWritable && (gpte.dirty || hwOptAd)
+ * and dirty never exceeding the guest's. Unsynced and nested-covered
+ * PT pages are exempt (their staleness is the design).
+ */
+std::optional<InvariantViolation>
+checkShadowCoherence(Machine &m, std::uint64_t event_index);
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_INVARIANTS_HH

@@ -250,6 +250,15 @@ Machine::doAccess(Addr va, bool write, bool instr)
                 resolveProtection(pid, va);
                 continue;
             }
+            if (write && !hit.entry.dirty) {
+                // x86 semantics: a store through a cached translation
+                // whose leaf dirty bit is clear must re-walk so the
+                // hardware can set the in-memory dirty bit. Without
+                // this, a write hitting an entry filled by a read
+                // would never dirty the page.
+                tlb_->flushPage(va, pid);
+                continue;
+            }
             if (cfg_.verifyTranslations) {
                 std::uint64_t frames = pageBytes(hit.size) / kPageBytes;
                 verifyAgainstFunctional(
@@ -266,6 +275,7 @@ Machine::doAccess(Addr va, bool write, bool instr)
         TlbEntry entry;
         entry.pfn = r.hframe;
         entry.writable = r.writable;
+        entry.dirty = r.dirty;
         entry.asid = pid;
         tlb_->fill(va, pid, instr, r.size, entry);
         if (cfg_.verifyTranslations) {

@@ -108,6 +108,8 @@ class Machine : public stats::StatGroup, public WorkloadHost
     ProcId currentProcess() const { return current_; }
 
     GuestOs &guestOs() { return *guest_os_; }
+    /** Raw host memory (the invariant checker walks tables directly). */
+    PhysMem &physMem() { return mem_; }
     Vmm *vmm() { return vmm_.get(); }
     ShadowMgr *shadowMgr() { return smgr_.get(); }
     Walker &walker() { return *walker_; }

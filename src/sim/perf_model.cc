@@ -5,6 +5,10 @@
 
 #include "sim/perf_model.hh"
 
+#include <cmath>
+
+#include "base/logging.hh"
+
 namespace ap
 {
 
@@ -13,6 +17,9 @@ computeBreakdown(const RunResult &run)
 {
     PerfBreakdown b;
     double ideal = static_cast<double>(run.idealCycles);
+    // A run that executed nothing (or recorded no misses) has no
+    // measurement to derive overheads from; leave hasData false so
+    // callers can distinguish "no overhead" from "no data".
     if (ideal <= 0)
         return b;
     b.pageWalkOverhead = static_cast<double>(run.walkCycles) / ideal;
@@ -23,6 +30,7 @@ computeBreakdown(const RunResult &run)
             : 0.0;
     b.refsPerWalk = run.avgWalkRefs;
     b.slowdown = 1.0 + b.pageWalkOverhead + b.vmmOverhead;
+    b.hasData = run.tlbMisses > 0;
     return b;
 }
 
@@ -31,12 +39,16 @@ projectAgileWalkCycles(const RunResult &shadow_run,
                        const RunResult &nested_run,
                        const RunResult &agile_run)
 {
-    double c_s = shadow_run.tlbMisses
-                     ? double(shadow_run.walkCycles) / shadow_run.tlbMisses
-                     : 0.0;
-    double c_n = nested_run.tlbMisses
-                     ? double(nested_run.walkCycles) / nested_run.tlbMisses
-                     : 0.0;
+    // The projection interpolates between measured per-miss costs; a
+    // constituent run with zero misses has no such cost, so the
+    // projection is undefined rather than zero.
+    if (shadow_run.tlbMisses == 0 || nested_run.tlbMisses == 0 ||
+        agile_run.tlbMisses == 0) {
+        return std::nan("");
+    }
+
+    double c_s = double(shadow_run.walkCycles) / shadow_run.tlbMisses;
+    double c_n = double(nested_run.walkCycles) / nested_run.tlbMisses;
     double misses = static_cast<double>(agile_run.tlbMisses);
 
     // Coverage classes: [0]=full shadow, [1]=switched at the leaf
@@ -48,6 +60,10 @@ projectAgileWalkCycles(const RunResult &shadow_run,
     double shadow_frac = cov[0];
     double leaf_frac = cov[1];
     double deep_frac = cov[2] + cov[3] + cov[4] + cov[5];
+
+    double cov_sum = shadow_frac + leaf_frac + deep_frac;
+    ap_assert(std::fabs(cov_sum - 1.0) <= 1e-9,
+              "agile coverage fractions must sum to 1");
 
     double projected_per_miss = shadow_frac * c_s +
                                 leaf_frac * (c_s + 0.5 * (c_n - c_s)) +

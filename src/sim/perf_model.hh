@@ -29,6 +29,13 @@ namespace ap
 /** Derived per-run quantities (one Fig. 5 bar + Table VI row). */
 struct PerfBreakdown
 {
+    /**
+     * False when the run carries no usable measurement (idealCycles
+     * <= 0 or zero TLB misses): every derived field is then a
+     * placeholder, not a measured "0% overhead". Consumers must check
+     * this before reporting the numbers.
+     */
+    bool hasData = false;
     /** PW: page-walk overhead as a fraction of ideal cycles. */
     double pageWalkOverhead = 0.0;
     /** VMM: intervention overhead as a fraction of ideal cycles. */
@@ -53,10 +60,15 @@ PerfBreakdown computeBreakdown(const RunResult &run);
  * nested-beyond-native cost and deeper switches pay the full nested
  * cost.
  *
+ * Asserts that the agile run's coverage fractions sum to 1 (within
+ * 1e-9) whenever the run recorded any walks at all.
+ *
  * @param shadow_run measured shadow-paging run (gives C_S)
  * @param nested_run measured nested-paging run (gives C_N)
  * @param agile_run  measured agile run (gives FN_i and M)
- * @return projected agile page-walk cycles
+ * @return projected agile page-walk cycles, or NaN when any of the
+ *         three runs has no TLB misses (the projection is undefined:
+ *         a zero-miss constituent run gives no per-miss cost)
  */
 double projectAgileWalkCycles(const RunResult &shadow_run,
                               const RunResult &nested_run,

@@ -40,8 +40,14 @@ std::string
 overheadBar(double fraction, double per_char)
 {
     int n = static_cast<int>(fraction / per_char + 0.5);
+    bool overflow = n > 60;
     n = std::clamp(n, 0, 60);
-    return std::string(static_cast<std::size_t>(n), '#');
+    std::string bar(static_cast<std::size_t>(n), '#');
+    // Without the marker every overhead beyond the 60-column budget
+    // renders as the same full-width bar.
+    if (overflow)
+        bar += '+';
+    return bar;
 }
 
 void
@@ -76,7 +82,7 @@ printTable6(std::ostream &os, const std::vector<RunResult> &runs)
     os << std::left << std::setw(11) << "workload" << std::right
        << std::setw(9) << "Shadow" << std::setw(8) << "L4" << std::setw(8)
        << "L3" << std::setw(8) << "L2" << std::setw(8) << "L1"
-       << std::setw(9) << "Nested" << std::setw(9) << "Avg\n";
+       << std::setw(9) << "Nested" << std::setw(8) << "Avg" << "\n";
     os << std::left << std::setw(11) << "(mem refs)" << std::right
        << std::setw(9) << 4 << std::setw(8) << 8 << std::setw(8) << 12
        << std::setw(8) << 16 << std::setw(8) << 20 << std::setw(9) << 24

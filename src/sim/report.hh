@@ -36,7 +36,10 @@ void printTable6(std::ostream &os, const std::vector<RunResult> &runs);
 /** Machine-readable CSV with every RunResult field. */
 void printCsv(std::ostream &os, const std::vector<RunResult> &runs);
 
-/** ASCII bar (# per 2% of overhead) for quick visual comparison. */
+/**
+ * ASCII bar (# per 2% of overhead) for quick visual comparison. Capped
+ * at 60 columns; a trailing '+' marks bars that exceed the cap.
+ */
 std::string overheadBar(double fraction, double per_char = 0.02);
 
 } // namespace ap

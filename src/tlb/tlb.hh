@@ -27,6 +27,10 @@ struct TlbEntry
     FrameId pfn = 0;
     /** Write permission as seen by hardware (shadow may clear it). */
     bool writable = false;
+    /** Leaf dirty state at fill time. A store through a clean entry
+     *  must re-walk so the hardware can set the in-memory dirty bit
+     *  (x86 SDM: the cached translation alone cannot satisfy it). */
+    bool dirty = false;
     /** Global/asid: entries are tagged, flushed per-asid. */
     ProcId asid = 0;
 };

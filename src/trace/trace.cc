@@ -52,41 +52,6 @@ TraceReplayWorkload::name() const
 }
 
 void
-TraceReplayWorkload::play(WorkloadHost &host, const TraceEvent &e)
-{
-    switch (e.kind) {
-      case TraceEvent::Kind::Access:
-        host.access(e.addr, e.flag);
-        break;
-      case TraceEvent::Kind::InstrFetch:
-        host.instrFetch(e.addr);
-        break;
-      case TraceEvent::Kind::Mmap:
-      case TraceEvent::Kind::MmapAt:
-        host.mmapAt(e.addr, e.arg, e.flag, e.fileBacked, e.fileId);
-        break;
-      case TraceEvent::Kind::Munmap:
-        host.munmap(e.addr, e.arg);
-        break;
-      case TraceEvent::Kind::Compute:
-        host.compute(e.arg);
-        break;
-      case TraceEvent::Kind::ForkTouchExit:
-        host.forkTouchExit(e.arg);
-        break;
-      case TraceEvent::Kind::Yield:
-        host.yield();
-        break;
-      case TraceEvent::Kind::ReclaimTick:
-        host.reclaimTick(e.arg);
-        break;
-      case TraceEvent::Kind::SharePages:
-        host.sharePagesScan();
-        break;
-    }
-}
-
-void
 TraceReplayWorkload::init(WorkloadHost &host)
 {
     (void)host;
@@ -97,7 +62,7 @@ void
 TraceReplayWorkload::warmup(WorkloadHost &host)
 {
     while (next_ < trace_.warmupEvents && next_ < trace_.events.size()) {
-        play(host, trace_.events[next_]);
+        applyTraceEvent(host, trace_.events[next_]);
         ++next_;
     }
 }
@@ -107,7 +72,7 @@ TraceReplayWorkload::step(WorkloadHost &host)
 {
     if (next_ >= trace_.events.size())
         return false;
-    play(host, trace_.events[next_]);
+    applyTraceEvent(host, trace_.events[next_]);
     ++next_;
     return next_ < trace_.events.size();
 }

@@ -77,6 +77,47 @@ struct Trace
 };
 
 /**
+ * Apply one recorded event to a host. This is the replay primitive
+ * shared by TraceReplayWorkload and the differential oracle (which
+ * lock-steps several machines through the same event and therefore
+ * cannot use the Workload interface).
+ */
+inline void
+applyTraceEvent(WorkloadHost &host, const TraceEvent &e)
+{
+    switch (e.kind) {
+      case TraceEvent::Kind::Access:
+        host.access(e.addr, e.flag);
+        break;
+      case TraceEvent::Kind::InstrFetch:
+        host.instrFetch(e.addr);
+        break;
+      case TraceEvent::Kind::Mmap:
+      case TraceEvent::Kind::MmapAt:
+        host.mmapAt(e.addr, e.arg, e.flag, e.fileBacked, e.fileId);
+        break;
+      case TraceEvent::Kind::Munmap:
+        host.munmap(e.addr, e.arg);
+        break;
+      case TraceEvent::Kind::Compute:
+        host.compute(e.arg);
+        break;
+      case TraceEvent::Kind::ForkTouchExit:
+        host.forkTouchExit(e.arg);
+        break;
+      case TraceEvent::Kind::Yield:
+        host.yield();
+        break;
+      case TraceEvent::Kind::ReclaimTick:
+        host.reclaimTick(e.arg);
+        break;
+      case TraceEvent::Kind::SharePages:
+        host.sharePagesScan();
+        break;
+    }
+}
+
+/**
  * WorkloadHost decorator: forwards every call to an inner host while
  * appending it to a trace.
  */
@@ -221,8 +262,6 @@ class TraceReplayWorkload : public Workload
     bool selfWarmup() const override { return true; }
 
   private:
-    void play(WorkloadHost &host, const TraceEvent &e);
-
     Trace trace_;
     std::uint64_t next_ = 0;
 };

@@ -12,14 +12,19 @@ SptrCache::SptrCache(stats::StatGroup *parent, std::size_t entries)
     : stats::StatGroup("sptr_cache", parent),
       hits(this, "hits", "context switches resolved without a VMtrap"),
       misses(this, "misses", "context switches that still trapped"),
-      cache_(entries, entries) // fully associative
+      capacity_(entries),
+      cache_(entries ? std::make_unique<AssocCache<SptrEntry>>(
+                           entries, entries) // fully associative
+                     : nullptr)
 {
 }
 
 std::optional<SptrEntry>
 SptrCache::lookup(FrameId gpt_root)
 {
-    if (SptrEntry *e = cache_.lookup(gpt_root)) {
+    if (!cache_)
+        return std::nullopt;
+    if (SptrEntry *e = cache_->lookup(gpt_root)) {
         ++hits;
         return *e;
     }
@@ -30,13 +35,15 @@ SptrCache::lookup(FrameId gpt_root)
 void
 SptrCache::insert(FrameId gpt_root, const SptrEntry &entry)
 {
-    cache_.insert(gpt_root, entry);
+    if (cache_)
+        cache_->insert(gpt_root, entry);
 }
 
 void
 SptrCache::invalidate(FrameId gpt_root)
 {
-    cache_.erase(gpt_root);
+    if (cache_)
+        cache_->erase(gpt_root);
 }
 
 } // namespace ap

@@ -12,6 +12,7 @@
 #ifndef AGILEPAGING_VMM_SPTR_CACHE_HH
 #define AGILEPAGING_VMM_SPTR_CACHE_HH
 
+#include <memory>
 #include <optional>
 
 #include "base/stats.hh"
@@ -36,7 +37,12 @@ struct SptrEntry
 class SptrCache : public stats::StatGroup
 {
   public:
-    /** @param entries capacity (the paper suggests 4-8). */
+    /**
+     * @param entries capacity (the paper suggests 4-8). Zero models
+     *        hardware without the extension: every probe misses, and
+     *        no hit/miss stats are charged (there is no structure to
+     *        account against).
+     */
     SptrCache(stats::StatGroup *parent, std::size_t entries);
 
     /** Hardware probe on a guest CR3 write. */
@@ -48,13 +54,22 @@ class SptrCache : public stats::StatGroup
     /** VMM invalidation when a shadow table is destroyed. */
     void invalidate(FrameId gpt_root);
 
-    void clear() { cache_.clear(); }
+    void
+    clear()
+    {
+        if (cache_)
+            cache_->clear();
+    }
+
+    std::size_t capacity() const { return capacity_; }
 
     stats::Scalar hits;
     stats::Scalar misses;
 
   private:
-    AssocCache<SptrEntry> cache_;
+    std::size_t capacity_;
+    /** Absent when capacity is zero (AssocCache needs >= 1 entry). */
+    std::unique_ptr<AssocCache<SptrEntry>> cache_;
 };
 
 } // namespace ap

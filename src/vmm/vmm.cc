@@ -289,6 +289,13 @@ Vmm::sharePages(std::vector<FrameId> *remapped_gframes)
                     hpt_->entry(frameAddr(it->second), kPtLevels - 1)) {
                 pte->writable = false;
             }
+            // The kept copy's write permission changed too: a stale
+            // writable nested-TLB or shadow entry would let a guest
+            // store reach the now-shared frame without breaking COW.
+            if (ntlb_)
+                ntlb_->flushFrame(it->second);
+            if (remapped_gframes)
+                remapped_gframes->push_back(it->second);
         }
         mem_.free(b.hframe);
         --backed_data_;

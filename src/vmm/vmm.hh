@@ -139,8 +139,10 @@ class Vmm : public stats::StatGroup
      * Scan backed data frames; collapse duplicates (same content id)
      * to one read-only host frame.
      * @param remapped_gframes if non-null, receives every guest frame
-     *        whose backing changed (callers must invalidate shadow
-     *        entries and TLB entries derived from the old frames)
+     *        whose backing or host write permission changed — the
+     *        canonical copy of each duplicate set included (callers
+     *        must invalidate shadow entries and TLB entries derived
+     *        from the old frames/permissions)
      * @return number of frames reclaimed.
      */
     std::uint64_t sharePages(std::vector<FrameId> *remapped_gframes =

@@ -102,6 +102,11 @@ struct WalkResult
      *  optimization 1). */
     bool dirtyTransition = false;
 
+    /** On success: dirty state of the leaf PTE after this walk. TLB
+     *  fills cache it so a later store through a clean cached entry
+     *  can re-walk to set the dirty bit, as x86 hardware does. */
+    bool dirty = false;
+
     /** Fault details: the faulting guest virtual address. */
     Addr faultVa = 0;
     /** HostFault: the guest physical address that missed in the hPT. */
@@ -130,6 +135,7 @@ struct WalkResult
         switchDepth = kPtLevels;
         fullNested = false;
         dirtyTransition = false;
+        dirty = false;
         faultVa = 0;
         faultGpa = 0;
         faultDepth = 0;

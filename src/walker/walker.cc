@@ -13,6 +13,28 @@
 namespace ap
 {
 
+namespace
+{
+/**
+ * Leaf A/D side effect shared by every walk flavour: a store through
+ * an effectively-writable translation sets the leaf dirty bit, and the
+ * clean->dirty transition is noted so the machine can charge the
+ * hardware A/D writeback for it. The resulting dirty state is reported
+ * in the walk result so TLB entries can cache it.
+ */
+void
+updateLeafDirty(Pte &pte, bool is_write, bool effective_writable,
+                WalkResult &r)
+{
+    if (is_write && effective_writable) {
+        if (!pte.dirty)
+            r.dirtyTransition = true;
+        pte.dirty = true;
+    }
+    r.dirty = pte.dirty;
+}
+} // namespace
+
 Walker::Walker(stats::StatGroup *parent, PhysMem &mem, PageWalkCache &pwc,
                NestedTlb &ntlb)
     : stats::StatGroup("walker", parent),
@@ -161,11 +183,7 @@ Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
             r.hframe = pte.pfn;
             r.size = sizeAtDepth(d);
             r.writable = pte.writable;
-            if (is_write && pte.writable) {
-                if (!pte.dirty)
-                    r.dirtyTransition = true;
-                pte.dirty = true;
-            }
+            updateLeafDirty(pte, is_write, pte.writable, r);
             return;
         }
         cur = pte.pfn;
@@ -232,11 +250,7 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
             std::uint64_t eframes = pageBytes(r.size) / kPageBytes;
             r.hframe = leaf.h4k - (frameOf(va) % eframes);
             r.writable = pte.writable && leaf.writable;
-            if (is_write && r.writable) {
-                if (!pte.dirty)
-                    r.dirtyTransition = true;
-                pte.dirty = true;
-            }
+            updateLeafDirty(pte, is_write, r.writable, r);
             return;
         }
         HostLeaf leaf;
@@ -303,11 +317,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
                 r.size = sizeAtDepth(d);
                 r.hframe = pte.pfn;
                 r.writable = pte.writable;
-                if (is_write && pte.writable) {
-                    if (!pte.dirty)
-                        r.dirtyTransition = true;
-                    pte.dirty = true;
-                }
+                updateLeafDirty(pte, is_write, pte.writable, r);
                 return;
             }
             cur = pte.pfn;
@@ -336,11 +346,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
                 std::uint64_t eframes = pageBytes(r.size) / kPageBytes;
                 r.hframe = leaf.h4k - (frameOf(va) % eframes);
                 r.writable = pte.writable && leaf.writable;
-                if (is_write && r.writable) {
-                    if (!pte.dirty)
-                        r.dirtyTransition = true;
-                    pte.dirty = true;
-                }
+                updateLeafDirty(pte, is_write, r.writable, r);
                 return;
             }
             HostLeaf leaf;

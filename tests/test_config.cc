@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "sim/config.hh"
 #include "sim/experiment.hh"
@@ -123,8 +125,49 @@ TEST(PerfModel, EmptyRunIsSafe)
 {
     RunResult r;
     PerfBreakdown b = computeBreakdown(r);
+    EXPECT_FALSE(b.hasData); // "no data", not a measured 0% overhead
     EXPECT_DOUBLE_EQ(b.pageWalkOverhead, 0.0);
     EXPECT_DOUBLE_EQ(b.slowdown, 1.0);
+}
+
+TEST(PerfModel, ZeroMissRunHasNoData)
+{
+    // Instructions retired but the TLB never missed: overhead is 0/0,
+    // not 0%. The breakdown must say "no data" instead.
+    RunResult r;
+    r.instructions = 1'000'000;
+    r.idealCycles = 1'000'000;
+    PerfBreakdown b = computeBreakdown(r);
+    EXPECT_FALSE(b.hasData);
+
+    r.tlbMisses = 1;
+    r.walkCycles = 40;
+    EXPECT_TRUE(computeBreakdown(r).hasData);
+}
+
+TEST(PerfModel, ZeroMissProjectionIsNan)
+{
+    RunResult shadow, nested, agile;
+    shadow.walkCycles = 400'000;
+    nested.walkCycles = 2'400'000;
+    agile.coverage[0] = 1.0;
+    // No run recorded a single miss: per-miss costs are undefined and
+    // the projection must say so rather than report 0 cycles.
+    double projected = projectAgileWalkCycles(shadow, nested, agile);
+    EXPECT_TRUE(std::isnan(projected));
+}
+
+TEST(PerfModel, BadCoverageSumPanics)
+{
+    RunResult shadow, nested, agile;
+    shadow.walkCycles = 40;
+    shadow.tlbMisses = 1;
+    nested.walkCycles = 240;
+    nested.tlbMisses = 1;
+    agile.tlbMisses = 1;
+    agile.coverage[0] = 0.5; // fractions sum to 0.5 — corrupt
+    EXPECT_THROW(projectAgileWalkCycles(shadow, nested, agile),
+                 std::logic_error);
 }
 
 TEST(PerfModel, AgileProjectionInterpolates)
@@ -197,7 +240,14 @@ TEST(Report, OverheadBarScales)
 {
     EXPECT_EQ(overheadBar(0.0).size(), 0u);
     EXPECT_EQ(overheadBar(0.10).size(), 5u);
-    EXPECT_EQ(overheadBar(100.0).size(), 60u); // clamped
+    // At the cap the bar is exactly 60 columns of '#'.
+    std::string capped = overheadBar(1.20);
+    EXPECT_EQ(capped.size(), 60u);
+    EXPECT_EQ(capped.find('+'), std::string::npos);
+    // Beyond the cap it is clamped and marked, not silently flattened.
+    std::string over = overheadBar(100.0);
+    EXPECT_EQ(over.size(), 61u);
+    EXPECT_EQ(over.back(), '+');
 }
 
 } // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Differential-oracle tests: deterministic trace generation, clean
+ * lock-step runs across all three virtualized modes, detection of an
+ * injected shadow-coherence bug, trace shrinking, and the machine-level
+ * dirty-bit semantics the oracle's invariant (d) depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/invariants.hh"
+#include "sim/machine.hh"
+#include "sim/oracle.hh"
+
+namespace ap
+{
+namespace
+{
+
+OracleOptions
+smallOptions(PageSize ps = PageSize::Size4K)
+{
+    OracleOptions opts;
+    opts.pageSize = ps;
+    opts.seed = 3;
+    opts.operations = 500;
+    return opts;
+}
+
+TEST(Oracle, TraceGenerationIsDeterministic)
+{
+    OracleOptions opts = smallOptions();
+    Trace a = makeRandomTrace(opts);
+    Trace b = makeRandomTrace(opts);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i)
+        EXPECT_TRUE(a.events[i] == b.events[i]) << "event " << i;
+
+    opts.seed = 4;
+    Trace c = makeRandomTrace(opts);
+    bool same = a.events.size() == c.events.size();
+    if (same) {
+        for (std::size_t i = 0; i < a.events.size(); ++i)
+            same = same && a.events[i] == c.events[i];
+    }
+    EXPECT_FALSE(same) << "seeds 3 and 4 produced identical traces";
+}
+
+class OraclePageSizeTest : public ::testing::TestWithParam<PageSize>
+{
+};
+
+TEST_P(OraclePageSizeTest, CleanRunHasNoViolations)
+{
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        OracleOptions opts = smallOptions(GetParam());
+        opts.seed = seed;
+        Trace t = makeRandomTrace(opts);
+        OracleReport rep = runDifferential(t, opts);
+        EXPECT_TRUE(rep.passed)
+            << "seed " << seed << ": "
+            << (rep.violations.empty() ? "?"
+                                       : rep.violations.front().detail);
+        EXPECT_EQ(rep.eventsReplayed, t.events.size());
+        EXPECT_GT(rep.accessesChecked, 0u);
+    }
+}
+
+TEST_P(OraclePageSizeTest, ReclaimTraceRunsClean)
+{
+    // Reclaim makes host-frame churn mode-dependent, so the oracle
+    // drops the cross-machine comparison but keeps every per-machine
+    // invariant.
+    OracleOptions opts = smallOptions(GetParam());
+    opts.includeReclaim = true;
+    Trace t = makeRandomTrace(opts);
+    OracleReport rep = runDifferential(t, opts);
+    EXPECT_TRUE(rep.passed)
+        << (rep.violations.empty() ? "?"
+                                   : rep.violations.front().detail);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPageSizes, OraclePageSizeTest,
+                         ::testing::Values(PageSize::Size4K,
+                                           PageSize::Size2M));
+
+TEST(Oracle, InjectedBugIsCaughtAndShrinks)
+{
+    OracleOptions opts = smallOptions();
+    opts.operations = 800;
+    opts.injectAtAccess = 50;
+    Trace t = makeRandomTrace(opts);
+    OracleReport rep = runDifferential(t, opts);
+    ASSERT_FALSE(rep.passed) << "injected corruption went undetected";
+    ASSERT_FALSE(rep.violations.empty());
+    EXPECT_EQ(rep.violations.front().invariant, "shadow-coherence");
+
+    Trace minimal = shrinkTrace(t, opts);
+    EXPECT_LT(minimal.events.size(), t.events.size());
+    OracleReport again = runDifferential(minimal, opts);
+    EXPECT_FALSE(again.passed) << "shrunk trace no longer fails";
+}
+
+TEST(Oracle, ShrinkOfPassingTraceIsIdentity)
+{
+    OracleOptions opts = smallOptions();
+    opts.operations = 100;
+    Trace t = makeRandomTrace(opts);
+    ASSERT_TRUE(runDifferential(t, opts).passed);
+    Trace shrunk = shrinkTrace(t, opts);
+    EXPECT_EQ(shrunk.events.size(), t.events.size());
+}
+
+// ---------------------------------------------------------------------
+// Dirty-bit semantics invariant (d) leans on
+// ---------------------------------------------------------------------
+
+SimConfig
+dirtyTestConfig(VirtMode mode)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.hostMemFrames = 1 << 14;
+    cfg.guestPtFrames = 1 << 10;
+    cfg.guestDataFrames = 1 << 12;
+    return cfg;
+}
+
+TEST(MachineDirtyBits, StoreThroughCachedCleanEntrySetsGuestDirty)
+{
+    // x86 semantics: a read first caches a clean translation; the
+    // following store must still land the guest leaf's D bit (the
+    // hardware re-walks on a store through a clean cached entry).
+    Machine m(dirtyTestConfig(VirtMode::Nested));
+    m.spawnProcess();
+    Addr base = m.mmap(4 * kPageBytes, true, false, 0);
+    ASSERT_NE(base, 0u);
+    m.access(base, false); // walk + fill (clean)
+    auto clean =
+        m.guestOs().process(m.currentProcess()).pt->lookup(base);
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_FALSE(clean->pte.dirty);
+
+    m.access(base, true); // TLB hit on a clean entry
+    auto dirty =
+        m.guestOs().process(m.currentProcess()).pt->lookup(base);
+    ASSERT_TRUE(dirty.has_value());
+    EXPECT_TRUE(dirty->pte.dirty);
+}
+
+TEST(MachineDirtyBits, WriteFirstAccessSetsGuestDirty)
+{
+    Machine m(dirtyTestConfig(VirtMode::Shadow));
+    m.spawnProcess();
+    Addr base = m.mmap(4 * kPageBytes, true, false, 0);
+    ASSERT_NE(base, 0u);
+    m.access(base + kPageBytes, true);
+    auto gm = m.guestOs()
+                  .process(m.currentProcess())
+                  .pt->lookup(base + kPageBytes);
+    ASSERT_TRUE(gm.has_value());
+    EXPECT_TRUE(gm->pte.dirty);
+}
+
+} // namespace
+} // namespace ap

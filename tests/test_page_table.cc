@@ -10,6 +10,7 @@
 
 #include "base/bitfield.hh"
 #include "base/rng.hh"
+#include "mem/frame_alloc.hh"
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
 #include "mem/pte.hh"
@@ -372,6 +373,66 @@ TEST_P(PageTablePropertyTest, RandomMapLookupUnmapAgree)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PageTablePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// Contiguous-frame recycling (large-page churn must not exhaust pools)
+// ---------------------------------------------------------------------
+
+TEST(FrameAllocator, ContiguousRecyclesFreedGroups)
+{
+    // Pool holds exactly two 8-frame groups. Churning allocate/free
+    // forever must keep succeeding: freed groups are recycled once the
+    // fresh region is exhausted.
+    FrameAllocator a(24);
+    for (int round = 0; round < 10; ++round) {
+        FrameId f1 = a.allocContiguous(8);
+        FrameId f2 = a.allocContiguous(8);
+        ASSERT_NE(f1, 0u) << "round " << round;
+        ASSERT_NE(f2, 0u) << "round " << round;
+        EXPECT_EQ(f1 % 8, 0u);
+        EXPECT_EQ(f2 % 8, 0u);
+        for (FrameId f = f1; f < f1 + 8; ++f)
+            a.free(f);
+        for (FrameId f = f2; f < f2 + 8; ++f)
+            a.free(f);
+    }
+    EXPECT_EQ(a.allocated(), 0u);
+}
+
+TEST(FrameAllocator, ContiguousRequiresAlignedRun)
+{
+    FrameAllocator a(24);
+    FrameId f1 = a.allocContiguous(8);
+    FrameId f2 = a.allocContiguous(8);
+    ASSERT_NE(f1, 0u);
+    ASSERT_NE(f2, 0u);
+    // Free a misaligned straddle (last half of group 1, first half of
+    // group 2): 8 consecutive frames, but no aligned run of 8.
+    for (FrameId f = f1 + 4; f < f1 + 8; ++f)
+        a.free(f);
+    for (FrameId f = f2; f < f2 + 4; ++f)
+        a.free(f);
+    EXPECT_EQ(a.allocContiguous(8), 0u);
+    // Completing either group makes an aligned run available again.
+    for (FrameId f = f1; f < f1 + 4; ++f)
+        a.free(f);
+    EXPECT_EQ(a.allocContiguous(8), f1);
+}
+
+TEST(PhysMem, ContiguousDataRecyclesFreedGroups)
+{
+    PhysMem mem(24);
+    for (int round = 0; round < 10; ++round) {
+        FrameId f1 = mem.allocDataContiguous(8);
+        FrameId f2 = mem.allocDataContiguous(8);
+        ASSERT_NE(f1, PhysMem::kNoFrame) << "round " << round;
+        ASSERT_NE(f2, PhysMem::kNoFrame) << "round " << round;
+        for (FrameId f = f1; f < f1 + 8; ++f)
+            mem.free(f);
+        for (FrameId f = f2; f < f2 + 8; ++f)
+            mem.free(f);
+    }
+}
 
 } // namespace
 } // namespace ap

@@ -90,7 +90,7 @@ TEST(Tlb, HitMissStats)
     stats::StatGroup g("g");
     Tlb tlb("t", &g, 64, 4, PageSize::Size4K);
     EXPECT_FALSE(tlb.lookup(0x1000, 1).has_value());
-    tlb.insert(0x1000, 1, TlbEntry{42, true, 1});
+    tlb.insert(0x1000, 1, TlbEntry{.pfn = 42, .writable = true, .asid = 1});
     auto e = tlb.lookup(0x1fff, 1); // same page
     ASSERT_TRUE(e.has_value());
     EXPECT_EQ(e->pfn, 42u);
@@ -103,7 +103,7 @@ TEST(Tlb, AsidIsolation)
 {
     stats::StatGroup g("g");
     Tlb tlb("t", &g, 64, 4, PageSize::Size4K);
-    tlb.insert(0x1000, 1, TlbEntry{42, true, 1});
+    tlb.insert(0x1000, 1, TlbEntry{.pfn = 42, .writable = true, .asid = 1});
     EXPECT_FALSE(tlb.lookup(0x1000, 2).has_value());
     EXPECT_TRUE(tlb.lookup(0x1000, 1).has_value());
 }
@@ -112,8 +112,8 @@ TEST(Tlb, FlushAsidOnlyRemovesThatAsid)
 {
     stats::StatGroup g("g");
     Tlb tlb("t", &g, 64, 4, PageSize::Size4K);
-    tlb.insert(0x1000, 1, TlbEntry{1, true, 1});
-    tlb.insert(0x1000, 2, TlbEntry{2, true, 2});
+    tlb.insert(0x1000, 1, TlbEntry{.pfn = 1, .writable = true, .asid = 1});
+    tlb.insert(0x1000, 2, TlbEntry{.pfn = 2, .writable = true, .asid = 2});
     tlb.flushAsid(1);
     EXPECT_FALSE(tlb.contains(0x1000, 1));
     EXPECT_TRUE(tlb.contains(0x1000, 2));
@@ -123,8 +123,8 @@ TEST(Tlb, FlushRange)
 {
     stats::StatGroup g("g");
     Tlb tlb("t", &g, 64, 4, PageSize::Size4K);
-    tlb.insert(0x1000, 1, TlbEntry{1, true, 1});
-    tlb.insert(0x5000, 1, TlbEntry{5, true, 1});
+    tlb.insert(0x1000, 1, TlbEntry{.pfn = 1, .writable = true, .asid = 1});
+    tlb.insert(0x5000, 1, TlbEntry{.pfn = 5, .writable = true, .asid = 1});
     tlb.flushRange(0x4000, 0x2000, 1);
     EXPECT_TRUE(tlb.contains(0x1000, 1));
     EXPECT_FALSE(tlb.contains(0x5000, 1));
@@ -134,7 +134,7 @@ TEST(Tlb, LargePageGranularity)
 {
     stats::StatGroup g("g");
     Tlb tlb("t", &g, 32, 4, PageSize::Size2M);
-    tlb.insert(kLargePageBytes * 3, 1, TlbEntry{512 * 3, true, 1});
+    tlb.insert(kLargePageBytes * 3, 1, TlbEntry{.pfn = 512 * 3, .writable = true, .asid = 1});
     // Any address inside the 2M region hits.
     EXPECT_TRUE(
         tlb.lookup(kLargePageBytes * 3 + 0x123456, 1).has_value());
@@ -154,7 +154,7 @@ TEST_F(HierarchyTest, MissThenFillThenL1Hit)
 {
     auto r = h.probe(0x1000, 1, false);
     EXPECT_EQ(r.level, TlbHitLevel::Miss);
-    h.fill(0x1000, 1, false, PageSize::Size4K, TlbEntry{7, true, 1});
+    h.fill(0x1000, 1, false, PageSize::Size4K, TlbEntry{.pfn = 7, .writable = true, .asid = 1});
     r = h.probe(0x1000, 1, false);
     EXPECT_EQ(r.level, TlbHitLevel::L1);
     EXPECT_EQ(r.entry.pfn, 7u);
@@ -162,12 +162,12 @@ TEST_F(HierarchyTest, MissThenFillThenL1Hit)
 
 TEST_F(HierarchyTest, L2HitRefillsL1)
 {
-    h.fill(0x1000, 1, false, PageSize::Size4K, TlbEntry{7, true, 1});
+    h.fill(0x1000, 1, false, PageSize::Size4K, TlbEntry{.pfn = 7, .writable = true, .asid = 1});
     // Evict from the 64-entry 4-way L1 by filling 64+ conflicting pages;
     // the 512-entry L2 retains the line.
     for (Addr va = 0x100000; va < 0x100000 + 70 * kPageBytes;
          va += kPageBytes) {
-        h.fill(va, 1, false, PageSize::Size4K, TlbEntry{9, true, 1});
+        h.fill(va, 1, false, PageSize::Size4K, TlbEntry{.pfn = 9, .writable = true, .asid = 1});
     }
     // Depending on set mapping 0x1000 may or may not be evicted from
     // L1; force worst case by conflicting in its set: just check that
@@ -178,7 +178,7 @@ TEST_F(HierarchyTest, L2HitRefillsL1)
 
 TEST_F(HierarchyTest, InstructionAndDataSeparate)
 {
-    h.fill(0x2000, 1, true, PageSize::Size4K, TlbEntry{3, false, 1});
+    h.fill(0x2000, 1, true, PageSize::Size4K, TlbEntry{.pfn = 3, .writable = false, .asid = 1});
     // Data probe: the L1D misses but the unified L2 holds it.
     auto r = h.probe(0x2000, 1, false);
     EXPECT_EQ(r.level, TlbHitLevel::L2);
@@ -186,7 +186,7 @@ TEST_F(HierarchyTest, InstructionAndDataSeparate)
 
 TEST_F(HierarchyTest, LargePagesSkipL2)
 {
-    h.fill(0x0, 1, false, PageSize::Size2M, TlbEntry{1, true, 1});
+    h.fill(0x0, 1, false, PageSize::Size2M, TlbEntry{.pfn = 1, .writable = true, .asid = 1});
     auto r = h.probe(0x1234, 1, false);
     EXPECT_EQ(r.level, TlbHitLevel::L1);
     EXPECT_EQ(r.size, PageSize::Size2M);
@@ -198,7 +198,7 @@ TEST_F(HierarchyTest, LargePagesSkipL2)
 
 TEST_F(HierarchyTest, FlushPageRemovesEverywhere)
 {
-    h.fill(0x3000, 1, false, PageSize::Size4K, TlbEntry{3, true, 1});
+    h.fill(0x3000, 1, false, PageSize::Size4K, TlbEntry{.pfn = 3, .writable = true, .asid = 1});
     h.flushPage(0x3000, 1);
     EXPECT_EQ(h.probe(0x3000, 1, false).level, TlbHitLevel::Miss);
 }
@@ -322,6 +322,36 @@ TEST(SptrCacheTest, Invalidate)
     c.insert(10, SptrEntry{1, 2});
     c.invalidate(10);
     EXPECT_FALSE(c.lookup(10).has_value());
+}
+
+TEST(SptrCacheTest, ZeroEntriesChargesNoStats)
+{
+    // Capacity 0 models hardware without the extension: every probe
+    // misses, but there is no structure to account hits/misses
+    // against, so the stats must stay untouched.
+    stats::StatGroup g("g");
+    SptrCache c(&g, 0);
+    EXPECT_EQ(c.capacity(), 0u);
+    EXPECT_FALSE(c.lookup(10).has_value());
+    c.insert(10, SptrEntry{1, 2}); // dropped
+    EXPECT_FALSE(c.lookup(10).has_value());
+    c.invalidate(10); // no-op
+    c.clear();        // no-op
+    EXPECT_EQ(c.hits.value(), 0.0);
+    EXPECT_EQ(c.misses.value(), 0.0);
+}
+
+TEST(SptrCacheTest, MissAccountingOnlyOnRealProbes)
+{
+    stats::StatGroup g("g");
+    SptrCache c(&g, 4);
+    EXPECT_FALSE(c.lookup(1).has_value());
+    EXPECT_FALSE(c.lookup(2).has_value());
+    EXPECT_EQ(c.misses.value(), 2.0);
+    c.insert(1, SptrEntry{10, 20});
+    EXPECT_TRUE(c.lookup(1).has_value());
+    EXPECT_EQ(c.hits.value(), 1.0);
+    EXPECT_EQ(c.misses.value(), 2.0);
 }
 
 } // namespace

@@ -402,6 +402,84 @@ TEST_F(WalkerTest, ShadowLeafDirtySetOnWrite)
     EXPECT_TRUE(sm->pte.dirty);
 }
 
+// ---------------------------------------------------------------------
+// Leaf dirty accounting (shared across all four walk modes)
+// ---------------------------------------------------------------------
+
+TEST_F(WalkerTest, DirtyTransitionReportedOnceNested)
+{
+    ctx.mode = VirtMode::Nested;
+    mapGuest(0x70000);
+    WalkResult r1 = walker.walk(ctx, 0x70000, true);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1.dirtyTransition); // clean -> dirty
+    EXPECT_TRUE(r1.dirty);
+    WalkResult r2 = walker.walk(ctx, 0x70000, true);
+    EXPECT_FALSE(r2.dirtyTransition); // already dirty
+    EXPECT_TRUE(r2.dirty);            // TLB fills must still see dirty
+
+    mapGuest(0x71000);
+    WalkResult r3 = walker.walk(ctx, 0x71000, false);
+    EXPECT_FALSE(r3.dirtyTransition); // reads never transition
+    EXPECT_FALSE(r3.dirty);
+}
+
+TEST_F(WalkerTest, DirtyTransitionReportedOnceNative)
+{
+    HostPtSpace nspace(mem, TableOwner::NativePt);
+    RadixPageTable npt(nspace, "nPT");
+    FrameId data = mem.allocData(0);
+    npt.map(0x40001000, data, PageSize::Size4K, true);
+
+    TranslationContext nctx;
+    nctx.mode = VirtMode::Native;
+    nctx.asid = 1;
+    nctx.nativeRoot = npt.root();
+
+    WalkResult r1 = walker.walk(nctx, 0x40001000, true);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1.dirtyTransition);
+    EXPECT_TRUE(r1.dirty);
+    WalkResult r2 = walker.walk(nctx, 0x40001000, true);
+    EXPECT_FALSE(r2.dirtyTransition);
+    EXPECT_TRUE(r2.dirty);
+}
+
+TEST_F(WalkerTest, DirtyTransitionReportedOnceShadow)
+{
+    ctx.mode = VirtMode::Shadow;
+    FrameId gframe = mapGuest(0x72000);
+    shadowLeaf(0x72000, gframe, true);
+    WalkResult r1 = walker.walk(ctx, 0x72000, true);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1.dirtyTransition);
+    EXPECT_TRUE(r1.dirty);
+    WalkResult r2 = walker.walk(ctx, 0x72000, true);
+    EXPECT_FALSE(r2.dirtyTransition);
+    EXPECT_TRUE(r2.dirty);
+    // A read through the already-dirty shadow leaf keeps reporting
+    // dirty without a transition.
+    WalkResult r3 = walker.walk(ctx, 0x72000, false);
+    EXPECT_FALSE(r3.dirtyTransition);
+    EXPECT_TRUE(r3.dirty);
+}
+
+TEST_F(WalkerTest, DirtyTransitionReportedOnceAgileNestedPortion)
+{
+    ctx.mode = VirtMode::Agile;
+    mapGuest(0x73000);
+    plantSwitch(0x73000, 2); // leaf gPT level handled nested
+    WalkResult r1 = walker.walk(ctx, 0x73000, true);
+    ASSERT_TRUE(r1.ok());
+    EXPECT_TRUE(r1.dirtyTransition);
+    EXPECT_TRUE(r1.dirty);
+    WalkResult r2 = walker.walk(ctx, 0x73000, true);
+    EXPECT_FALSE(r2.dirtyTransition);
+    EXPECT_TRUE(r2.dirty);
+    // The transition landed on the guest leaf PTE.
+    EXPECT_TRUE(gpt.entry(0x73000, 3)->dirty);
+}
+
 TEST_F(WalkerTest, StatsAccumulate)
 {
     ctx.mode = VirtMode::Nested;

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Differential-testing driver: fans randomized seeds across the
+ * thread pool, replaying each trace through lock-stepped shadow,
+ * nested, and agile machines with invariant checks after every event.
+ * Failing seeds are shrunk to a minimal trace and written to disk for
+ * standalone replay.
+ *
+ * Usage:
+ *   difftest [--seeds N] [--seed-base S] [--ops N] [--jobs N]
+ *            [--page 4k|2m|both] [--reclaim] [--no-hw-opts]
+ *            [--sweep N] [--out DIR]
+ *   difftest --inject K [...]     self-test: a shadow-coherence bug is
+ *                                 injected after the Kth access; every
+ *                                 seed must be caught and shrink to a
+ *                                 still-failing trace (exit 0 only
+ *                                 then)
+ *   difftest --replay FILE [...]  replay one saved trace and report
+ *
+ * Exit status: 0 when every seed passed (or, with --inject, every
+ * seed was caught), 1 otherwise.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/oracle.hh"
+#include "sim/parallel_runner.hh"
+
+namespace
+{
+
+struct Cli
+{
+    std::uint64_t seeds = 64;
+    std::uint64_t seedBase = 1;
+    std::uint64_t ops = 3000;
+    unsigned jobs = 0;
+    std::vector<ap::PageSize> pages = {ap::PageSize::Size4K,
+                                       ap::PageSize::Size2M};
+    bool reclaim = false;
+    bool hwOpts = true;
+    std::uint64_t sweep = 256;
+    std::uint64_t inject = 0;
+    std::string replayPath;
+    std::string outDir = ".";
+};
+
+struct SeedOutcome
+{
+    std::uint64_t seed = 0;
+    ap::OracleReport report;
+};
+
+void
+printViolation(const ap::InvariantViolation &v)
+{
+    std::cout << "  invariant : " << v.invariant << "\n"
+              << "  event     : #" << v.eventIndex << "\n"
+              << "  va        : 0x" << std::hex << v.va << std::dec
+              << "\n"
+              << "  detail    : " << v.detail << "\n";
+}
+
+ap::OracleOptions
+optionsFor(const Cli &cli, ap::PageSize page, std::uint64_t seed)
+{
+    ap::OracleOptions opts;
+    opts.pageSize = page;
+    opts.hwOpts = cli.hwOpts;
+    opts.seed = seed;
+    opts.operations = cli.ops;
+    opts.includeReclaim = cli.reclaim;
+    opts.sweepInterval = cli.sweep;
+    opts.injectAtAccess = cli.inject;
+    return opts;
+}
+
+/**
+ * Shrink a failing seed and persist the minimal trace.
+ * @return true when the shrunk trace still fails standalone.
+ */
+bool
+shrinkAndSave(const Cli &cli, const ap::OracleOptions &opts,
+              const ap::Trace &trace, ap::PageSize page,
+              std::uint64_t seed)
+{
+    ap::Trace minimal = ap::shrinkTrace(trace, opts);
+    std::string path = cli.outDir + "/difftest_fail_" +
+                       ap::pageSizeName(page) + "_seed" +
+                       std::to_string(seed) + ".aptrace";
+    if (!ap::writeTraceFile(minimal, path)) {
+        std::cout << "  (could not write " << path << ")\n";
+        return false;
+    }
+    ap::OracleReport again = ap::runDifferential(minimal, opts);
+    std::cout << "  shrunk    : " << trace.events.size() << " -> "
+              << minimal.events.size() << " events, saved to " << path
+              << "\n"
+              << "  replay    : difftest --replay " << path << " --page "
+              << ap::pageSizeName(page)
+              << (cli.inject
+                      ? " --inject " + std::to_string(cli.inject)
+                      : std::string())
+              << (cli.hwOpts ? "" : " --no-hw-opts") << "\n";
+    return !again.passed;
+}
+
+int
+runMatrix(const Cli &cli)
+{
+    bool all_ok = true;
+    for (ap::PageSize page : cli.pages) {
+        std::vector<SeedOutcome> outcomes = ap::parallelMap(
+            cli.seeds, cli.jobs, [&](std::uint64_t i) {
+                SeedOutcome out;
+                out.seed = cli.seedBase + i;
+                ap::OracleOptions opts = optionsFor(cli, page, out.seed);
+                out.report =
+                    ap::runDifferential(ap::makeRandomTrace(opts), opts);
+                return out;
+            });
+
+        std::uint64_t caught = 0, events = 0, accesses = 0;
+        for (const SeedOutcome &out : outcomes) {
+            events += out.report.eventsReplayed;
+            accesses += out.report.accessesChecked;
+            if (!out.report.passed)
+                ++caught;
+        }
+
+        if (cli.inject) {
+            // Self-test: every seed must be caught, and the failure
+            // must survive shrinking.
+            std::cout << ap::pageSizeName(page) << ": injected bug "
+                      << "caught in " << caught << "/" << cli.seeds
+                      << " seeds\n";
+            if (caught != cli.seeds) {
+                all_ok = false;
+                continue;
+            }
+            for (const SeedOutcome &out : outcomes) {
+                ap::OracleOptions opts =
+                    optionsFor(cli, page, out.seed);
+                printViolation(out.report.violations.front());
+                if (!shrinkAndSave(cli, opts,
+                                   ap::makeRandomTrace(opts), page,
+                                   out.seed)) {
+                    std::cout << "  shrunk trace no longer fails\n";
+                    all_ok = false;
+                }
+            }
+            continue;
+        }
+
+        std::cout << ap::pageSizeName(page) << ": " << cli.seeds
+                  << " seeds, " << events << " events, " << accesses
+                  << " accesses checked";
+        if (caught == 0) {
+            std::cout << " -- PASS\n";
+            continue;
+        }
+        std::cout << " -- " << caught << " FAILING SEED"
+                  << (caught > 1 ? "S" : "") << "\n";
+        all_ok = false;
+        for (const SeedOutcome &out : outcomes) {
+            if (out.report.passed)
+                continue;
+            std::cout << "seed " << out.seed << " ("
+                      << ap::pageSizeName(page) << "):\n";
+            printViolation(out.report.violations.front());
+            ap::OracleOptions opts = optionsFor(cli, page, out.seed);
+            shrinkAndSave(cli, opts, ap::makeRandomTrace(opts), page,
+                          out.seed);
+        }
+    }
+    return all_ok ? 0 : 1;
+}
+
+int
+runReplay(const Cli &cli)
+{
+    ap::Trace trace;
+    if (!ap::readTraceFile(cli.replayPath, trace)) {
+        std::cerr << "cannot read trace: " << cli.replayPath << "\n";
+        return 1;
+    }
+    int status = 0;
+    for (ap::PageSize page : cli.pages) {
+        ap::OracleOptions opts = optionsFor(cli, page, trace.seed);
+        ap::OracleReport rep = ap::runDifferential(trace, opts);
+        std::cout << cli.replayPath << " (" << ap::pageSizeName(page)
+                  << "): " << rep.eventsReplayed << " events, "
+                  << rep.accessesChecked << " accesses -- "
+                  << (rep.passed ? "PASS" : "VIOLATION") << "\n";
+        if (!rep.passed) {
+            printViolation(rep.violations.front());
+            status = 1;
+        }
+    }
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::setQuietLogging(true);
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                ap_fatal("missing value for ", a);
+            return argv[++i];
+        };
+        if (a == "--seeds") {
+            cli.seeds = std::stoull(next());
+        } else if (a == "--seed-base") {
+            cli.seedBase = std::stoull(next());
+        } else if (a == "--ops") {
+            cli.ops = std::stoull(next());
+        } else if (a == "--jobs") {
+            cli.jobs = static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--page") {
+            std::string p = next();
+            if (p == "both") {
+                cli.pages = {ap::PageSize::Size4K, ap::PageSize::Size2M};
+            } else {
+                ap::PageSize ps;
+                if (!ap::parsePageSize(p, ps))
+                    ap_fatal("bad page size: ", p);
+                cli.pages = {ps};
+            }
+        } else if (a == "--reclaim") {
+            cli.reclaim = true;
+        } else if (a == "--no-hw-opts") {
+            cli.hwOpts = false;
+        } else if (a == "--sweep") {
+            cli.sweep = std::stoull(next());
+        } else if (a == "--inject") {
+            cli.inject = std::stoull(next());
+        } else if (a == "--replay") {
+            cli.replayPath = next();
+        } else if (a == "--out") {
+            cli.outDir = next();
+        } else {
+            std::cerr << "unknown option: " << a << "\n";
+            return 2;
+        }
+    }
+    return cli.replayPath.empty() ? runMatrix(cli) : runReplay(cli);
+}
