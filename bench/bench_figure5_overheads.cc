@@ -7,10 +7,12 @@
  *
  * Usage: bench_figure5_overheads [--ops N] [--jobs N] [--csv]
  *                                [--workload NAME]
+ *                                [--stats-json PATH]
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -27,20 +29,31 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     bool csv = false;
     std::string only;
+    std::string stats_json;
+    auto usage = [&argv]() {
+        std::cerr << "usage: " << argv[0]
+                  << " [--ops N] [--jobs N] [--csv]"
+                     " [--workload NAME] [--stats-json PATH]\n";
+        return 1;
+    };
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            ops = std::stoull(argv[++i]);
+            if (!ap::parseU64(argv[++i], ops))
+                return usage();
         } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+            std::uint64_t j = 0;
+            if (!ap::parseU64(argv[++i], j))
+                return usage();
+            jobs = static_cast<unsigned>(j);
         } else if (!std::strcmp(argv[i], "--csv")) {
             csv = true;
         } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
             only = argv[++i];
+        } else if (!std::strcmp(argv[i], "--stats-json") &&
+                   i + 1 < argc) {
+            stats_json = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0]
-                      << " [--ops N] [--jobs N] [--csv]"
-                         " [--workload NAME]\n";
-            return 1;
+            return usage();
         }
     }
 
@@ -52,6 +65,14 @@ main(int argc, char **argv)
     }
     std::vector<ap::RunResult> runs = ap::runExperiments(specs, jobs);
 
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::cerr << "cannot write " << stats_json << "\n";
+            return 1;
+        }
+        ap::writeRunResultsJson(os, runs);
+    }
     if (csv) {
         ap::printCsv(std::cout, runs);
         return 0;

@@ -4,9 +4,12 @@
  * served at each mode/switch level of agile paging, with 4 KB pages
  * and page-walk caches disabled (the table's stated assumption), plus
  * the resulting average memory accesses per TLB miss.
+ *
+ * Usage: bench_table6_mode_coverage [--ops N] [--stats-json PATH]
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "base/logging.hh"
@@ -18,9 +21,18 @@ main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
     std::uint64_t ops = 0;
+    std::string stats_json;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc)
-            ops = std::stoull(argv[++i]);
+        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+            if (!ap::parseU64(argv[++i], ops)) {
+                std::cerr << "usage: " << argv[0]
+                          << " [--ops N] [--stats-json PATH]\n";
+                return 1;
+            }
+        } else if (!std::strcmp(argv[i], "--stats-json") &&
+                   i + 1 < argc) {
+            stats_json = argv[++i];
+        }
     }
 
     std::vector<ap::RunResult> runs;
@@ -39,6 +51,14 @@ main(int argc, char **argv)
         std::cerr << "." << std::flush;
     }
     std::cerr << "\n";
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::cerr << "cannot write " << stats_json << "\n";
+            return 1;
+        }
+        ap::writeRunResultsJson(os, runs);
+    }
     ap::printTable6(std::cout, runs);
 
     // The paper's companion observation: most upper levels stay

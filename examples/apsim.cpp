@@ -10,10 +10,14 @@
  *
  * Options (key=value, see sim/config.hh): mode=, page=, pwc=, ntlb=,
  * hw_opts=, unsync=, back_policy=, walk_ref_cycles=, verify=, ...
- * plus --ops N, --footprint MB, --seed N, --quantum N, --stats.
+ * plus --ops N, --footprint MB, --seed N, --quantum N, --stats,
+ * --stats-json=<path> (full stats tree as versioned JSON),
+ * --trace-walks=<path> (per-miss walk trace; summarize with walksum),
+ * --trace-capacity N (walk-trace ring size, default 1Mi records).
  */
 
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -24,6 +28,7 @@
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/scheduler.hh"
+#include "trace/walk_trace.hh"
 
 int
 main(int argc, char **argv)
@@ -35,19 +40,48 @@ main(int argc, char **argv)
     std::uint64_t footprint_mb = 0;
     std::uint64_t seed = 42;
     std::uint64_t quantum = 2'000;
+    std::uint64_t trace_capacity = 1u << 20;
     bool dump_stats = false;
+    std::string stats_json_path;
+    std::string trace_walks_path;
     std::vector<std::string> options;
+
+    // `--flag value` or `--flag=value`; "" means not present.
+    auto flagValue = [&](const std::string &arg, const char *flag,
+                         int &i) -> std::string {
+        std::string prefix = std::string(flag) + "=";
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+        if (arg == flag && i + 1 < argc)
+            return argv[++i];
+        return "";
+    };
+    auto numeric = [](const std::string &flag, const std::string &value,
+                      std::uint64_t &out) {
+        if (!ap::parseU64(value, out)) {
+            std::cerr << "bad value for " << flag << ": '" << value
+                      << "' (expected a non-negative integer)\n";
+            std::exit(1);
+        }
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--ops" && i + 1 < argc) {
-            ops = std::stoull(argv[++i]);
-        } else if (arg == "--footprint" && i + 1 < argc) {
-            footprint_mb = std::stoull(argv[++i]);
-        } else if (arg == "--seed" && i + 1 < argc) {
-            seed = std::stoull(argv[++i]);
-        } else if (arg == "--quantum" && i + 1 < argc) {
-            quantum = std::stoull(argv[++i]);
+        std::string v;
+        if (!(v = flagValue(arg, "--ops", i)).empty()) {
+            numeric("--ops", v, ops);
+        } else if (!(v = flagValue(arg, "--footprint", i)).empty()) {
+            numeric("--footprint", v, footprint_mb);
+        } else if (!(v = flagValue(arg, "--seed", i)).empty()) {
+            numeric("--seed", v, seed);
+        } else if (!(v = flagValue(arg, "--quantum", i)).empty()) {
+            numeric("--quantum", v, quantum);
+        } else if (!(v = flagValue(arg, "--trace-capacity", i)).empty()) {
+            numeric("--trace-capacity", v, trace_capacity);
+        } else if (!(v = flagValue(arg, "--stats-json", i)).empty()) {
+            stats_json_path = v;
+        } else if (!(v = flagValue(arg, "--trace-walks", i)).empty()) {
+            trace_walks_path = v;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg.find('=') != std::string::npos) {
@@ -90,6 +124,8 @@ main(int argc, char **argv)
     }
 
     ap::Machine machine(cfg);
+    if (!trace_walks_path.empty())
+        machine.enableWalkTrace(trace_capacity);
     std::vector<std::unique_ptr<ap::Workload>> workloads;
     for (std::size_t i = 0; i < workload_names.size(); ++i) {
         auto w = ap::makeWorkload(workload_names[i], params[i]);
@@ -129,6 +165,26 @@ main(int argc, char **argv)
     if (dump_stats) {
         std::cout << "\n";
         machine.dump(std::cout);
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream os(stats_json_path);
+        if (!os) {
+            std::cerr << "cannot write " << stats_json_path << "\n";
+            return 1;
+        }
+        machine.dumpJson(os);
+        std::cout << "stats json: " << stats_json_path << "\n";
+    }
+    if (!trace_walks_path.empty()) {
+        if (!ap::writeWalkTraceFile(*machine.walkTrace(),
+                                    trace_walks_path)) {
+            std::cerr << "cannot write " << trace_walks_path << "\n";
+            return 1;
+        }
+        std::cout << "walk trace: " << trace_walks_path << " ("
+                  << machine.walkTrace()->size() << " records, "
+                  << machine.walkTrace()->dropped()
+                  << " dropped)\n";
     }
     return 0;
 }

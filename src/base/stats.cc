@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -29,13 +30,75 @@ formatValue(double v)
     }
     return os.str();
 }
+
+/** Render a number as JSON: integers plainly, reals with full
+ *  round-trip precision, non-finite values as null (JSON has no
+ *  NaN/Inf). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+    } else {
+        os << std::setprecision(17) << v;
+    }
+    return os.str();
+}
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 } // namespace
 
 StatBase::StatBase(StatGroup *group, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+    : name_(std::move(name)), desc_(std::move(desc)), group_(group)
 {
     ap_assert(group != nullptr, "stat ", name_, " has no group");
     group->stats_.push_back(this);
+}
+
+StatBase::~StatBase()
+{
+    // Symmetric with registration: a stat that dies before its group
+    // must not leave a dangling pointer for dump()/resetStats()/
+    // findStat() to chase. group_ is null when the group died first
+    // (its destructor clears the back-pointers).
+    if (group_) {
+        auto &v = group_->stats_;
+        v.erase(std::remove(v.begin(), v.end(), this), v.end());
+    }
 }
 
 Scalar::Scalar(StatGroup *group, std::string name, std::string desc)
@@ -49,6 +112,13 @@ Scalar::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(44) << (prefix + name()) << " "
        << std::right << std::setw(16) << formatValue(value_) << "  # "
        << desc() << "\n";
+}
+
+void
+Scalar::printJson(std::ostream &os) const
+{
+    os << "{\"type\": \"scalar\", \"value\": " << jsonNumber(value_)
+       << ", \"desc\": \"" << jsonEscape(desc()) << "\"}";
 }
 
 Distribution::Distribution(StatGroup *group, std::string name,
@@ -109,6 +179,32 @@ Distribution::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Distribution::printJson(std::ostream &os) const
+{
+    os << "{\"type\": \"distribution\", \"count\": " << count_
+       << ", \"sum\": " << jsonNumber(sum_)
+       << ", \"mean\": " << jsonNumber(mean());
+    if (count_) {
+        os << ", \"min_seen\": " << min_seen_
+           << ", \"max_seen\": " << max_seen_;
+    }
+    os << ", \"underflow\": " << underflow_
+       << ", \"overflow\": " << overflow_ << ", \"min\": " << min_
+       << ", \"max\": " << max_ << ", \"bucket_size\": " << bucket_size_
+       << ", \"buckets\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << (min_ + i * bucket_size_) << "\": " << buckets_[i];
+    }
+    os << "}, \"desc\": \"" << jsonEscape(desc()) << "\"}";
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -133,6 +229,13 @@ Formula::print(std::ostream &os, const std::string &prefix) const
        << desc() << "\n";
 }
 
+void
+Formula::printJson(std::ostream &os) const
+{
+    os << "{\"type\": \"formula\", \"value\": " << jsonNumber(value())
+       << ", \"desc\": \"" << jsonEscape(desc()) << "\"}";
+}
+
 StatGroup::StatGroup(std::string name, StatGroup *parent)
     : name_(std::move(name)), parent_(parent)
 {
@@ -146,12 +249,51 @@ StatGroup::~StatGroup()
         auto &sibs = parent_->children_;
         sibs.erase(std::remove(sibs.begin(), sibs.end(), this), sibs.end());
     }
+    // Any stat or child group outliving this group must not try to
+    // deregister from (or be dumped through) freed memory.
+    for (StatBase *s : stats_)
+        s->group_ = nullptr;
+    for (StatGroup *g : children_)
+        g->parent_ = nullptr;
 }
 
 void
 StatGroup::dump(std::ostream &os) const
 {
     dumpWithPrefix(os, name_.empty() ? "" : name_ + ".");
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\"schema\": \"ap-stats-v1\", ";
+    dumpJsonGroup(os);
+    os << "}\n";
+}
+
+void
+StatGroup::dumpJsonGroup(std::ostream &os) const
+{
+    os << "\"name\": \"" << jsonEscape(name_) << "\", \"stats\": {";
+    bool first = true;
+    for (const StatBase *s : stats_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << jsonEscape(s->name()) << "\": ";
+        s->printJson(os);
+    }
+    os << "}, \"groups\": {";
+    first = true;
+    for (const StatGroup *g : children_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << jsonEscape(g->name_) << "\": {";
+        g->dumpJsonGroup(os);
+        os << "}";
+    }
+    os << "}";
 }
 
 void

@@ -27,7 +27,10 @@ class StatBase
 {
   public:
     StatBase(StatGroup *group, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+    /** Deregisters from the owning group (if the group is still
+     *  alive), so a stat destroyed before its group never leaves a
+     *  dangling pointer in the group's registry. */
+    virtual ~StatBase();
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
@@ -38,12 +41,19 @@ class StatBase
     /** Render the stat's value(s) to @p os, one line per value. */
     virtual void print(std::ostream &os, const std::string &prefix) const = 0;
 
+    /** Render the stat as a JSON object (no surrounding name key). */
+    virtual void printJson(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
   private:
+    friend class StatGroup;
+
     std::string name_;
     std::string desc_;
+    /** Owning group; nulled if the group is destroyed first. */
+    StatGroup *group_ = nullptr;
 };
 
 /** A simple additive counter. */
@@ -59,6 +69,7 @@ class Scalar : public StatBase
     double value() const { return value_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0.0; }
 
   private:
@@ -93,6 +104,7 @@ class Distribution : public StatBase
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -118,6 +130,7 @@ class Formula : public StatBase
     double value() const { return fn_ ? fn_() : 0.0; }
 
     void print(std::ostream &os, const std::string &prefix) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override {}
 
   private:
@@ -142,6 +155,14 @@ class StatGroup
     /** Dump this group and all children to @p os. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Dump this group and all children as one JSON object. The root
+     * object carries a versioned "schema" field ("ap-stats-v1") so
+     * consumers can detect format drift; every group contributes
+     * {"name", "stats": {name: stat-object}, "groups": {name: group}}.
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Reset every stat in this group and its children. */
     void resetStats();
 
@@ -152,6 +173,7 @@ class StatGroup
     friend class StatBase;
 
     void dumpWithPrefix(std::ostream &os, const std::string &prefix) const;
+    void dumpJsonGroup(std::ostream &os) const;
 
     std::string name_;
     StatGroup *parent_;

@@ -59,6 +59,29 @@ parsePageSize(const std::string &s, PageSize &out)
 }
 
 bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    // std::stoull alone is too forgiving: it accepts leading
+    // whitespace and a sign (negatives wrap modulo 2^64) and ignores
+    // trailing junk ("4k" parses as 4). Require a pure digit string.
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(s, &pos, 10);
+    } catch (...) {
+        return false; // overflow
+    }
+    if (pos != s.size())
+        return false;
+    // Assign only on success so a rejected option leaves the caller's
+    // value untouched.
+    out = v;
+    return true;
+}
+
+bool
 SimConfig::applyOption(const std::string &option)
 {
     auto eq = option.find('=');
@@ -76,12 +99,7 @@ SimConfig::applyOption(const std::string &option)
         return true;
     }
     auto as_u64 = [&value](std::uint64_t &out) {
-        try {
-            out = std::stoull(value);
-        } catch (...) {
-            return false;
-        }
-        return true;
+        return parseU64(value, out);
     };
     auto as_bool = [&value](bool &out) {
         std::string v = lower(value);

@@ -110,6 +110,13 @@ bool parseVirtMode(const std::string &s, VirtMode &out);
 /** Parse a page size ("4k" or "2m"). */
 bool parsePageSize(const std::string &s, PageSize &out);
 
+/**
+ * Strict decimal parse of an unsigned 64-bit value: the whole string
+ * must be consumed ("4k" is rejected, not read as 4) and signs are
+ * rejected ("-1" must not wrap to 2^64-1). @return success.
+ */
+bool parseU64(const std::string &s, std::uint64_t &out);
+
 } // namespace ap
 
 #endif // AGILEPAGING_SIM_CONFIG_HH

@@ -125,6 +125,7 @@ Machine::translate(ProcId pid, Addr va, bool write)
         walk_cycles_ += r.coldRefs * cfg_.walkRefCycles +
                         (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles;
         if (r.ok()) {
+            last_translate_faults_ = attempt;
             if (r.dirtyTransition && cfg_.hwOptAd && shadowed(pid) &&
                 !ctx.fullNested) {
                 // Hardware A/D writeback into all three tables costs
@@ -267,7 +268,14 @@ Machine::doAccess(Addr va, bool write, bool instr)
             return;
         }
         ++tlb_misses_;
+        std::array<std::uint64_t, kNumTrapKinds> traps_before{};
+        if (walk_trace_ && vmm_) {
+            for (std::size_t k = 0; k < kNumTrapKinds; ++k)
+                traps_before[k] = vmm_->trapCount(static_cast<TrapKind>(k));
+        }
         WalkResult r = translate(pid, va, write);
+        if (walk_trace_)
+            recordWalkTrace(pid, va, write, instr, r, traps_before);
         if (write && !r.writable) {
             resolveProtection(pid, va);
             continue;
@@ -292,6 +300,51 @@ void
 Machine::touch(Addr va, bool write, bool instr)
 {
     doAccess(va, write, instr);
+}
+
+void
+Machine::enableWalkTrace(std::size_t capacity)
+{
+    walk_trace_ = std::make_unique<WalkTraceBuffer>(capacity);
+}
+
+void
+Machine::recordWalkTrace(
+    ProcId pid, Addr va, bool write, bool instr, const WalkResult &r,
+    const std::array<std::uint64_t, kNumTrapKinds> &traps_before)
+{
+    auto clamp8 = [](unsigned v) {
+        return static_cast<std::uint8_t>(std::min(v, 255u));
+    };
+    WalkTraceRecord rec;
+    rec.va = va;
+    rec.asid = pid;
+    rec.mode =
+        static_cast<std::uint8_t>(guest_os_->context(pid).mode);
+    rec.pageSize = static_cast<std::uint8_t>(r.size);
+    if (write)
+        rec.flags |= WalkTraceRecord::kFlagWrite;
+    if (instr)
+        rec.flags |= WalkTraceRecord::kFlagInstr;
+    if (r.fullNested)
+        rec.flags |= WalkTraceRecord::kFlagFullNested;
+    rec.switchDepth = clamp8(r.switchDepth);
+    rec.refs = clamp8(r.refs);
+    rec.coldRefs = clamp8(r.coldRefs);
+    for (std::size_t t = 0; t < kNumWalkTables; ++t)
+        rec.refsByTable[t] = clamp8(r.refsByTable[t]);
+    rec.pwcStartDepth = clamp8(r.pwcStartDepth);
+    rec.ntlbHits = clamp8(r.ntlbHits);
+    rec.faults = clamp8(last_translate_faults_);
+    if (vmm_) {
+        for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
+            if (vmm_->trapCount(static_cast<TrapKind>(k)) >
+                traps_before[k]) {
+                rec.trapMask |= std::uint16_t(1u << k);
+            }
+        }
+    }
+    walk_trace_->append(rec);
 }
 
 void
@@ -556,6 +609,11 @@ Machine::run(Workload &workload)
         ++steps;
     }
     RunResult base = snapshot(workload.name());
+    // Measurement boundary: from here on the trace and the counters
+    // describe the same set of walks, so summarizing the trace
+    // reproduces the RunResult's coverage numbers exactly.
+    if (walk_trace_)
+        walk_trace_->clear();
     while (more)
         more = workload.step(*this);
     RunResult result = delta(snapshot(workload.name()), base);

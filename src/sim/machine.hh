@@ -22,6 +22,7 @@
 #include "tlb/nested_tlb.hh"
 #include "tlb/pwc.hh"
 #include "tlb/tlb_hierarchy.hh"
+#include "trace/walk_trace.hh"
 #include "vmm/shadow_mgr.hh"
 #include "vmm/shsp.hh"
 #include "vmm/vmm.hh"
@@ -116,6 +117,19 @@ class Machine : public stats::StatGroup, public WorkloadHost
     TlbHierarchy &tlb() { return *tlb_; }
     const SimConfig &config() const { return cfg_; }
 
+    /**
+     * Start recording one WalkTraceRecord per serviced TLB miss into a
+     * bounded ring of @p capacity records. run() clears the ring at its
+     * measurement boundary, so after a run the trace covers exactly the
+     * measured region (and summarizing it reproduces the RunResult's
+     * Table VI coverage bit-identically when nothing was dropped).
+     */
+    void enableWalkTrace(std::size_t capacity);
+
+    /** The walk-trace ring, or nullptr when tracing is off. */
+    WalkTraceBuffer *walkTrace() { return walk_trace_.get(); }
+    const WalkTraceBuffer *walkTrace() const { return walk_trace_.get(); }
+
     /** Snapshot current counters into a RunResult. */
     RunResult snapshot(const std::string &workload_name) const;
 
@@ -154,6 +168,11 @@ class Machine : public stats::StatGroup, public WorkloadHost
     /** Fault-servicing walk loop; returns the final good result. */
     WalkResult translate(ProcId pid, Addr va, bool write);
 
+    /** Append one trace record for a serviced miss (tracing on). */
+    void recordWalkTrace(
+        ProcId pid, Addr va, bool write, bool instr, const WalkResult &r,
+        const std::array<std::uint64_t, kNumTrapKinds> &traps_before);
+
     /** Interval bookkeeping: policy/SHSP ticks. */
     void maybeInterval();
 
@@ -177,6 +196,11 @@ class Machine : public stats::StatGroup, public WorkloadHost
 
     ProcId current_ = 0;
     ProcId background_ = 0;
+
+    /** Per-miss event trace (allocated by enableWalkTrace). */
+    std::unique_ptr<WalkTraceBuffer> walk_trace_;
+    /** Faulted walk attempts the last translate() serviced. */
+    unsigned last_translate_faults_ = 0;
 
     std::uint64_t instructions_ = 0;
     Cycles walk_cycles_ = 0;

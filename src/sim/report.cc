@@ -6,6 +6,7 @@
 #include "sim/report.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace ap
@@ -39,9 +40,13 @@ configLabel(const RunResult &r)
 std::string
 overheadBar(double fraction, double per_char)
 {
-    int n = static_cast<int>(fraction / per_char + 0.5);
+    // lround rounds halfway cases away from zero in both directions;
+    // the old static_cast<int>(x + 0.5) truncated toward zero, so
+    // small *negative* overheads (delta bars) rounded inconsistently
+    // (-0.7 -> 0 but -1.5 -> -1).
+    long n = std::lround(fraction / per_char);
     bool overflow = n > 60;
-    n = std::clamp(n, 0, 60);
+    n = std::clamp(n, 0l, 60l);
     std::string bar(static_cast<std::size_t>(n), '#');
     // Without the marker every overhead beyond the 60-column budget
     // renders as the same full-width bar.
@@ -121,6 +126,61 @@ printCsv(std::ostream &os, const std::vector<RunResult> &runs)
             os << "," << c;
         os << "," << r.walkOverhead() << "," << r.vmmOverhead() << "\n";
     }
+}
+
+void
+writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    auto esc = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    os << "{\"schema\": \"ap-runs-v1\", \"runs\": [";
+    bool first_run = true;
+    for (const RunResult &r : runs) {
+        if (!first_run)
+            os << ", ";
+        first_run = false;
+        os << "{\"workload\": \"" << esc(r.workload) << "\""
+           << ", \"mode\": \"" << virtModeName(r.mode) << "\""
+           << ", \"page_size\": \"" << pageSizeName(r.pageSize) << "\""
+           << ", \"config\": \"" << esc(configLabel(r)) << "\""
+           << ", \"instructions\": " << r.instructions
+           << ", \"ideal_cycles\": " << r.idealCycles
+           << ", \"walk_cycles\": " << r.walkCycles
+           << ", \"trap_cycles\": " << r.trapCycles
+           << ", \"tlb_misses\": " << r.tlbMisses
+           << ", \"walks\": " << r.walks
+           << ", \"traps\": " << r.traps
+           << ", \"guest_page_faults\": " << r.guestPageFaults;
+        os << ", \"avg_walk_refs\": " << std::setprecision(17)
+           << r.avgWalkRefs;
+        os << ", \"coverage\": [";
+        for (int i = 0; i < 6; ++i)
+            os << (i ? ", " : "") << std::setprecision(17)
+               << r.coverage[i];
+        os << "]";
+        os << ", \"traps_by_cause\": {";
+        for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
+            os << (k ? ", " : "") << "\""
+               << trapKindName(static_cast<TrapKind>(k))
+               << "\": " << r.trapByKind[k];
+        }
+        os << "}";
+        os << ", \"walk_overhead\": " << std::setprecision(17)
+           << r.walkOverhead()
+           << ", \"vmm_overhead\": " << std::setprecision(17)
+           << r.vmmOverhead()
+           << ", \"slowdown\": " << std::setprecision(17)
+           << r.slowdown();
+        os << "}";
+    }
+    os << "]}\n";
 }
 
 } // namespace ap

@@ -37,6 +37,15 @@ void printTable6(std::ostream &os, const std::vector<RunResult> &runs);
 void printCsv(std::ostream &os, const std::vector<RunResult> &runs);
 
 /**
+ * Machine-readable JSON with every RunResult field, including the
+ * per-cause VM-exit attribution. The root object carries
+ * `"schema": "ap-runs-v1"` and a `"runs"` array; see EXPERIMENTS.md
+ * for the full schema.
+ */
+void writeRunResultsJson(std::ostream &os,
+                         const std::vector<RunResult> &runs);
+
+/**
  * ASCII bar (# per 2% of overhead) for quick visual comparison. Capped
  * at 60 columns; a trailing '+' marks bars that exceed the cap.
  */

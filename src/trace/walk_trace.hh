@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Per-walk event tracing: the observability layer over the MMU
+ * simulation path.
+ *
+ * Every serviced TLB miss appends one compact WalkTraceRecord (VA,
+ * mode, switch level, references per table, PWC/nTLB hits, trap causes
+ * charged while servicing) to a bounded ring buffer. The summarizer
+ * reconstructs the paper's Table VI coverage fractions and the hottest
+ * walk shapes from the trace alone — bit-identically to the
+ * in-simulator counters when no records were dropped — so a trace file
+ * is a self-contained, inspectable account of where every translation
+ * cycle went. Enabled by `--trace-walks=<path>` in the drivers and
+ * summarized offline by `tools/walksum`.
+ *
+ * The buffer type is header-only so the Machine (ap_sim) can append
+ * records without linking the trace library; file I/O and the
+ * summarizer live in walk_trace.cc (ap_trace).
+ */
+
+#ifndef AGILEPAGING_TRACE_WALK_TRACE_HH
+#define AGILEPAGING_TRACE_WALK_TRACE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "vmm/trap_costs.hh"
+#include "walker/walk_result.hh"
+
+namespace ap
+{
+
+/** One serviced TLB miss, compactly (26 payload bytes). */
+struct WalkTraceRecord
+{
+    /** WalkTraceRecord::flags bits. */
+    enum : std::uint8_t
+    {
+        kFlagWrite = 1 << 0,      ///< the access was a store
+        kFlagInstr = 1 << 1,      ///< instruction fetch
+        kFlagFullNested = 1 << 2, ///< walk ran fully nested incl gptr
+    };
+
+    /** Faulting guest virtual address of the missed access. */
+    Addr va = 0;
+    /** Process (address-space id) that took the miss. */
+    ProcId asid = 0;
+    /** VirtMode of the process's translation context. */
+    std::uint8_t mode = 0;
+    /** Effective PageSize of the final translation. */
+    std::uint8_t pageSize = 0;
+    /** kFlag* bits. */
+    std::uint8_t flags = 0;
+    /** Depth at which the successful walk entered nested mode
+     *  (kPtLevels = never; Table VI switch level). */
+    std::uint8_t switchDepth = 0;
+    /** Memory references charged to the successful walk. */
+    std::uint8_t refs = 0;
+    /** Cache-cold (leaf) references among them. */
+    std::uint8_t coldRefs = 0;
+    /** References per table, indexed by WalkTable (nPT/gPT/hPT/sPT). */
+    std::uint8_t refsByTable[kNumWalkTables] = {0, 0, 0, 0};
+    /** Depth the PWC let the walk resume at (0 = walked from root). */
+    std::uint8_t pwcStartDepth = 0;
+    /** Host translations served by the nested TLB during the walk. */
+    std::uint8_t ntlbHits = 0;
+    /** Faulted walk attempts taken before this walk succeeded. */
+    std::uint8_t faults = 0;
+    /** Bitmask over TrapKind: every VM-exit cause charged while
+     *  servicing this miss (fault handlers may charge several). */
+    std::uint16_t trapMask = 0;
+
+    bool write() const { return flags & kFlagWrite; }
+    bool instr() const { return flags & kFlagInstr; }
+    bool fullNested() const { return flags & kFlagFullNested; }
+};
+
+/**
+ * Bounded ring buffer of walk records. When full, the oldest record is
+ * overwritten and counted as dropped; appended() keeps the true total
+ * so summaries can report truncation instead of hiding it.
+ */
+class WalkTraceBuffer
+{
+  public:
+    explicit WalkTraceBuffer(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+        records_.reserve(std::min<std::size_t>(capacity_, 4096));
+    }
+
+    void
+    append(const WalkTraceRecord &r)
+    {
+        if (records_.size() < capacity_) {
+            records_.push_back(r);
+        } else {
+            records_[head_] = r;
+            head_ = (head_ + 1) % capacity_;
+        }
+        ++appended_;
+    }
+
+    /** Forget everything recorded so far (measurement boundary). */
+    void
+    clear()
+    {
+        records_.clear();
+        head_ = 0;
+        appended_ = 0;
+    }
+
+    std::size_t size() const { return records_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    /** Records ever appended, including overwritten ones. */
+    std::uint64_t appended() const { return appended_; }
+    /** Records lost to ring wrap-around. */
+    std::uint64_t dropped() const { return appended_ - records_.size(); }
+
+    /** Copy out the records oldest-first. */
+    std::vector<WalkTraceRecord>
+    snapshot() const
+    {
+        std::vector<WalkTraceRecord> out;
+        out.reserve(records_.size());
+        for (std::size_t i = 0; i < records_.size(); ++i)
+            out.push_back(records_[(head_ + i) % records_.size()]);
+        return out;
+    }
+
+  private:
+    std::size_t capacity_;
+    /** Oldest record (next overwrite target) once the ring is full. */
+    std::size_t head_ = 0;
+    std::uint64_t appended_ = 0;
+    std::vector<WalkTraceRecord> records_;
+};
+
+/** A distinct walk shape: identical mode/switch/refs-per-table/cache
+ *  behaviour, with one representative record and its frequency. */
+struct WalkShape
+{
+    WalkTraceRecord sample{};
+    std::uint64_t count = 0;
+};
+
+/** Everything the summarizer can reconstruct from a trace alone. */
+struct WalkTraceSummary
+{
+    /** Successful walks in the trace (= records). */
+    std::uint64_t walks = 0;
+    /** Records lost to ring wrap (coverage is exact only when 0). */
+    std::uint64_t dropped = 0;
+
+    /** Table VI coverage classes: [0] full shadow, [1..4] entered
+     *  nested below depth 3..0, [5] full nested incl gptr —
+     *  the same classification Walker::recordCoverage applies. */
+    std::uint64_t coverageCounts[6] = {0, 0, 0, 0, 0, 0};
+    double coverage[6] = {0, 0, 0, 0, 0, 0};
+
+    std::uint64_t refsTotal = 0;
+    double avgWalkRefs = 0.0;
+
+    /** Misses whose servicing charged each VM-exit cause. */
+    std::uint64_t trapByCause[kNumTrapKinds] = {};
+    /** Misses that needed at least one fault-servicing retry. */
+    std::uint64_t faultedMisses = 0;
+    /** Walks the PWC let resume below the root. */
+    std::uint64_t pwcResumed = 0;
+    /** Total nested-TLB hits across all walks. */
+    std::uint64_t ntlbHits = 0;
+
+    /** Most frequent walk shapes, descending by count. */
+    std::vector<WalkShape> topShapes;
+};
+
+/** Classify one record into its Table VI coverage column [0..5]. */
+unsigned coverageClass(const WalkTraceRecord &r);
+
+/** Summarize records (oldest-first) with @p dropped trailing context. */
+WalkTraceSummary summarizeWalkTrace(
+    const std::vector<WalkTraceRecord> &records, std::uint64_t dropped,
+    std::size_t top_shapes = 10);
+
+WalkTraceSummary summarizeWalkTrace(const WalkTraceBuffer &buffer,
+                                    std::size_t top_shapes = 10);
+
+/** Render a summary as text (walksum's output; Table-VI-style). */
+void printWalkTraceSummary(std::ostream &os,
+                           const WalkTraceSummary &summary);
+
+/** One-line human rendering of a record's shape ("sPT:2 gPT:2 ..."). */
+std::string walkShapeLabel(const WalkTraceRecord &r);
+
+/** Serialize (binary, versioned). @return success. */
+bool writeWalkTrace(const WalkTraceBuffer &buffer, std::ostream &os);
+bool writeWalkTraceFile(const WalkTraceBuffer &buffer,
+                        const std::string &path);
+
+/** Deserialize. @return false on format/version mismatch. */
+bool readWalkTrace(std::istream &is,
+                   std::vector<WalkTraceRecord> &records,
+                   std::uint64_t &dropped);
+bool readWalkTraceFile(const std::string &path,
+                       std::vector<WalkTraceRecord> &records,
+                       std::uint64_t &dropped);
+
+} // namespace ap
+
+#endif // AGILEPAGING_TRACE_WALK_TRACE_HH

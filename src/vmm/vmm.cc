@@ -34,6 +34,8 @@ Vmm::Vmm(stats::StatGroup *parent, PhysMem &mem, const VmmConfig &cfg,
       hostFaultsServed(this, "host_faults", "EPT violations served"),
       pagesShared(this, "pages_shared", "host frames reclaimed by dedup"),
       cowBreaks(this, "cow_breaks", "host COW faults broken"),
+      trapEntriesDist(this, "trap_entries", "PTEs touched per VM exit",
+                      0, 1024, 32),
       mem_(mem),
       cfg_(cfg),
       ntlb_(ntlb),
@@ -48,6 +50,16 @@ Vmm::Vmm(stats::StatGroup *parent, PhysMem &mem, const VmmConfig &cfg,
       pt_alloc_(cfg.guestPtFrames),
       data_alloc_(cfg.guestDataFrames)
 {
+    trapCountByCause.reserve(kNumTrapKinds);
+    trapCyclesByCause.reserve(kNumTrapKinds);
+    for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
+        std::string kind = trapKindName(static_cast<TrapKind>(k));
+        trapCountByCause.push_back(std::make_unique<stats::Scalar>(
+            this, "trap_" + kind, "VM exits caused by " + kind));
+        trapCyclesByCause.push_back(std::make_unique<stats::Scalar>(
+            this, "trap_" + kind + "_cycles",
+            "cycles in VM exits caused by " + kind));
+    }
     hpt_space_ = std::make_unique<HostPtSpace>(mem_, TableOwner::HostPt);
     hpt_ = std::make_unique<RadixPageTable>(*hpt_space_, "hPT");
     backings_.resize(data_base_ + cfg.guestDataFrames + 1);
@@ -352,6 +364,10 @@ Vmm::chargeTrap(TrapKind k, std::uint64_t entries)
     ++trap_counts_[static_cast<std::size_t>(k)];
     ++trapsTotal;
     trapCyclesStat += static_cast<double>(c);
+    ++*trapCountByCause[static_cast<std::size_t>(k)];
+    *trapCyclesByCause[static_cast<std::size_t>(k)] +=
+        static_cast<double>(c);
+    trapEntriesDist.sample(entries);
 }
 
 std::uint64_t

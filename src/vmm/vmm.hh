@@ -183,6 +183,14 @@ class Vmm : public stats::StatGroup
     stats::Scalar hostFaultsServed;
     stats::Scalar pagesShared;
     stats::Scalar cowBreaks;
+    /** Per-cause VM-exit attribution ("trap_<kind>" / same + "_cycles"
+     *  per TrapKind): counts sum exactly to trapsTotal and cycles to
+     *  trapCyclesStat, so the Section III-C cost model can be checked
+     *  empirically per cause rather than assumed in aggregate. */
+    std::vector<std::unique_ptr<stats::Scalar>> trapCountByCause;
+    std::vector<std::unique_ptr<stats::Scalar>> trapCyclesByCause;
+    /** PTEs touched per trap (per-entry handler work, Section III-C). */
+    stats::Distribution trapEntriesDist;
 
   private:
     struct Backing

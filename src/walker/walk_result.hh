@@ -25,6 +25,9 @@ enum class WalkTable : std::uint8_t
     ShadowPt,
 };
 
+/** Number of distinct WalkTable values. */
+inline constexpr std::size_t kNumWalkTables = 4;
+
 /** @return short printable name for a walk table. */
 constexpr const char *
 walkTableName(WalkTable t)
@@ -81,6 +84,18 @@ struct WalkResult
     /** Memory references charged to this walk (after PWC/nTLB savings). */
     unsigned refs = 0;
 
+    /** References charged per table (indexed by WalkTable), so a walk
+     *  record can say *where* the refs went (gPT vs hPT vs sPT). */
+    unsigned refsByTable[kNumWalkTables] = {0, 0, 0, 0};
+
+    /** Walk depth the PWC let this walk resume at (0 = PWC miss,
+     *  walked from the root). */
+    unsigned pwcStartDepth = 0;
+
+    /** Host translations served by the nested TLB instead of an hPT
+     *  sub-walk during this walk. */
+    unsigned ntlbHits = 0;
+
     /** References that read a terminal leaf entry. Leaf PTEs are the
      *  cache-cold part of a walk; upper-level entries usually hit the
      *  data caches (Intel optimization manual [36]), so the cost model
@@ -131,6 +146,10 @@ struct WalkResult
         size = PageSize::Size4K;
         writable = false;
         refs = 0;
+        for (unsigned &t : refsByTable)
+            t = 0;
+        pwcStartDepth = 0;
+        ntlbHits = 0;
         coldRefs = 0;
         switchDepth = kPtLevels;
         fullNested = false;

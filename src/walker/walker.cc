@@ -126,6 +126,7 @@ Walker::hostTranslate(const TranslationContext &ctx, FrameId gframe,
                       WalkResult &result, HostLeaf &out)
 {
     if (auto cached = ntlb_.lookup(gframe)) {
+        ++result.ntlbHits;
         out.h4k = cached->hframe;
         out.hostSize = cached->hostSize;
         out.writable = cached->writable;
@@ -165,6 +166,7 @@ Walker::nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
 {
     PwcHit hit = pwc_.probe(va, ctx.asid);
     unsigned depth = hit.startDepth;
+    r.pwcStartDepth = depth;
     FrameId cur = depth ? hit.entry.frame : ctx.nativeRoot;
 
     for (unsigned d = depth; d < kPtLevels; ++d) {
@@ -212,6 +214,7 @@ Walker::nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
 
     PwcHit hit = pwc_.probe(va, ctx.asid);
     unsigned depth = hit.startDepth;
+    r.pwcStartDepth = depth;
     FrameId cur;
     if (depth) {
         cur = hit.entry.frame;
@@ -270,6 +273,7 @@ Walker::agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
 {
     PwcHit hit = pwc_.probe(va, ctx.asid);
     unsigned depth = hit.startDepth;
+    r.pwcStartDepth = depth;
     bool nested;
     FrameId cur;
     if (depth) {

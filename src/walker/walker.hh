@@ -139,6 +139,7 @@ class Walker : public stats::StatGroup
     charge(WalkResult &r, WalkTable table, unsigned depth, FrameId frame)
     {
         ++r.refs;
+        ++r.refsByTable[static_cast<std::size_t>(table)];
         if (tracing_)
             r.trace.push_back(WalkAccess{table, depth, frame});
     }

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "base/bitfield.hh"
@@ -286,6 +287,122 @@ TEST(Stats, FindStat)
     stats::Scalar s(&g, "present", "");
     EXPECT_NE(g.findStat("present"), nullptr);
     EXPECT_EQ(g.findStat("absent"), nullptr);
+}
+
+TEST(Stats, DestroyedStatDeregisters)
+{
+    // Regression: ~StatBase used to leave its pointer in the group's
+    // registry, so dumping after a stat died dereferenced freed memory.
+    stats::StatGroup g("g");
+    stats::Scalar keep(&g, "keep", "survives");
+    keep += 2;
+    {
+        stats::Scalar doomed(&g, "doomed", "dies first");
+        doomed += 9;
+        EXPECT_NE(g.findStat("doomed"), nullptr);
+    }
+    EXPECT_EQ(g.findStat("doomed"), nullptr);
+    EXPECT_NE(g.findStat("keep"), nullptr);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str().find("doomed"), std::string::npos);
+    EXPECT_NE(os.str().find("keep"), std::string::npos);
+
+    g.resetStats();
+    EXPECT_DOUBLE_EQ(keep.value(), 0.0);
+
+    std::ostringstream js;
+    g.dumpJson(js);
+    EXPECT_EQ(js.str().find("doomed"), std::string::npos);
+}
+
+TEST(Stats, GroupDestroyedBeforeStat)
+{
+    // The reverse order: the group dies first, the stat's destructor
+    // must not chase the dead group's registry.
+    auto g = std::make_unique<stats::StatGroup>("g");
+    stats::Scalar s(g.get(), "s", "");
+    s += 1;
+    g.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 1.0);
+    // ~s runs after this with no group to deregister from.
+}
+
+TEST(Stats, DistributionBoundaryBuckets)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 10, 29, 10);
+    d.sample(10); // first bucket's low edge
+    d.sample(19); // first bucket's high edge
+    d.sample(20); // second bucket's low edge
+    d.sample(29); // max itself stays in range
+    d.sample(9);  // one below min -> underflow
+    d.sample(30); // one above max -> overflow
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.count(), 6u);
+    EXPECT_EQ(d.minSeen(), 9u);
+    EXPECT_EQ(d.maxSeen(), 30u);
+}
+
+TEST(Stats, DistributionWeightedSamples)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 0, 100, 10);
+    d.sample(10, 3);
+    d.sample(40, 1);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 70.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 17.5);
+}
+
+TEST(Stats, DistributionResetRestoresExtremes)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 0, 100, 10);
+    d.sample(5);
+    d.sample(95);
+    EXPECT_EQ(d.minSeen(), 5u);
+    EXPECT_EQ(d.maxSeen(), 95u);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    // min/max trackers must rearm, not stay pinned at the old values.
+    d.sample(50);
+    EXPECT_EQ(d.minSeen(), 50u);
+    EXPECT_EQ(d.maxSeen(), 50u);
+}
+
+TEST(Stats, FormulaNullFunction)
+{
+    stats::StatGroup g("g");
+    stats::Formula f(&g, "f", "no fn", nullptr);
+    EXPECT_DOUBLE_EQ(f.value(), 0.0);
+    std::ostringstream os;
+    g.dump(os); // printing a null-fn formula must not crash
+    std::ostringstream js;
+    g.dumpJson(js);
+}
+
+TEST(Stats, DumpJsonShape)
+{
+    stats::StatGroup root("machine");
+    stats::StatGroup child("tlb", &root);
+    stats::Scalar hits(&child, "hits", "TLB \"hits\"");
+    hits += 7;
+    stats::Distribution d(&root, "refs", "walk refs", 0, 30, 1);
+    d.sample(4, 2);
+    std::ostringstream os;
+    root.dumpJson(os);
+    const std::string j = os.str();
+    EXPECT_NE(j.find("\"schema\": \"ap-stats-v1\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\": \"machine\""), std::string::npos);
+    EXPECT_NE(j.find("\"tlb\""), std::string::npos);
+    EXPECT_NE(j.find("\"hits\""), std::string::npos);
+    // The quote inside the description must be escaped.
+    EXPECT_NE(j.find("TLB \\\"hits\\\""), std::string::npos);
+    EXPECT_NE(j.find("\"type\": \"distribution\""), std::string::npos);
 }
 
 TEST(Debug, FlagsDefaultOff)

@@ -66,6 +66,44 @@ TEST(Config, ApplyOptions)
     EXPECT_FALSE(cfg.applyOption("mode=xyz"));
 }
 
+TEST(Config, ParseU64RejectsJunk)
+{
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("184467", v));
+    EXPECT_EQ(v, 184467u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v)); // UINT64_MAX
+    EXPECT_EQ(v, ~std::uint64_t{0});
+
+    // Trailing junk must not silently truncate ("4k" -> 4).
+    EXPECT_FALSE(parseU64("4k", v));
+    EXPECT_FALSE(parseU64("1e6", v));
+    EXPECT_FALSE(parseU64("7 ", v));
+    // Negatives must not wrap ("-1" -> 2^64-1), and signs are out.
+    EXPECT_FALSE(parseU64("-1", v));
+    EXPECT_FALSE(parseU64("+1", v));
+    EXPECT_FALSE(parseU64(" 1", v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("abc", v));
+    // Overflow past 2^64-1 is rejected, not wrapped.
+    EXPECT_FALSE(parseU64("18446744073709551616", v));
+}
+
+TEST(Config, ApplyOptionRejectsMalformedNumbers)
+{
+    SimConfig cfg;
+    std::uint64_t before = cfg.walkRefCycles;
+    // Regression: these used to be accepted via bare stoull, silently
+    // truncating "4k" to 4 and wrapping "-1" to 2^64-1.
+    EXPECT_FALSE(cfg.applyOption("walk_ref_cycles=4k"));
+    EXPECT_FALSE(cfg.applyOption("walk_ref_cycles=-1"));
+    EXPECT_FALSE(cfg.applyOption("walk_ref_cycles="));
+    EXPECT_EQ(cfg.walkRefCycles, before);
+    EXPECT_TRUE(cfg.applyOption("walk_ref_cycles=12"));
+    EXPECT_EQ(cfg.walkRefCycles, 12u);
+}
+
 TEST(Experiment, DefaultsPreserveTableVOrdering)
 {
     // graph500 and memcached are the big-memory pair; astar is the

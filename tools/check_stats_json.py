@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate the JSON stats exports (CI gate).
+
+Usage:
+  check_stats_json.py stats <machine-stats.json>   # apsim --stats-json
+  check_stats_json.py runs  <run-results.json>     # bench --stats-json
+
+Checks that the file parses, carries the expected versioned schema tag,
+has the required keys, and that the per-cause VM-exit counts sum exactly
+to the aggregate trap counter. Exit 0 on success, 1 on any violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_stats_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_group(group, path):
+    for key in ("name", "stats", "groups"):
+        require(key in group, f"{path}: missing key '{key}'")
+    for name, stat in group["stats"].items():
+        require("type" in stat, f"{path}.{name}: stat missing 'type'")
+        require(
+            stat["type"] in ("scalar", "distribution", "formula"),
+            f"{path}.{name}: unknown stat type '{stat['type']}'",
+        )
+        if stat["type"] in ("scalar", "formula"):
+            require("value" in stat, f"{path}.{name}: missing 'value'")
+        else:
+            for key in ("count", "sum", "mean", "buckets"):
+                require(key in stat, f"{path}.{name}: missing '{key}'")
+    for name, child in group["groups"].items():
+        check_group(child, f"{path}.{name}")
+
+
+def find_group(group, name):
+    if group.get("name") == name:
+        return group
+    for child in group.get("groups", {}).values():
+        found = find_group(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def check_stats(doc):
+    require(doc.get("schema") == "ap-stats-v1",
+            f"bad schema tag: {doc.get('schema')!r}")
+    check_group(doc, doc.get("name", "<root>"))
+
+    vmm = find_group(doc, "vmm")
+    if vmm is None:
+        print("check_stats_json: no vmm group (native run); structure OK")
+        return
+    stats = vmm["stats"]
+    require("traps" in stats, "vmm group missing aggregate 'traps'")
+    total = stats["traps"]["value"]
+    per_cause = sum(
+        stat["value"]
+        for name, stat in stats.items()
+        if name.startswith("trap_") and not name.endswith("_cycles")
+        and stat["type"] == "scalar"
+    )
+    require(
+        per_cause == total,
+        f"per-cause trap counts sum to {per_cause}, aggregate is {total}",
+    )
+    print(f"check_stats_json: OK ({int(total)} traps attributed)")
+
+
+def check_runs(doc):
+    require(doc.get("schema") == "ap-runs-v1",
+            f"bad schema tag: {doc.get('schema')!r}")
+    runs = doc.get("runs")
+    require(isinstance(runs, list) and runs, "missing/empty 'runs' array")
+    required = (
+        "workload", "mode", "page_size", "instructions", "ideal_cycles",
+        "walk_cycles", "trap_cycles", "tlb_misses", "walks", "traps",
+        "avg_walk_refs", "coverage", "traps_by_cause",
+    )
+    for i, run in enumerate(runs):
+        for key in required:
+            require(key in run, f"runs[{i}]: missing key '{key}'")
+        require(len(run["coverage"]) == 6,
+                f"runs[{i}]: coverage must have 6 classes")
+        per_cause = sum(run["traps_by_cause"].values())
+        require(
+            per_cause == run["traps"],
+            f"runs[{i}] ({run['workload']}): per-cause traps sum to "
+            f"{per_cause}, aggregate is {run['traps']}",
+        )
+    print(f"check_stats_json: OK ({len(runs)} runs)")
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("stats", "runs"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[2]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {sys.argv[2]}: {e}")
+    if sys.argv[1] == "stats":
+        check_stats(doc)
+    else:
+        check_runs(doc)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,11 +28,17 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "sim/config.hh"
 #include "sim/oracle.hh"
 #include "sim/parallel_runner.hh"
 
 namespace
 {
+
+const char kUsage[] =
+    "usage: difftest [--seeds N] [--seed-base S] [--ops N] [--jobs N]\n"
+    "                [--page 4k|2m|both] [--reclaim] [--no-hw-opts]\n"
+    "                [--sweep N] [--inject K] [--replay FILE] [--out DIR]\n";
 
 struct Cli
 {
@@ -215,18 +221,33 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                ap_fatal("missing value for ", a);
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << a << "\n" << kUsage;
+                std::exit(2);
+            }
             return argv[++i];
         };
+        // Reject junk ("4k", "1e6", "-1") instead of silently
+        // truncating or wrapping the way bare stoull would.
+        auto nextU64 = [&]() -> std::uint64_t {
+            std::string v = next();
+            std::uint64_t out = 0;
+            if (!ap::parseU64(v, out)) {
+                std::cerr << "bad value for " << a << ": '" << v
+                          << "' (expected a non-negative integer)\n"
+                          << kUsage;
+                std::exit(2);
+            }
+            return out;
+        };
         if (a == "--seeds") {
-            cli.seeds = std::stoull(next());
+            cli.seeds = nextU64();
         } else if (a == "--seed-base") {
-            cli.seedBase = std::stoull(next());
+            cli.seedBase = nextU64();
         } else if (a == "--ops") {
-            cli.ops = std::stoull(next());
+            cli.ops = nextU64();
         } else if (a == "--jobs") {
-            cli.jobs = static_cast<unsigned>(std::stoul(next()));
+            cli.jobs = static_cast<unsigned>(nextU64());
         } else if (a == "--page") {
             std::string p = next();
             if (p == "both") {
@@ -242,15 +263,15 @@ main(int argc, char **argv)
         } else if (a == "--no-hw-opts") {
             cli.hwOpts = false;
         } else if (a == "--sweep") {
-            cli.sweep = std::stoull(next());
+            cli.sweep = nextU64();
         } else if (a == "--inject") {
-            cli.inject = std::stoull(next());
+            cli.inject = nextU64();
         } else if (a == "--replay") {
             cli.replayPath = next();
         } else if (a == "--out") {
             cli.outDir = next();
         } else {
-            std::cerr << "unknown option: " << a << "\n";
+            std::cerr << "unknown option: " << a << "\n" << kUsage;
             return 2;
         }
     }
