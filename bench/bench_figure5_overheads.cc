@@ -8,6 +8,12 @@
  * Usage: bench_figure5_overheads [--ops N] [--jobs N] [--csv]
  *                                [--workload NAME]
  *                                [--stats-json PATH]
+ *                                [--no-trace-cache]
+ *
+ * By default cells that share an operation stream (same workload,
+ * page size, ops, seed) record it once and replay it through the
+ * batched fast path; --no-trace-cache generates every cell from
+ * scratch (results are bit-identical either way).
  */
 
 #include <cstdio>
@@ -20,6 +26,7 @@
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
+#include "trace/trace_cache.hh"
 
 int
 main(int argc, char **argv)
@@ -28,12 +35,14 @@ main(int argc, char **argv)
     std::uint64_t ops = 0;
     unsigned jobs = 1;
     bool csv = false;
+    bool use_cache = true;
     std::string only;
     std::string stats_json;
     auto usage = [&argv]() {
         std::cerr << "usage: " << argv[0]
                   << " [--ops N] [--jobs N] [--csv]"
-                     " [--workload NAME] [--stats-json PATH]\n";
+                     " [--workload NAME] [--stats-json PATH]"
+                     " [--no-trace-cache]\n";
         return 1;
     };
     for (int i = 1; i < argc; ++i) {
@@ -52,6 +61,8 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--stats-json") &&
                    i + 1 < argc) {
             stats_json = argv[++i];
+        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+            use_cache = false;
         } else {
             return usage();
         }
@@ -63,7 +74,9 @@ main(int argc, char **argv)
             return s.workload != only;
         });
     }
-    std::vector<ap::RunResult> runs = ap::runExperiments(specs, jobs);
+    ap::TraceCache cache;
+    std::vector<ap::RunResult> runs = ap::runExperiments(
+        specs, jobs, use_cache ? ap::cachedCellFn(cache) : ap::CellFn{});
 
     if (!stats_json.empty()) {
         std::ofstream os(stats_json);

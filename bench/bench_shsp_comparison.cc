@@ -15,6 +15,7 @@
 #include "base/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "trace/trace_cache.hh"
 
 int
 main(int argc, char **argv)
@@ -22,11 +23,14 @@ main(int argc, char **argv)
     ap::setQuietLogging(true);
     std::uint64_t ops = 1'000'000;
     unsigned jobs = 1;
+    bool use_cache = true;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
             jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
             ops = std::stoull(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+            use_cache = false;
         } else {
             // Positional operation count (legacy invocation).
             ops = std::stoull(argv[i]);
@@ -48,7 +52,11 @@ main(int argc, char **argv)
             specs.push_back(spec);
         }
     }
-    std::vector<ap::RunResult> runs = ap::runExperiments(specs, jobs);
+    // The four techniques per row share one operation stream: record
+    // it once, replay it three times (batched).
+    ap::TraceCache cache;
+    std::vector<ap::RunResult> runs = ap::runExperiments(
+        specs, jobs, use_cache ? ap::cachedCellFn(cache) : ap::CellFn{});
 
     std::printf("SHSP vs agile paging (4K pages)\n\n");
     std::printf("%-11s %8s %8s %8s %8s %8s   %s\n", "workload", "nested",

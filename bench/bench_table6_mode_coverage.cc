@@ -15,26 +15,32 @@
 #include "base/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "trace/trace_cache.hh"
 
 int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
     std::uint64_t ops = 0;
+    bool use_cache = true;
     std::string stats_json;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
             if (!ap::parseU64(argv[++i], ops)) {
                 std::cerr << "usage: " << argv[0]
-                          << " [--ops N] [--stats-json PATH]\n";
+                          << " [--ops N] [--stats-json PATH]"
+                             " [--no-trace-cache]\n";
                 return 1;
             }
         } else if (!std::strcmp(argv[i], "--stats-json") &&
                    i + 1 < argc) {
             stats_json = argv[++i];
+        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
+            use_cache = false;
         }
     }
 
+    ap::TraceCache cache;
     std::vector<ap::RunResult> runs;
     for (const std::string &wl : ap::workloadNames()) {
         ap::WorkloadParams params = ap::defaultParamsFor(wl);
@@ -45,9 +51,16 @@ main(int argc, char **argv)
         // Table VI: "assuming no page walk caches".
         cfg.pwcEnabled = false;
         cfg.ntlbEnabled = false;
-        ap::Machine machine(cfg);
-        auto workload = ap::makeWorkload(wl, params);
-        runs.push_back(machine.run(*workload));
+        if (use_cache) {
+            // One cell per workload here, so this records rather than
+            // replays — but the traces become reusable by any matrix
+            // sharing the process, and results stay bit-identical.
+            runs.push_back(ap::runCellCached(cache, wl, params, cfg));
+        } else {
+            ap::Machine machine(cfg);
+            auto workload = ap::makeWorkload(wl, params);
+            runs.push_back(machine.run(*workload));
+        }
         std::cerr << "." << std::flush;
     }
     std::cerr << "\n";

@@ -1,13 +1,18 @@
 /**
  * @file
- * Experiment-engine throughput: runs the Figure 5 matrix serially and
- * with the parallel runner, reports wall-clock, simulated accesses per
- * second, speedup, and whether the parallel results are bit-identical
- * to the serial ones. Machine-readable copy goes to
+ * Experiment-engine throughput: runs the Figure 5 matrix four ways —
+ * serial cold, parallel cold, parallel with the trace cache replaying
+ * per-event, and parallel with the trace cache replaying through the
+ * batched fast path — and reports wall-clock, simulated accesses per
+ * second, speedups, and whether every variant is bit-identical to the
+ * serial baseline. Machine-readable copy goes to
  * BENCH_throughput.json.
  *
  * Usage: bench_throughput [--ops N] [--jobs N] [--json PATH]
+ *                         [--require-cache-speedup]
  *        --jobs 0 (default) uses every hardware thread.
+ *        --require-cache-speedup exits nonzero unless cached+batched
+ *          beats cold generation at the same job count (the CI gate).
  */
 
 #include <chrono>
@@ -16,16 +21,18 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "trace/trace_cache.hh"
 
 namespace
 {
 
-/** Fields that must match cell-for-cell between serial and parallel. */
+/** Fields that must match cell-for-cell between variants. */
 bool
 sameResult(const ap::RunResult &a, const ap::RunResult &b)
 {
@@ -44,6 +51,19 @@ sameResult(const ap::RunResult &a, const ap::RunResult &b)
     return same;
 }
 
+bool
+allSame(const std::vector<ap::RunResult> &a,
+        const std::vector<ap::RunResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!sameResult(a[i], b[i]))
+            return false;
+    }
+    return true;
+}
+
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
@@ -51,14 +71,25 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return fsec(std::chrono::steady_clock::now() - start).count();
 }
 
+struct Variant
+{
+    const char *name;
+    double seconds = 0;
+    double accessesPerSec = 0;
+    bool identical = true;
+};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = 200'000;
+    // Matches bench_figure5_overheads' default so the recorded JSON
+    // reflects the whole-matrix regeneration the cache accelerates.
+    std::uint64_t ops = 2'000'000;
     unsigned jobs = 0;
+    bool require_speedup = false;
     std::string json_path = "BENCH_throughput.json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
@@ -67,9 +98,12 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(std::stoul(argv[++i]));
         } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--require-cache-speedup")) {
+            require_speedup = true;
         } else {
             std::cerr << "usage: " << argv[0]
-                      << " [--ops N] [--jobs N] [--json PATH]\n";
+                      << " [--ops N] [--jobs N] [--json PATH]"
+                         " [--require-cache-speedup]\n";
             return 1;
         }
     }
@@ -78,35 +112,71 @@ main(int argc, char **argv)
     std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(ops);
     std::printf("experiment-engine throughput: %zu cells x %llu ops, "
                 "%u hardware threads\n",
-                specs.size(),
-                static_cast<unsigned long long>(ops),
+                specs.size(), static_cast<unsigned long long>(ops),
                 std::thread::hardware_concurrency());
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<ap::RunResult> serial = ap::runExperiments(specs, 1);
     double serial_sec = secondsSince(t0);
 
-    t0 = std::chrono::steady_clock::now();
-    std::vector<ap::RunResult> parallel = ap::runExperiments(specs, jobs);
-    double parallel_sec = secondsSince(t0);
-
     std::uint64_t accesses = 0;
     for (const ap::RunResult &r : serial)
         accesses += r.instructions;
 
-    bool identical = serial.size() == parallel.size();
-    for (std::size_t i = 0; identical && i < serial.size(); ++i)
-        identical = sameResult(serial[i], parallel[i]);
+    Variant cold{"cold"};
+    Variant replay{"cached-replay"};
+    Variant batched{"cached-batched"};
+    std::uint64_t cache_records = 0, cache_replays = 0;
 
+    {
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r = ap::runExperiments(specs, jobs);
+        cold.seconds = secondsSince(t0);
+        cold.identical = allSame(serial, r);
+    }
+    {
+        // Fresh cache per variant so each pays its own recording cost.
+        ap::TraceCache cache;
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r = ap::runExperiments(
+            specs, jobs, ap::cachedCellFn(cache, /*batched=*/false));
+        replay.seconds = secondsSince(t0);
+        replay.identical = allSame(serial, r);
+    }
+    {
+        ap::TraceCache cache;
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r = ap::runExperiments(
+            specs, jobs, ap::cachedCellFn(cache, /*batched=*/true));
+        batched.seconds = secondsSince(t0);
+        batched.identical = allSame(serial, r);
+        cache_records = cache.records();
+        cache_replays = cache.replays();
+    }
+
+    for (Variant *v : {&cold, &replay, &batched})
+        v->accessesPerSec = accesses / v->seconds;
     double serial_aps = accesses / serial_sec;
-    double parallel_aps = accesses / parallel_sec;
-    double speedup = serial_sec / parallel_sec;
 
-    std::printf("  serial   (jobs=1):  %7.3f s  %12.0f accesses/s\n",
+    bool identical =
+        cold.identical && replay.identical && batched.identical;
+    double parallel_speedup = serial_sec / cold.seconds;
+    double cache_speedup = cold.seconds / batched.seconds;
+
+    std::printf("  serial cold    (jobs=1):  %7.3f s  %12.0f accesses/s\n",
                 serial_sec, serial_aps);
-    std::printf("  parallel (jobs=%u):  %7.3f s  %12.0f accesses/s\n",
-                jobs, parallel_sec, parallel_aps);
-    std::printf("  speedup: %.2fx   results bit-identical: %s\n", speedup,
+    for (const Variant *v : {&cold, &replay, &batched}) {
+        std::printf("  %-14s (jobs=%u):  %7.3f s  %12.0f accesses/s%s\n",
+                    v->name, jobs, v->seconds, v->accessesPerSec,
+                    v->identical ? "" : "  NOT IDENTICAL (BUG)");
+    }
+    std::printf("  parallel speedup: %.2fx   trace-cache speedup "
+                "(vs cold, same jobs): %.2fx\n",
+                parallel_speedup, cache_speedup);
+    std::printf("  cache: %llu recorded, %llu replayed   "
+                "results bit-identical: %s\n",
+                static_cast<unsigned long long>(cache_records),
+                static_cast<unsigned long long>(cache_replays),
                 identical ? "yes" : "NO (BUG)");
 
     std::ofstream json(json_path);
@@ -119,12 +189,33 @@ main(int argc, char **argv)
          << "  \"serial\": {\"jobs\": 1, \"seconds\": " << serial_sec
          << ", \"accesses_per_sec\": " << serial_aps << "},\n"
          << "  \"parallel\": {\"jobs\": " << jobs
-         << ", \"seconds\": " << parallel_sec
-         << ", \"accesses_per_sec\": " << parallel_aps << "},\n"
-         << "  \"speedup\": " << speedup << ",\n"
+         << ", \"seconds\": " << cold.seconds
+         << ", \"accesses_per_sec\": " << cold.accessesPerSec << "},\n"
+         << "  \"trace_cache\": {\n"
+         << "    \"records\": " << cache_records << ",\n"
+         << "    \"replays\": " << cache_replays << ",\n"
+         << "    \"replay\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << replay.seconds
+         << ", \"accesses_per_sec\": " << replay.accessesPerSec << "},\n"
+         << "    \"batched\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << batched.seconds
+         << ", \"accesses_per_sec\": " << batched.accessesPerSec
+         << "},\n"
+         << "    \"speedup_vs_cold\": " << cache_speedup << "\n"
+         << "  },\n"
+         << "  \"speedup\": " << parallel_speedup << ",\n"
          << "  \"deterministic\": " << (identical ? "true" : "false")
          << "\n}\n";
     std::printf("  wrote %s\n", json_path.c_str());
 
-    return identical ? 0 : 1;
+    if (!identical)
+        return 1;
+    if (require_speedup && cache_speedup <= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: cached+batched replay (%.3f s) is not "
+                     "faster than cold generation (%.3f s)\n",
+                     batched.seconds, cold.seconds);
+        return 1;
+    }
+    return 0;
 }

@@ -6,18 +6,22 @@
  * to re-tune Section III-C's policies for a new workload.
  *
  * All sweep cells are independent machines, so they fan out across
- * worker threads; jobs=0 uses every hardware thread.
+ * worker threads; jobs=0 uses every hardware thread. Every cell
+ * replays one shared recorded trace (the policy knobs never change
+ * the operation stream); --no-trace-cache re-generates each cell.
  *
- *   ./policy_explorer [workload] [ops] [jobs]
+ *   ./policy_explorer [workload] [ops] [jobs] [--no-trace-cache]
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "trace/trace_cache.hh"
 
 namespace
 {
@@ -34,7 +38,8 @@ struct PolicyCell
 };
 
 double
-run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell)
+run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell,
+    TraceCache *cache)
 {
     WorkloadParams params = defaultParamsFor(wl);
     params.operations = ops;
@@ -43,6 +48,8 @@ run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell)
     cfg.policy.writeThreshold = cell.threshold;
     cfg.policy.backPolicy = cell.back;
     cfg.policy.promoteAfterCleanIntervals = cell.hysteresis;
+    if (cache)
+        return runCellCached(*cache, wl, params, cfg).totalOverhead();
     Machine machine(cfg);
     auto w = makeWorkload(wl, params);
     return machine.run(*w).totalOverhead();
@@ -54,11 +61,18 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::string wl = argc > 1 ? argv[1] : "dedup";
-    std::uint64_t ops = argc > 2 ? std::stoull(argv[2]) : 600'000;
-    unsigned jobs = argc > 3
-                        ? static_cast<unsigned>(std::stoul(argv[3]))
-                        : 1;
+    bool use_cache = true;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--no-trace-cache"))
+            use_cache = false;
+        else
+            pos.push_back(argv[i]);
+    }
+    std::string wl = pos.size() > 0 ? pos[0] : "dedup";
+    std::uint64_t ops = pos.size() > 1 ? std::stoull(pos[1]) : 600'000;
+    unsigned jobs =
+        pos.size() > 2 ? static_cast<unsigned>(std::stoul(pos[2])) : 1;
 
     const ap::Tick intervals[] = {25'000, 50'000, 100'000, 200'000,
                                   400'000};
@@ -83,9 +97,13 @@ main(int argc, char **argv)
         for (std::uint32_t thr : thresholds)
             cells.push_back({200'000, thr, p.bp, 8});
 
+    // Every cell shares one (workload, ops, seed, 4K) stream: the
+    // first records it, the other ~22 replay through the fast path.
+    ap::TraceCache cache;
     std::vector<double> overhead = ap::parallelMap(
-        cells.size(), jobs,
-        [&](std::size_t i) { return run(wl, ops, cells[i]); });
+        cells.size(), jobs, [&](std::size_t i) {
+            return run(wl, ops, cells[i], use_cache ? &cache : nullptr);
+        });
 
     std::printf("agile policy sweep on %s (%lu ops); cells are total "
                 "overhead\n\n",

@@ -6,18 +6,27 @@
  * methodology (Section VI), usable for shipping reproducible inputs.
  *
  *   ./trace_tool record <workload> <file> [ops]
- *   ./trace_tool replay <file> <mode> [key=value ...]
+ *   ./trace_tool replay <file> <mode> [--stream] [key=value ...]
  *   ./trace_tool info   <file>
+ *
+ * Files are written in the compact v2 format (APTRACE2); v1 files
+ * still read. info streams the file, so arbitrarily large traces
+ * summarize in bounded memory; replay defaults to the batched
+ * fast path and --stream trades speed for bounded memory.
  */
 
+#include <array>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "base/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "trace/compiled_trace.hh"
 #include "trace/record.hh"
 #include "trace/trace.hh"
+#include "trace/trace_stream.hh"
 
 namespace
 {
@@ -27,7 +36,8 @@ usage()
 {
     std::cerr << "usage:\n"
               << "  trace_tool record <workload> <file> [ops]\n"
-              << "  trace_tool replay <file> <mode> [key=value ...]\n"
+              << "  trace_tool replay <file> <mode> [--stream]"
+                 " [key=value ...]\n"
               << "  trace_tool info   <file>\n";
     return 1;
 }
@@ -70,25 +80,41 @@ main(int argc, char **argv)
     }
 
     if (cmd == "info") {
-        ap::Trace trace;
-        if (!ap::readTraceFile(argv[2], trace)) {
+        // Streamed: summarizes multi-GB traces in bounded memory.
+        ap::TraceFileReader reader(argv[2]);
+        if (!reader.ok()) {
             std::cerr << "cannot read " << argv[2] << "\n";
             return 1;
         }
-        std::cout << "workload: " << trace.workload << "\nseed:     "
-                  << trace.seed << "\nevents:   " << trace.events.size()
-                  << " (" << trace.warmupEvents << " warmup)\n";
+        std::array<std::uint64_t, 10> by_kind{};
+        std::vector<ap::TraceEvent> chunk;
+        while (reader.next(chunk, 65536)) {
+            for (const ap::TraceEvent &e : chunk)
+                ++by_kind[static_cast<std::size_t>(e.kind)];
+        }
+        if (!reader.ok()) {
+            std::cerr << "malformed trace: " << argv[2] << "\n";
+            return 1;
+        }
+        std::cout << "workload: " << reader.workload()
+                  << "\nformat:   v" << reader.version()
+                  << "\nseed:     " << reader.seed()
+                  << "\nevents:   " << reader.eventCount() << " ("
+                  << reader.warmupEvents() << " warmup)\n";
+        static const char *names[] = {
+            "access", "instr_fetch", "mmap",  "mmap_at",      "munmap",
+            "compute", "fork",       "yield", "reclaim_tick", "share"};
+        for (std::size_t k = 0; k < by_kind.size(); ++k) {
+            if (by_kind[k])
+                std::cout << "  " << names[k] << ": " << by_kind[k]
+                          << "\n";
+        }
         return 0;
     }
 
     if (cmd == "replay") {
         if (argc < 4)
             return usage();
-        ap::Trace trace;
-        if (!ap::readTraceFile(argv[2], trace)) {
-            std::cerr << "cannot read " << argv[2] << "\n";
-            return 1;
-        }
         ap::SimConfig cfg;
         if (!ap::parseVirtMode(argv[3], cfg.mode)) {
             std::cerr << "unknown mode: " << argv[3] << "\n";
@@ -98,15 +124,37 @@ main(int argc, char **argv)
         cfg.hostMemFrames = 1u << 19;
         cfg.guestDataFrames = 1u << 18;
         cfg.guestPtFrames = 1u << 15;
+        bool stream = false;
         for (int i = 4; i < argc; ++i) {
-            if (!cfg.applyOption(argv[i])) {
+            if (!std::string("--stream").compare(argv[i])) {
+                stream = true;
+            } else if (!cfg.applyOption(argv[i])) {
                 std::cerr << "unknown option: " << argv[i] << "\n";
                 return 1;
             }
         }
         ap::Machine machine(cfg);
-        ap::TraceReplayWorkload replay(std::move(trace));
-        ap::RunResult r = machine.run(replay);
+        ap::RunResult r;
+        if (stream) {
+            // Bounded memory: never materializes the event vector.
+            ap::StreamReplayWorkload replay(argv[2]);
+            if (!replay.ok()) {
+                std::cerr << "cannot read " << argv[2] << "\n";
+                return 1;
+            }
+            r = machine.run(replay);
+        } else {
+            // Fast path: compile once, drain access runs in batch.
+            ap::Trace trace;
+            if (!ap::readTraceFile(argv[2], trace)) {
+                std::cerr << "cannot read " << argv[2] << "\n";
+                return 1;
+            }
+            auto compiled = std::make_shared<const ap::CompiledTrace>(
+                ap::compileTrace(trace));
+            ap::BatchReplayWorkload replay(compiled);
+            r = machine.run(replay);
+        }
         std::vector<ap::RunResult> rs{r};
         ap::printFigure5(std::cout, rs);
         return 0;

@@ -106,9 +106,10 @@ figure5Specs(std::uint64_t operations)
 }
 
 std::vector<RunResult>
-runFigure5Matrix(std::uint64_t operations, unsigned jobs)
+runFigure5Matrix(std::uint64_t operations, unsigned jobs,
+                 const CellFn &cell)
 {
-    return runExperiments(figure5Specs(operations), jobs);
+    return runExperiments(figure5Specs(operations), jobs, cell);
 }
 
 } // namespace ap

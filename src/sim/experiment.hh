@@ -8,6 +8,7 @@
 #ifndef AGILEPAGING_SIM_EXPERIMENT_HH
 #define AGILEPAGING_SIM_EXPERIMENT_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,15 @@ SimConfig configFor(VirtMode mode, PageSize page_size,
 RunResult runExperiment(const ExperimentSpec &spec);
 
 /**
+ * Pluggable per-cell runner. The matrix drivers take one of these so a
+ * higher layer can substitute a different execution strategy for a
+ * cell — notably the trace-cache replay runner in trace/ (which sim/
+ * cannot depend on directly). An empty function means runExperiment.
+ * Must be safe to call concurrently for distinct cells.
+ */
+using CellFn = std::function<RunResult(const ExperimentSpec &)>;
+
+/**
  * The cells of the Figure 5 matrix: every Table V workload under
  * {Native, Nested, Shadow, Agile} x {4K, 2M}, in Figure 5 order.
  * @param operations 0 = workload defaults
@@ -59,9 +69,11 @@ std::vector<ExperimentSpec> figure5Specs(std::uint64_t operations = 0);
  * @param operations 0 = workload defaults
  * @param jobs worker threads (1 = serial, 0 = hardware concurrency);
  *        results are bit-identical regardless of @p jobs
+ * @param cell per-cell runner override (empty = runExperiment)
  */
 std::vector<RunResult> runFigure5Matrix(std::uint64_t operations = 0,
-                                        unsigned jobs = 1);
+                                        unsigned jobs = 1,
+                                        const CellFn &cell = {});
 
 } // namespace ap
 

@@ -23,7 +23,8 @@ Machine::Machine(const SimConfig &cfg)
       l2HitCyclesStat(this, "l2_hit_cycles", "cycles in L2 TLB hits"),
       protFaults(this, "prot_faults", "write-permission fixups"),
       cfg_(cfg),
-      rng_(cfg.mode == VirtMode::Native ? 12345 : 12345), // same stream
+      rng_(12345),          // workload stream: identical in every mode
+      internal_rng_(12345), // machine stream: driven by events only
       mem_(cfg.hostMemFrames)
 {
     tlb_ = std::make_unique<TlbHierarchy>(this, cfg_.tlb);
@@ -233,9 +234,15 @@ Machine::verifyAgainstFunctional(ProcId pid, Addr va, FrameId got)
 void
 Machine::doAccess(Addr va, bool write, bool instr)
 {
-    ProcId pid = current_;
     instructions_ += cfg_.cyclesPerOp;
     maybeInterval();
+    accessSlow(va, write, instr);
+}
+
+void
+Machine::accessSlow(Addr va, bool write, bool instr)
+{
+    ProcId pid = current_;
 
     for (int attempt = 0; attempt < 8; ++attempt) {
         TlbProbeResult hit = tlb_->probe(va, pid, instr);
@@ -265,6 +272,9 @@ Machine::doAccess(Addr va, bool write, bool instr)
                 verifyAgainstFunctional(
                     pid, va, hit.entry.pfn + (frameOf(va) % frames));
             }
+            l0_[instr] = {va, ~(pageBytes(hit.size) - 1), pid, hit.size,
+                          hit.entry.writable, hit.entry.dirty,
+                          tlb_->flushGeneration()};
             return;
         }
         ++tlb_misses_;
@@ -291,9 +301,49 @@ Machine::doAccess(Addr va, bool write, bool instr)
             verifyAgainstFunctional(pid, va,
                                     r.hframe + (frameOf(va) % frames));
         }
+        l0_[instr] = {va, ~(pageBytes(r.size) - 1), pid, r.size,
+                      r.writable, r.dirty, tlb_->flushGeneration()};
         return;
     }
     ap_panic("access did not converge at 0x", std::hex, va);
+}
+
+void
+Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
+                        const std::uint64_t *instr_bits,
+                        std::size_t begin, std::size_t count)
+{
+    const Cycles op_cycles = cfg_.cyclesPerOp;
+    // Verification re-checks every access against the functional
+    // mappings; the filter would skip those checks, so turn it off.
+    const bool filter_ok = !cfg_.verifyTranslations;
+    // The flush generation only moves inside maybeInterval() or
+    // accessSlow(), so cache it in a register and re-load after
+    // either call instead of chasing the pointer every iteration.
+    std::uint64_t gen = tlb_->flushGeneration();
+    for (std::size_t i = begin; i < begin + count; ++i) {
+        const Addr va = vas[i];
+        const bool write = (write_bits[i >> 6] >> (i & 63)) & 1;
+        const bool instr = (instr_bits[i >> 6] >> (i & 63)) & 1;
+        instructions_ += op_cycles;
+        if (instructions_ >= next_interval_) {
+            maybeInterval();
+            gen = tlb_->flushGeneration();
+        }
+        const LastXlat &l0 = l0_[instr];
+        if (filter_ok && l0.mask != 0 &&
+            ((va ^ l0.va) & l0.mask) == 0 && l0.asid == current_ &&
+            l0.gen == gen &&
+            (!write || (l0.writable && l0.dirty))) {
+            // Same page, same stream, nothing flushed since: the probe
+            // would hit the same (still-MRU) L1 entry and take the same
+            // early-outs. Account it without re-touching the arrays.
+            tlb_->countFilteredL1Hit(l0.size, instr);
+            continue;
+        }
+        accessSlow(va, write, instr);
+        gen = tlb_->flushGeneration();
+    }
 }
 
 void
@@ -465,7 +515,7 @@ Machine::forkTouchExit(std::uint64_t touch_pages)
         return;
     switchTo(child);
     for (std::uint64_t i = 0; i < touch_pages; ++i) {
-        Addr va = guest_os_->randomMappedVa(child, rng_);
+        Addr va = guest_os_->randomMappedVa(child, internal_rng_);
         if (va)
             doAccess(va, true, false);
     }
@@ -493,7 +543,7 @@ Machine::yield()
     ProcId main = current_;
     switchTo(background_);
     // The daemon does a little work (e.g. network stack processing).
-    Addr va = guest_os_->randomMappedVa(background_, rng_);
+    Addr va = guest_os_->randomMappedVa(background_, internal_rng_);
     if (va)
         doAccess(va, false, false);
     compute(50);

@@ -106,6 +106,20 @@ class Machine : public stats::StatGroup, public WorkloadHost
     /** Access @p va from the current process. */
     void touch(Addr va, bool write, bool instr = false);
 
+    /**
+     * Batched replay fast path: drain @p count data/instruction
+     * accesses from SoA arrays, starting at index @p begin. Bit i of
+     * @p write_bits / @p instr_bits classifies vas[i]. Every counter
+     * (instructions, TLB stats, walks, traps, policy intervals) ends up
+     * bit-identical to calling access()/instrFetch() one event at a
+     * time; the speed comes from skipping per-event virtual dispatch
+     * and from a last-translation filter that proves consecutive
+     * same-page probes would hit the same (MRU) L1 entry.
+     */
+    void runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
+                        const std::uint64_t *instr_bits,
+                        std::size_t begin, std::size_t count);
+
     ProcId currentProcess() const { return current_; }
 
     GuestOs &guestOs() { return *guest_os_; }
@@ -162,6 +176,13 @@ class Machine : public stats::StatGroup, public WorkloadHost
   private:
     void doAccess(Addr va, bool write, bool instr);
 
+    /**
+     * The TLB-probe / fault-servicing part of an access (everything in
+     * doAccess except the instruction charge and the interval tick).
+     * Updates the last-translation filter slot for the stream kind.
+     */
+    void accessSlow(Addr va, bool write, bool instr);
+
     /** Resolve a write hitting a non-writable translation. */
     void resolveProtection(ProcId pid, Addr va);
 
@@ -181,7 +202,34 @@ class Machine : public stats::StatGroup, public WorkloadHost
     void verifyAgainstFunctional(ProcId pid, Addr va, FrameId got);
 
     SimConfig cfg_;
+    /** Workload-visible random stream (WorkloadHost::rng()). */
     Rng rng_;
+    /**
+     * Machine-internal random stream (forkTouchExit / yield page
+     * picks). Kept separate from the workload stream so the machine's
+     * draws are a pure function of the event sequence: a trace replay,
+     * which issues the identical events but no workload draws, then
+     * reproduces a generated run bit-for-bit.
+     */
+    Rng internal_rng_;
+
+    /**
+     * Last-translation (L0) filter slot: the result of the most recent
+     * successful access of one stream kind (data or instruction). While
+     * no flush intervened (generation check) the entry is provably the
+     * MRU way of its L1 set, so a same-page re-probe must hit it.
+     * mask == 0 means invalid.
+     */
+    struct LastXlat
+    {
+        Addr va = 0;
+        Addr mask = 0;
+        ProcId asid = 0;
+        PageSize size = PageSize::Size4K;
+        bool writable = false;
+        bool dirty = false;
+        std::uint64_t gen = 0;
+    };
 
     PhysMem mem_;
     std::unique_ptr<TlbHierarchy> tlb_;
@@ -196,6 +244,9 @@ class Machine : public stats::StatGroup, public WorkloadHost
 
     ProcId current_ = 0;
     ProcId background_ = 0;
+
+    /** [0] = data stream, [1] = instruction stream. */
+    LastXlat l0_[2];
 
     /** Per-miss event trace (allocated by enableWalkTrace). */
     std::unique_ptr<WalkTraceBuffer> walk_trace_;

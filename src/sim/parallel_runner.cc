@@ -20,13 +20,14 @@ effectiveJobs(unsigned requested)
 }
 
 std::vector<RunResult>
-runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+               const CellFn &cell)
 {
     // Force the one lazy global (the AP_DEBUG flag parse) before any
     // worker can race to it.
     debug::initFromEnvironment();
     return parallelMap(specs.size(), jobs, [&](std::size_t i) {
-        return runExperiment(specs[i]);
+        return cell ? cell(specs[i]) : runExperiment(specs[i]);
     });
 }
 

@@ -91,10 +91,13 @@ parallelFor(std::size_t n, unsigned jobs, Fn &&fn)
 
 /**
  * Run every cell of @p specs with up to @p jobs workers.
+ * @param cell per-cell runner override (empty = runExperiment); must
+ *        be safe to call concurrently for distinct cells
  * @return results in spec order, bit-identical to running serially.
  */
 std::vector<RunResult>
-runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs);
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+               const CellFn &cell = {});
 
 /**
  * Map @p fn over [0, n) in parallel, collecting return values in index

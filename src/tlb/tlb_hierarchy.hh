@@ -91,6 +91,56 @@ class TlbHierarchy : public stats::StatGroup
     /** Invalidate everything (host-side invalidation). */
     void flushAll();
 
+    /**
+     * Monotonic count of invalidation operations of any scope. The
+     * machine's last-translation filter caches the previous probe's
+     * result and must revalidate it whenever anything may have been
+     * flushed; comparing this counter is that check.
+     */
+    std::uint64_t flushGeneration() const { return flush_gen_; }
+
+    /**
+     * Account a probe that an external last-translation filter proved
+     * would hit the same L1 entry as the immediately preceding probe of
+     * this stream (same page, no flush in between): bumps exactly the
+     * counters probe() would bump for an L1 hit of size @p ps, without
+     * re-touching the arrays. Re-stamping the entry's LRU state is
+     * skipped deliberately — the entry is already the most recently
+     * used way of its set, so the set's relative order is unchanged.
+     */
+    void
+    countFilteredL1Hit(PageSize ps, bool is_instr)
+    {
+        ++probe_count_;
+        ++l1_hit_count_;
+        // Mirror the per-structure hit/miss charges of probe()'s
+        // probe order for the structure the entry demonstrably
+        // lives in.
+        if (is_instr) {
+            if (ps == PageSize::Size4K) {
+                ++l1i4k.hits;
+            } else {
+                ++l1i4k.misses;
+                ++l1i2m.hits;
+            }
+            return;
+        }
+        switch (ps) {
+          case PageSize::Size4K:
+            ++l1d4k.hits;
+            break;
+          case PageSize::Size2M:
+            ++l1d4k.misses;
+            ++l1d2m.hits;
+            break;
+          case PageSize::Size1G:
+            ++l1d4k.misses;
+            ++l1d2m.misses;
+            ++l1d1g.hits;
+            break;
+        }
+    }
+
     /** Aggregate probe counters. The hot path bumps plain integers;
      *  the formulas expose them to stat dumps lazily. */
     stats::Formula probes;
@@ -107,6 +157,7 @@ class TlbHierarchy : public stats::StatGroup
     std::uint64_t l1_hit_count_ = 0;
     std::uint64_t l2_hit_count_ = 0;
     std::uint64_t miss_count_ = 0;
+    std::uint64_t flush_gen_ = 1;
 };
 
 } // namespace ap

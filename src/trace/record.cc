@@ -16,12 +16,20 @@ recordRun(Machine &machine, Workload &workload)
     out.trace.seed = workload.params().seed;
 
     TraceRecorder recorder(machine);
+    // One event per op plus warmup touches; over-reserving by half
+    // avoids every doubling realloc of the multi-MB event vector.
+    recorder.trace().events.reserve(workload.params().operations +
+                                    workload.params().operations / 2 +
+                                    4096);
     ProcId pid = machine.spawnProcess();
     workload.init(recorder);
     workload.warmup(recorder);
-    std::uint64_t warm_steps = static_cast<std::uint64_t>(
-        workload.params().operations *
-        machine.config().warmupFraction);
+    std::uint64_t warm_steps =
+        workload.selfWarmup()
+            ? 0
+            : static_cast<std::uint64_t>(
+                  workload.params().operations *
+                  machine.config().warmupFraction);
     std::uint64_t steps = 0;
     bool more = true;
     while (more && steps < warm_steps) {
@@ -30,6 +38,10 @@ recordRun(Machine &machine, Workload &workload)
     }
     recorder.markWarmupBoundary();
     RunResult base = machine.snapshot(workload.name());
+    // Match Machine::run's measurement boundary so a recording run
+    // yields the same RunResult (and walk trace) as a plain run.
+    if (machine.walkTrace())
+        machine.walkTrace()->clear();
     while (more)
         more = workload.step(recorder);
     out.result =

@@ -11,6 +11,7 @@
 #include <ostream>
 
 #include "base/logging.hh"
+#include "trace/compiled_trace.hh"
 
 namespace ap
 {
@@ -80,6 +81,12 @@ TraceReplayWorkload::step(WorkloadHost &host)
 bool
 writeTrace(const Trace &trace, std::ostream &os)
 {
+    return writeCompiledTrace(compileTrace(trace), os);
+}
+
+bool
+writeTraceV1(const Trace &trace, std::ostream &os)
+{
     os.write(kMagic, sizeof(kMagic));
     std::uint64_t name_len = trace.workload.size();
     put(os, name_len);
@@ -105,7 +112,18 @@ readTrace(std::istream &is, Trace &out)
 {
     char magic[8];
     is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    if (!is)
+        return false;
+    // Version sniff: v2 is the RLE/SoA compiled layout, v1 the legacy
+    // per-event one. Both decode into the same in-memory Trace.
+    if (std::memcmp(magic, "APTRACE2", 8) == 0) {
+        CompiledTrace compiled;
+        if (!detail::readCompiledTraceBody(is, compiled))
+            return false;
+        out = decompileTrace(compiled);
+        return true;
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
         return false;
     std::uint64_t name_len = 0;
     if (!get(is, name_len) || name_len > (1u << 20))
@@ -143,6 +161,13 @@ writeTraceFile(const Trace &trace, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     return os && writeTrace(trace, os);
+}
+
+bool
+writeTraceFileV1(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && writeTraceV1(trace, os);
 }
 
 bool

@@ -266,11 +266,18 @@ class TraceReplayWorkload : public Workload
     std::uint64_t next_ = 0;
 };
 
-/** Serialize a trace (binary, versioned). @return success. */
+/**
+ * Serialize a trace (binary, versioned). Writes the compact RLE/SoA
+ * format v2 ("APTRACE2", ~8.25 bytes per access). @return success.
+ */
 bool writeTrace(const Trace &trace, std::ostream &os);
 bool writeTraceFile(const Trace &trace, const std::string &path);
 
-/** Deserialize. @return false on format/version mismatch. */
+/** Serialize in the legacy per-event format v1 ("APTRACE1"). */
+bool writeTraceV1(const Trace &trace, std::ostream &os);
+bool writeTraceFileV1(const Trace &trace, const std::string &path);
+
+/** Deserialize either format version. @return false on mismatch. */
 bool readTrace(std::istream &is, Trace &out);
 bool readTraceFile(const std::string &path, Trace &out);
 

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Trace cache implementation.
+ */
+
+#include "trace/trace_cache.hh"
+
+#include <optional>
+
+#include "base/logging.hh"
+#include "trace/record.hh"
+
+namespace ap
+{
+
+TraceCache::TracePtr
+TraceCache::obtain(const TraceCacheKey &key, const RecordFn &record)
+{
+    std::promise<TracePtr> promise;
+    std::shared_future<TracePtr> fut;
+    bool winner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            winner = true;
+            fut = promise.get_future().share();
+            map_.emplace(key, fut);
+            ++records_;
+        } else {
+            fut = it->second;
+            ++replays_;
+        }
+    }
+    if (winner) {
+        // Record outside the lock: recordings of distinct keys run
+        // concurrently, and only same-key requesters wait.
+        try {
+            promise.set_value(record());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+    return fut.get();
+}
+
+std::uint64_t
+TraceCache::records() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+}
+
+std::uint64_t
+TraceCache::replays() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return replays_;
+}
+
+RunResult
+runCellCached(TraceCache &cache, const std::string &workload_name,
+              const WorkloadParams &params, const SimConfig &cfg,
+              bool batched)
+{
+    TraceCacheKey key;
+    key.workload = workload_name;
+    key.pageSize = cfg.pageSize;
+    key.operations = params.operations;
+    key.seed = params.seed;
+    key.footprintBytes = params.footprintBytes;
+    key.warmupFraction = cfg.warmupFraction;
+
+    // Set only if this call won the recording race: the recording run
+    // is a complete measured run of this very cell, so its result is
+    // the answer and a replay would be redundant.
+    std::optional<RunResult> recorded;
+    TraceCache::TracePtr compiled = cache.obtain(key, [&] {
+        auto workload = makeWorkload(workload_name, params);
+        ap_assert(workload != nullptr, "unknown workload ",
+                  workload_name);
+        Machine machine(cfg);
+        RecordedRun rec = recordRun(machine, *workload);
+        recorded = rec.result;
+        return std::make_shared<const CompiledTrace>(
+            compileTrace(rec.trace));
+    });
+    if (recorded)
+        return *recorded;
+
+    Machine machine(cfg);
+    BatchReplayWorkload replay(compiled, batched);
+    RunResult r = machine.run(replay);
+    // The replay runs under the cell's own config; only the reporting
+    // name ("replay:<wl>") needs restoring for matrix consumers.
+    r.workload = compiled->workload;
+    return r;
+}
+
+RunResult
+runExperimentCached(TraceCache &cache, const ExperimentSpec &spec,
+                    bool batched)
+{
+    WorkloadParams params = defaultParamsFor(spec.workload);
+    if (spec.operations)
+        params.operations = spec.operations;
+    SimConfig cfg =
+        configFor(spec.mode, spec.pageSize, params, spec.hwOpts);
+    return runCellCached(cache, spec.workload, params, cfg, batched);
+}
+
+CellFn
+cachedCellFn(TraceCache &cache, bool batched)
+{
+    return [&cache, batched](const ExperimentSpec &spec) {
+        return runExperimentCached(cache, spec, batched);
+    };
+}
+
+} // namespace ap

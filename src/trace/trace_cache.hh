@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Record-once/replay-many trace cache for the evaluation matrix.
+ *
+ * Cells of the matrix that differ only in MMU mode issue byte-
+ * identical operation streams: the stream is a pure function of
+ * (workload, page size, operations, seed, footprint, warmup
+ * fraction). The TraceCache memoizes each unique stream — the first
+ * cell to ask records it through TraceRecorder and keeps its own
+ * RunResult; every later cell replays the shared compiled trace
+ * through the batched fast path. First-wins memoization is
+ * thread-safe under the parallel_runner pool: losers of the insert
+ * race block on a shared_future until the winner's recording lands.
+ */
+
+#ifndef AGILEPAGING_TRACE_TRACE_CACHE_HH
+#define AGILEPAGING_TRACE_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/experiment.hh"
+#include "trace/compiled_trace.hh"
+
+namespace ap
+{
+
+/** Everything the operation stream depends on. Mode is absent by
+ *  design — that is the whole point of sharing. */
+struct TraceCacheKey
+{
+    std::string workload;
+    PageSize pageSize = PageSize::Size4K;
+    std::uint64_t operations = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t footprintBytes = 0;
+    double warmupFraction = 0.0;
+
+    bool
+    operator==(const TraceCacheKey &o) const
+    {
+        return workload == o.workload && pageSize == o.pageSize &&
+               operations == o.operations && seed == o.seed &&
+               footprintBytes == o.footprintBytes &&
+               warmupFraction == o.warmupFraction;
+    }
+};
+
+struct TraceCacheKeyHash
+{
+    std::size_t
+    operator()(const TraceCacheKey &k) const
+    {
+        std::size_t h = std::hash<std::string>{}(k.workload);
+        auto mix = [&h](std::uint64_t v) {
+            h ^= std::hash<std::uint64_t>{}(v) + 0x9e3779b97f4a7c15ull +
+                 (h << 6) + (h >> 2);
+        };
+        mix(static_cast<std::uint64_t>(k.pageSize));
+        mix(k.operations);
+        mix(k.seed);
+        mix(k.footprintBytes);
+        mix(std::hash<double>{}(k.warmupFraction));
+        return h;
+    }
+};
+
+/**
+ * Thread-safe first-wins memo of compiled traces. One instance per
+ * matrix run; drop it to release the traces.
+ */
+class TraceCache
+{
+  public:
+    using TracePtr = std::shared_ptr<const CompiledTrace>;
+    using RecordFn = std::function<TracePtr()>;
+
+    /**
+     * Return the compiled trace for @p key, invoking @p record to
+     * produce it if this is the first request. Concurrent requests
+     * for the same key run @p record exactly once; the others block
+     * until it completes. An exception from @p record propagates to
+     * every blocked requester (and the caller).
+     */
+    TracePtr obtain(const TraceCacheKey &key, const RecordFn &record);
+
+    /** Cells that recorded (cache misses). */
+    std::uint64_t records() const;
+    /** Cells that reused a recorded trace (cache hits). */
+    std::uint64_t replays() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<TraceCacheKey, std::shared_future<TracePtr>,
+                       TraceCacheKeyHash>
+        map_;
+    std::uint64_t records_ = 0;
+    std::uint64_t replays_ = 0;
+};
+
+/**
+ * Run one cell through the cache: the first cell per key records (and
+ * returns its own fresh-run result — no replay cost), later cells
+ * replay the shared trace on their own Machine. Results are
+ * bit-identical to runExperiment for every cell.
+ * @param batched false = per-event replay (A/B verification)
+ */
+RunResult runCellCached(TraceCache &cache,
+                        const std::string &workload_name,
+                        const WorkloadParams &params,
+                        const SimConfig &cfg, bool batched = true);
+
+/** runExperiment, but through the cache. */
+RunResult runExperimentCached(TraceCache &cache,
+                              const ExperimentSpec &spec,
+                              bool batched = true);
+
+/**
+ * A CellFn for runExperiments/runFigure5Matrix that routes every cell
+ * through @p cache. The cache must outlive the returned function.
+ */
+CellFn cachedCellFn(TraceCache &cache, bool batched = true);
+
+} // namespace ap
+
+#endif // AGILEPAGING_TRACE_TRACE_CACHE_HH

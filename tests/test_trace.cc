@@ -12,8 +12,10 @@
 #include <sstream>
 
 #include "sim/machine.hh"
+#include "trace/compiled_trace.hh"
 #include "trace/record.hh"
 #include "trace/trace.hh"
+#include "trace/trace_stream.hh"
 #include "workloads/workload.hh"
 
 namespace ap
@@ -129,6 +131,225 @@ TEST(Trace, ReplayReproducesRunExactly)
     EXPECT_EQ(replayed.trapCycles, recorded.result.trapCycles);
     EXPECT_EQ(replayed.guestPageFaults,
               recorded.result.guestPageFaults);
+}
+
+TEST(Trace, V1BackwardCompat)
+{
+    // Files written by the legacy per-event serializer keep reading.
+    Trace t;
+    t.workload = "legacy";
+    t.seed = 7;
+    t.warmupEvents = 2;
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::MmapAt, 0x20000, 0x8000, 3, true,
+                   true});
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Access, 0x20040, 0, 0, true, false});
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::InstrFetch, 0x21000, 0, 0, false,
+                   false});
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Compute, 0, 99, 0, false, false});
+
+    std::stringstream ss;
+    ASSERT_TRUE(writeTraceV1(t, ss));
+    EXPECT_EQ(ss.str().substr(0, 8), "APTRACE1");
+    Trace back;
+    ASSERT_TRUE(readTrace(ss, back));
+    EXPECT_EQ(back.workload, "legacy");
+    EXPECT_EQ(back.seed, 7u);
+    EXPECT_EQ(back.warmupEvents, 2u);
+    ASSERT_EQ(back.events.size(), t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); ++i)
+        EXPECT_EQ(back.events[i], t.events[i]);
+}
+
+TEST(Trace, WritesV2ByDefault)
+{
+    Trace t;
+    t.workload = "v2";
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Access, 0x1000, 0, 0, false, false});
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(t, ss));
+    EXPECT_EQ(ss.str().substr(0, 8), "APTRACE2");
+}
+
+/** A synthetic trace mixing runs, control events, and fetches, with
+ *  the warmup boundary landing mid-run. */
+Trace
+mixedTrace()
+{
+    Trace t;
+    t.workload = "mixed";
+    t.seed = 5;
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::MmapAt, 0x40000, 0x40000, 0, true,
+                   false});
+    for (int i = 0; i < 100; ++i) {
+        TraceEvent e;
+        if (i % 7 == 3) {
+            e.kind = TraceEvent::Kind::InstrFetch;
+            e.addr = 0x40000 + i * 64;
+        } else {
+            e.kind = TraceEvent::Kind::Access;
+            e.addr = 0x40000 + i * 8;
+            e.flag = (i % 3) == 0;
+        }
+        t.events.push_back(e);
+    }
+    t.events.push_back(
+        TraceEvent{TraceEvent::Kind::Yield, 0, 0, 0, false, false});
+    for (int i = 0; i < 50; ++i) {
+        t.events.push_back(TraceEvent{TraceEvent::Kind::Access,
+                                      Addr(0x48000 + i * 16), 0, 0,
+                                      i % 2 == 0, false});
+    }
+    t.warmupEvents = 60; // mid-run boundary
+    return t;
+}
+
+TEST(CompiledTrace, CompileDecompileIsExact)
+{
+    Trace t = mixedTrace();
+    CompiledTrace c = compileTrace(t);
+    EXPECT_EQ(c.eventCount, t.events.size());
+    EXPECT_EQ(c.warmupEvents, t.warmupEvents);
+    // The boundary falls between ops: warmup-op prefix covers exactly
+    // warmupEvents events.
+    std::uint64_t prefix = 0;
+    for (std::uint64_t o = 0; o < c.warmupOps; ++o) {
+        prefix += c.ops[o].kind == TraceEvent::Kind::Access
+                      ? c.ops[o].n
+                      : 1;
+    }
+    EXPECT_EQ(prefix, c.warmupEvents);
+
+    Trace back = decompileTrace(c);
+    EXPECT_EQ(back.workload, t.workload);
+    EXPECT_EQ(back.seed, t.seed);
+    EXPECT_EQ(back.warmupEvents, t.warmupEvents);
+    ASSERT_EQ(back.events.size(), t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); ++i)
+        EXPECT_EQ(back.events[i], t.events[i]) << "event " << i;
+}
+
+TEST(CompiledTrace, SplitsRunsAtCap)
+{
+    Trace t;
+    t.workload = "big";
+    const std::uint64_t n = kMaxRunEvents + 17;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        t.events.push_back(TraceEvent{TraceEvent::Kind::Access,
+                                      Addr(0x1000 + i * 8), 0, 0, false,
+                                      false});
+    }
+    CompiledTrace c = compileTrace(t);
+    ASSERT_EQ(c.ops.size(), 2u);
+    EXPECT_EQ(c.ops[0].n, kMaxRunEvents);
+    EXPECT_EQ(c.ops[1].n, 17u);
+    Trace back = decompileTrace(c);
+    ASSERT_EQ(back.events.size(), n);
+    EXPECT_EQ(back.events[n - 1], t.events[n - 1]);
+}
+
+TEST(CompiledTrace, V2FileRoundTrip)
+{
+    Trace t = mixedTrace();
+    CompiledTrace c = compileTrace(t);
+    std::string path = ::testing::TempDir() + "ap_trace_v2.bin";
+    ASSERT_TRUE(writeCompiledTraceFile(c, path));
+    CompiledTrace back;
+    ASSERT_TRUE(readCompiledTraceFile(path, back));
+    EXPECT_EQ(back.workload, c.workload);
+    EXPECT_EQ(back.warmupOps, c.warmupOps);
+    Trace expanded = decompileTrace(back);
+    ASSERT_EQ(expanded.events.size(), t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); ++i)
+        EXPECT_EQ(expanded.events[i], t.events[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, StreamingReaderMatchesFullReadBothVersions)
+{
+    Trace t = mixedTrace();
+    for (int version : {1, 2}) {
+        std::string path = ::testing::TempDir() + "ap_trace_stream_" +
+                           std::to_string(version) + ".bin";
+        ASSERT_TRUE(version == 1 ? writeTraceFileV1(t, path)
+                                 : writeTraceFile(t, path));
+        TraceFileReader reader(path);
+        ASSERT_TRUE(reader.ok()) << "version " << version;
+        EXPECT_EQ(reader.version(), version);
+        EXPECT_EQ(reader.workload(), t.workload);
+        EXPECT_EQ(reader.seed(), t.seed);
+        EXPECT_EQ(reader.warmupEvents(), t.warmupEvents);
+        EXPECT_EQ(reader.eventCount(), t.events.size());
+
+        // Tiny chunks force every refill path.
+        std::vector<TraceEvent> all, chunk;
+        while (reader.next(chunk, 7))
+            all.insert(all.end(), chunk.begin(), chunk.end());
+        EXPECT_TRUE(reader.ok());
+        ASSERT_EQ(all.size(), t.events.size()) << "version " << version;
+        for (std::size_t i = 0; i < t.events.size(); ++i)
+            EXPECT_EQ(all[i], t.events[i]) << "event " << i;
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Trace, StreamReplayReproducesRunExactly)
+{
+    WorkloadParams params = testParams();
+    RecordedRun recorded;
+    {
+        Machine m(testConfig(VirtMode::Agile));
+        auto w = makeWorkload("mcf", params);
+        recorded = recordRun(m, *w);
+    }
+    std::string path = ::testing::TempDir() + "ap_trace_replay.bin";
+    ASSERT_TRUE(writeTraceFile(recorded.trace, path));
+
+    Machine m2(testConfig(VirtMode::Agile));
+    StreamReplayWorkload replay(path);
+    ASSERT_TRUE(replay.ok());
+    RunResult replayed = m2.run(replay);
+
+    EXPECT_EQ(replayed.tlbMisses, recorded.result.tlbMisses);
+    EXPECT_EQ(replayed.walks, recorded.result.walks);
+    EXPECT_EQ(replayed.walkCycles, recorded.result.walkCycles);
+    EXPECT_EQ(replayed.trapCycles, recorded.result.trapCycles);
+    std::remove(path.c_str());
+}
+
+TEST(CompiledTrace, BatchReplayMatchesEventReplay)
+{
+    WorkloadParams params = testParams();
+    RecordedRun recorded;
+    {
+        Machine m(testConfig(VirtMode::Shadow));
+        auto w = makeWorkload("gcc", params); // instr-fetch heavy
+        recorded = recordRun(m, *w);
+    }
+    auto compiled = std::make_shared<const CompiledTrace>(
+        compileTrace(recorded.trace));
+
+    Machine m_event(testConfig(VirtMode::Shadow));
+    TraceReplayWorkload event_replay(recorded.trace);
+    RunResult by_event = m_event.run(event_replay);
+
+    Machine m_batch(testConfig(VirtMode::Shadow));
+    BatchReplayWorkload batch_replay(compiled, true);
+    RunResult by_batch = m_batch.run(batch_replay);
+
+    EXPECT_EQ(by_batch.instructions, by_event.instructions);
+    EXPECT_EQ(by_batch.idealCycles, by_event.idealCycles);
+    EXPECT_EQ(by_batch.walkCycles, by_event.walkCycles);
+    EXPECT_EQ(by_batch.trapCycles, by_event.trapCycles);
+    EXPECT_EQ(by_batch.tlbMisses, by_event.tlbMisses);
+    EXPECT_EQ(by_batch.walks, by_event.walks);
+    EXPECT_EQ(by_batch.traps, by_event.traps);
+    EXPECT_EQ(by_batch.guestPageFaults, by_event.guestPageFaults);
 }
 
 TEST(Trace, OneTraceManyTechniques)
