@@ -5,28 +5,43 @@
  * and the sptr cache for guest context switches. Runs agile paging
  * with each combination on the workloads the optimizations target
  * (A/D: write-heavy canneal/dedup; sptr: context-switchy memcached).
+ *
+ * The four variants of one workload share a single recorded trace;
+ * with --snapshot-dir, repeat invocations fork every cell from its
+ * persisted warm image.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
+#include "trace/trace_cache.hh"
 
 namespace
 {
 
+ap::TraceCache *g_traces = nullptr;
+ap::SnapshotCache *g_snaps = nullptr;
+
 ap::RunResult
 run(const std::string &wl, bool hw_ad, std::size_t sptr,
-    std::uint64_t ops)
+    const ap::BenchOptions &opt)
 {
     ap::WorkloadParams params = ap::defaultParamsFor(wl);
-    if (ops)
-        params.operations = ops;
-    ap::SimConfig cfg = ap::configFor(ap::VirtMode::Agile,
-                                      ap::PageSize::Size4K, params);
+    params.operations = opt.ops;
+    if (opt.seedSet)
+        params.seed = opt.seed;
+    ap::SimConfig cfg =
+        ap::configFor(ap::VirtMode::Agile, opt.pageSize, params);
     cfg.hwOptAd = hw_ad;
     cfg.sptrCacheEntries = sptr;
+    if (g_traces && g_snaps)
+        return ap::runCellSnapshotted(*g_traces, *g_snaps, wl, params,
+                                      cfg);
+    if (g_traces)
+        return ap::runCellCached(*g_traces, wl, params, cfg);
     ap::Machine machine(cfg);
     auto w = ap::makeWorkload(wl, params);
     return machine.run(*w);
@@ -38,19 +53,28 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 1'000'000;
+    ap::BenchOptions opt(1'000'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+    ap::TraceCache traces;
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    g_traces = opt.traceCache ? &traces : nullptr;
+    g_snaps = opt.traceCache && opt.snapshotCache ? &snaps : nullptr;
 
-    std::printf("Hardware-optimization ablation (agile paging, 4K)\n\n");
+    std::printf("Hardware-optimization ablation (agile paging, %s)\n\n",
+                opt.pageSize == ap::PageSize::Size2M ? "2M" : "4K");
     std::printf("%-11s %12s %12s %12s %12s   %10s %10s\n", "workload",
                 "none", "+A/D hw", "+sptr", "both", "ad_traps",
                 "cs_traps");
     for (const std::string &wl :
          {std::string("canneal"), std::string("dedup"),
           std::string("memcached"), std::string("gcc")}) {
-        ap::RunResult none = run(wl, false, 0, ops);
-        ap::RunResult ad = run(wl, true, 0, ops);
-        ap::RunResult sptr = run(wl, false, 8, ops);
-        ap::RunResult both = run(wl, true, 8, ops);
+        ap::RunResult none = run(wl, false, 0, opt);
+        ap::RunResult ad = run(wl, true, 0, opt);
+        ap::RunResult sptr = run(wl, false, 8, opt);
+        ap::RunResult both = run(wl, true, 8, opt);
         std::printf(
             "%-11s %11.1f%% %11.1f%% %11.1f%% %11.1f%%   %10lu %10lu\n",
             wl.c_str(), none.totalOverhead() * 100,
@@ -64,5 +88,14 @@ main(int argc, char **argv)
     std::printf("\nColumns are total execution-time overhead; the "
                 "optimizations remove AdEmulation\nand CtxSwitch traps "
                 "respectively (Section IV).\n");
+    if (g_traces)
+        std::printf("[trace cache: %llu recorded, %llu replayed; "
+                    "snapshots: %llu captured, %llu forked, %llu from "
+                    "disk]\n",
+                    (unsigned long long)traces.records(),
+                    (unsigned long long)traces.replays(),
+                    (unsigned long long)snaps.captures(),
+                    (unsigned long long)snaps.forks(),
+                    (unsigned long long)snaps.diskLoads());
     return 0;
 }

@@ -4,28 +4,44 @@
  *   - nested=>shadow back-policy: none vs periodic-reset vs dirty-scan
  *   - shadow=>nested write-burst threshold sweep
  * on the page-table-churn workloads where the policies matter.
+ *
+ * All variants of one workload share a single recorded trace (the
+ * stream does not depend on the policy), and cells with identical
+ * full configs — dirty-scan/threshold-2 appears in both tables —
+ * fork from one warm snapshot instead of re-warming.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
+#include "trace/trace_cache.hh"
 
 namespace
 {
 
+ap::TraceCache *g_traces = nullptr;
+ap::SnapshotCache *g_snaps = nullptr;
+
 ap::RunResult
 run(const std::string &wl, ap::BackPolicy back, std::uint32_t threshold,
-    std::uint64_t ops)
+    const ap::BenchOptions &opt)
 {
     ap::WorkloadParams params = ap::defaultParamsFor(wl);
-    if (ops)
-        params.operations = ops;
-    ap::SimConfig cfg = ap::configFor(ap::VirtMode::Agile,
-                                      ap::PageSize::Size4K, params);
+    params.operations = opt.ops;
+    if (opt.seedSet)
+        params.seed = opt.seed;
+    ap::SimConfig cfg =
+        ap::configFor(ap::VirtMode::Agile, opt.pageSize, params);
     cfg.policy.backPolicy = back;
     cfg.policy.writeThreshold = threshold;
+    if (g_traces && g_snaps)
+        return ap::runCellSnapshotted(*g_traces, *g_snaps, wl, params,
+                                      cfg);
+    if (g_traces)
+        return ap::runCellCached(*g_traces, wl, params, cfg);
     ap::Machine machine(cfg);
     auto w = ap::makeWorkload(wl, params);
     return machine.run(*w);
@@ -37,7 +53,16 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 1'000'000;
+    ap::BenchOptions opt(1'000'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+    ap::TraceCache traces;
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    g_traces = opt.traceCache ? &traces : nullptr;
+    g_snaps = opt.traceCache && opt.snapshotCache ? &snaps : nullptr;
+
     const std::string workloads[] = {"dedup", "gcc", "memcached"};
 
     std::printf("Back-policy ablation (agile, threshold=2)\n\n");
@@ -45,12 +70,12 @@ main(int argc, char **argv)
                 "periodic", "dirty-scan");
     for (const std::string &wl : workloads) {
         double none =
-            run(wl, ap::BackPolicy::None, 2, ops).totalOverhead();
+            run(wl, ap::BackPolicy::None, 2, opt).totalOverhead();
         double periodic =
-            run(wl, ap::BackPolicy::PeriodicReset, 2, ops)
+            run(wl, ap::BackPolicy::PeriodicReset, 2, opt)
                 .totalOverhead();
         double dirty =
-            run(wl, ap::BackPolicy::DirtyScan, 2, ops).totalOverhead();
+            run(wl, ap::BackPolicy::DirtyScan, 2, opt).totalOverhead();
         std::printf("%-11s %11.1f%% %11.1f%% %11.1f%%\n", wl.c_str(),
                     none * 100, periodic * 100, dirty * 100);
     }
@@ -62,7 +87,7 @@ main(int argc, char **argv)
     for (const std::string &wl : workloads) {
         std::printf("%-11s", wl.c_str());
         for (std::uint32_t thr : {1u, 2u, 4u, 8u}) {
-            double o = run(wl, ap::BackPolicy::DirtyScan, thr, ops)
+            double o = run(wl, ap::BackPolicy::DirtyScan, thr, opt)
                            .totalOverhead();
             std::printf(" %9.1f%%", o * 100);
         }
@@ -71,5 +96,14 @@ main(int argc, char **argv)
     std::printf("\nThe paper uses threshold 2 ('a small threshold like "
                 "the one used in branch\npredictors') with the "
                 "dirty-bit scan as the effective back policy.\n");
+    if (g_traces)
+        std::printf("[trace cache: %llu recorded, %llu replayed; "
+                    "snapshots: %llu captured, %llu forked, %llu from "
+                    "disk]\n",
+                    (unsigned long long)traces.records(),
+                    (unsigned long long)traces.replays(),
+                    (unsigned long long)snaps.captures(),
+                    (unsigned long long)snaps.forks(),
+                    (unsigned long long)snaps.diskLoads());
     return 0;
 }

@@ -4,35 +4,49 @@
  * three-table page-walk cache (with agile's per-entry mode bit) and
  * the nested TLB. Shows how each reduces memory references per walk
  * under nested and agile paging on TLB-miss-heavy workloads.
+ *
+ * All eight cells of one workload (2 modes x 4 MMU-cache variants)
+ * share a single recorded trace.
  */
 
 #include <cstdio>
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
+#include "trace/trace_cache.hh"
 
 namespace
 {
 
+ap::TraceCache *g_traces = nullptr;
+ap::SnapshotCache *g_snaps = nullptr;
+
 ap::RunResult
 run(const std::string &wl, ap::VirtMode mode, bool pwc, bool ntlb,
-    std::uint64_t ops)
+    const ap::BenchOptions &opt)
 {
     ap::WorkloadParams params = ap::defaultParamsFor(wl);
-    if (ops)
-        params.operations = ops;
-    ap::SimConfig cfg =
-        ap::configFor(mode, ap::PageSize::Size4K, params);
+    params.operations = opt.ops;
+    if (opt.seedSet)
+        params.seed = opt.seed;
+    ap::SimConfig cfg = ap::configFor(mode, opt.pageSize, params);
     cfg.pwcEnabled = pwc;
     cfg.ntlbEnabled = ntlb;
+    if (g_traces && g_snaps)
+        return ap::runCellSnapshotted(*g_traces, *g_snaps, wl, params,
+                                      cfg);
+    if (g_traces)
+        return ap::runCellCached(*g_traces, wl, params, cfg);
     ap::Machine machine(cfg);
     auto w = ap::makeWorkload(wl, params);
     return machine.run(*w);
 }
 
 void
-sweep(const std::string &wl, ap::VirtMode mode, std::uint64_t ops)
+sweep(const std::string &wl, ap::VirtMode mode,
+      const ap::BenchOptions &opt)
 {
     struct Cfg
     {
@@ -44,7 +58,7 @@ sweep(const std::string &wl, ap::VirtMode mode, std::uint64_t ops)
                 {"PWC+nTLB", true, true}};
     std::printf("%-11s %-7s", wl.c_str(), ap::virtModeName(mode));
     for (const Cfg &c : cfgs) {
-        ap::RunResult r = run(wl, mode, c.pwc, c.ntlb, ops);
+        ap::RunResult r = run(wl, mode, c.pwc, c.ntlb, opt);
         std::printf("  %5.2f/%5.1f%%", r.avgWalkRefs,
                     r.walkOverhead() * 100);
     }
@@ -57,7 +71,15 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 600'000;
+    ap::BenchOptions opt(600'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+    ap::TraceCache traces;
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    g_traces = opt.traceCache ? &traces : nullptr;
+    g_snaps = opt.traceCache && opt.snapshotCache ? &snaps : nullptr;
 
     std::printf("MMU-cache ablation: avg walk refs / walk overhead\n\n");
     std::printf("%-11s %-7s  %12s  %12s  %12s  %12s\n", "workload",
@@ -65,8 +87,8 @@ main(int argc, char **argv)
     for (const std::string &wl :
          {std::string("mcf"), std::string("graph500"),
           std::string("tigr")}) {
-        sweep(wl, ap::VirtMode::Nested, ops);
-        sweep(wl, ap::VirtMode::Agile, ops);
+        sweep(wl, ap::VirtMode::Nested, opt);
+        sweep(wl, ap::VirtMode::Agile, opt);
     }
     std::printf("\nThe PWC's per-entry mode bit lets agile walks resume "
                 "in the correct mode\n(Section III-A); the nested TLB "

@@ -5,15 +5,16 @@
  * workload under base native (B), nested (N), shadow (S), and agile
  * (A) paging, at both 4 KB and 2 MB pages.
  *
- * Usage: bench_figure5_overheads [--ops N] [--jobs N] [--csv]
+ * Usage: bench_figure5_overheads [common bench flags] [--csv]
  *                                [--workload NAME]
  *                                [--stats-json PATH]
- *                                [--no-trace-cache]
  *
  * By default cells that share an operation stream (same workload,
  * page size, ops, seed) record it once and replay it through the
- * batched fast path; --no-trace-cache generates every cell from
- * scratch (results are bit-identical either way).
+ * batched fast path, and each cell's warm machine image persists
+ * under --snapshot-dir so repeat regenerations skip warmup;
+ * --no-trace-cache generates every cell from scratch (results are
+ * bit-identical either way).
  */
 
 #include <cstdio>
@@ -23,6 +24,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
@@ -32,51 +34,44 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = 0;
-    unsigned jobs = 1;
+    ap::BenchOptions opt(0);
     bool csv = false;
-    bool use_cache = true;
     std::string only;
     std::string stats_json;
-    auto usage = [&argv]() {
-        std::cerr << "usage: " << argv[0]
-                  << " [--ops N] [--jobs N] [--csv]"
-                     " [--workload NAME] [--stats-json PATH]"
-                     " [--no-trace-cache]\n";
-        return 1;
-    };
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            if (!ap::parseU64(argv[++i], ops))
-                return usage();
-        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            std::uint64_t j = 0;
-            if (!ap::parseU64(argv[++i], j))
-                return usage();
-            jobs = static_cast<unsigned>(j);
-        } else if (!std::strcmp(argv[i], "--csv")) {
+        if (opt.consume(argc, argv, i))
+            continue;
+        if (!std::strcmp(argv[i], "--csv"))
             csv = true;
-        } else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc) {
+        else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc)
             only = argv[++i];
-        } else if (!std::strcmp(argv[i], "--stats-json") &&
-                   i + 1 < argc) {
+        else if (!std::strcmp(argv[i], "--stats-json") && i + 1 < argc)
             stats_json = argv[++i];
-        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
-            use_cache = false;
-        } else {
-            return usage();
-        }
+        else
+            opt.reject(argv, i,
+                       "[--csv] [--workload NAME] [--stats-json PATH]");
     }
 
-    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(ops);
+    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
     if (!only.empty()) {
         std::erase_if(specs, [&](const ap::ExperimentSpec &s) {
             return s.workload != only;
         });
     }
+    if (opt.pageSizeSet) {
+        std::erase_if(specs, [&](const ap::ExperimentSpec &s) {
+            return s.pageSize != opt.pageSize;
+        });
+    }
     ap::TraceCache cache;
-    std::vector<ap::RunResult> runs = ap::runExperiments(
-        specs, jobs, use_cache ? ap::cachedCellFn(cache) : ap::CellFn{});
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    ap::CellFn cell;
+    if (opt.traceCache && opt.snapshotCache)
+        cell = ap::snapshotCellFn(cache, snaps);
+    else if (opt.traceCache)
+        cell = ap::cachedCellFn(cache);
+    std::vector<ap::RunResult> runs =
+        ap::runExperiments(specs, opt.jobs, cell);
 
     if (!stats_json.empty()) {
         std::ofstream os(stats_json);
@@ -93,6 +88,10 @@ main(int argc, char **argv)
     ap::printFigure5(std::cout, runs);
 
     // The headline comparison: agile vs the best of its constituents.
+    // (Skipped when --page-size trims the matrix: the stride below
+    // assumes the full 8-cell-per-workload layout.)
+    if (opt.pageSizeSet)
+        return 0;
     std::cout << "\nSummary (4K): agile vs best(N,S)\n";
     for (std::size_t i = 0; i + 3 < runs.size(); i += 8) {
         const ap::RunResult &nested = runs[i + 1];

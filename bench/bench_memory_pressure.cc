@@ -9,13 +9,18 @@
  * VMtraps."
  *
  * Sweeps reclaim-scan intensity on a memcached-style workload and
- * reports the VMM-intervention overhead per technique.
+ * reports the VMM-intervention overhead per technique. The event
+ * stream per scan rate is mode-independent, so the three techniques
+ * share one recorded trace per rate, and the snapshot cache lets
+ * repeated invocations (--snapshot-dir) skip warmup entirely.
  */
 
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/machine.hh"
+#include "trace/trace_cache.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -69,11 +74,14 @@ class PressureWorkload : public Workload
 };
 
 double
-vmmOverhead(VirtMode mode, double scan_chance, std::uint64_t ops)
+vmmOverhead(TraceCache *traces, SnapshotCache *snaps, VirtMode mode,
+            double scan_chance, const BenchOptions &opt)
 {
     WorkloadParams params;
     params.footprintBytes = 64ull << 20;
-    params.operations = ops;
+    params.operations = opt.ops;
+    if (opt.seedSet)
+        params.seed = opt.seed;
     SimConfig cfg;
     cfg.mode = mode;
     cfg.hostMemFrames = (64ull << 20) / kPageBytes * 3;
@@ -81,9 +89,19 @@ vmmOverhead(VirtMode mode, double scan_chance, std::uint64_t ops)
     cfg.guestPtFrames = 1 << 13;
     if (mode == VirtMode::Agile)
         cfg.enableHwOpts();
-    Machine machine(cfg);
     PressureWorkload w(params, scan_chance);
-    return machine.run(w).vmmOverhead();
+    if (!traces) {
+        Machine machine(cfg);
+        return machine.run(w).vmmOverhead();
+    }
+    // The scan rate shapes the stream, so it must be part of the key.
+    char name[48];
+    std::snprintf(name, sizeof(name), "pressure@%g", scan_chance);
+    RunResult r = snaps
+                      ? runWorkloadSnapshotted(*traces, *snaps, name, w,
+                                               cfg)
+                      : runWorkloadCached(*traces, name, w, cfg);
+    return r.vmmOverhead();
 }
 
 } // namespace
@@ -92,20 +110,40 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 500'000;
+    ap::BenchOptions opt(500'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+
+    ap::TraceCache traces;
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    ap::TraceCache *tp = opt.traceCache ? &traces : nullptr;
+    ap::SnapshotCache *sp =
+        opt.traceCache && opt.snapshotCache ? &snaps : nullptr;
 
     std::printf("Memory-pressure sweep (Section V): VMM overhead vs "
                 "reclaim-scan rate\n\n");
     std::printf("%-18s %10s %10s %10s\n", "scan chance/op", "nested",
                 "shadow", "agile");
     for (double chance : {0.0, 1e-5, 5e-5, 2e-4, 1e-3}) {
-        std::printf("%-18g %9.1f%% %9.1f%% %9.1f%%\n", chance,
-                    vmmOverhead(ap::VirtMode::Nested, chance, ops) * 100,
-                    vmmOverhead(ap::VirtMode::Shadow, chance, ops) * 100,
-                    vmmOverhead(ap::VirtMode::Agile, chance, ops) * 100);
+        std::printf(
+            "%-18g %9.1f%% %9.1f%% %9.1f%%\n", chance,
+            vmmOverhead(tp, sp, ap::VirtMode::Nested, chance, opt) * 100,
+            vmmOverhead(tp, sp, ap::VirtMode::Shadow, chance, opt) * 100,
+            vmmOverhead(tp, sp, ap::VirtMode::Agile, chance, opt) * 100);
     }
     std::printf("\nShadow's VMM bill grows with scan rate (every "
                 "reference-bit clear traps);\nagile converts the "
                 "scanned leaf PT pages to nested mode and stays flat.\n");
+    if (opt.traceCache)
+        std::printf("[trace cache: %llu recorded, %llu replayed; "
+                    "snapshots: %llu captured, %llu forked, %llu from "
+                    "disk]\n",
+                    (unsigned long long)traces.records(),
+                    (unsigned long long)traces.replays(),
+                    (unsigned long long)snaps.captures(),
+                    (unsigned long long)snaps.forks(),
+                    (unsigned long long)snaps.diskLoads());
     return 0;
 }

@@ -14,14 +14,22 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/perf_model.hh"
+#include "trace/trace_cache.hh"
 
 int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = argc > 1 ? std::stoull(argv[1]) : 1'000'000;
+    ap::BenchOptions opt(1'000'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+    ap::TraceCache traces;
+    ap::SnapshotCache snaps(opt.snapshotDir);
 
     std::printf("Two-step linear model (Section VI) vs direct "
                 "simulation of agile paging\n\n");
@@ -32,8 +40,13 @@ main(int argc, char **argv)
             ap::ExperimentSpec spec;
             spec.workload = wl;
             spec.mode = mode;
-            spec.operations = ops;
-            return ap::runExperiment(spec);
+            spec.operations = opt.ops;
+            spec.pageSize = opt.pageSize;
+            if (!opt.traceCache)
+                return ap::runExperiment(spec);
+            if (!opt.snapshotCache)
+                return ap::runExperimentCached(traces, spec);
+            return ap::runExperimentSnapshotted(traces, snaps, spec);
         };
         ap::RunResult shadow = run(ap::VirtMode::Shadow);
         ap::RunResult nested = run(ap::VirtMode::Nested);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/trace_cache.hh"
@@ -21,20 +22,10 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = 1'000'000;
-    unsigned jobs = 1;
-    bool use_cache = true;
+    ap::BenchOptions opt(1'000'000);
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-        } else if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            ops = std::stoull(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
-            use_cache = false;
-        } else {
-            // Positional operation count (legacy invocation).
-            ops = std::stoull(argv[i]);
-        }
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
     }
 
     // One row per workload, four cells per row, all independent.
@@ -48,15 +39,23 @@ main(int argc, char **argv)
             ap::ExperimentSpec spec;
             spec.workload = wl;
             spec.mode = mode;
-            spec.operations = ops;
+            spec.operations = opt.ops;
+            spec.pageSize = opt.pageSize;
             specs.push_back(spec);
         }
     }
     // The four techniques per row share one operation stream: record
-    // it once, replay it three times (batched).
+    // it once, replay it three times (batched). The snapshot cache
+    // persists each cell's warm image under --snapshot-dir.
     ap::TraceCache cache;
-    std::vector<ap::RunResult> runs = ap::runExperiments(
-        specs, jobs, use_cache ? ap::cachedCellFn(cache) : ap::CellFn{});
+    ap::SnapshotCache snaps(opt.snapshotDir);
+    ap::CellFn cell;
+    if (opt.traceCache && opt.snapshotCache)
+        cell = ap::snapshotCellFn(cache, snaps);
+    else if (opt.traceCache)
+        cell = ap::cachedCellFn(cache);
+    std::vector<ap::RunResult> runs =
+        ap::runExperiments(specs, opt.jobs, cell);
 
     std::printf("SHSP vs agile paging (4K pages)\n\n");
     std::printf("%-11s %8s %8s %8s %8s %8s   %s\n", "workload", "nested",

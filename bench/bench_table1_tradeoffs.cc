@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 
 namespace
@@ -26,13 +27,15 @@ struct Row
 };
 
 Row
-measure(VirtMode mode)
+measure(VirtMode mode, const BenchOptions &opt)
 {
     // A small probe workload with both TLB misses and PT updates.
     WorkloadParams params;
     params.footprintBytes = 48ull << 20;
-    params.operations = 1'200'000;
-    SimConfig cfg = configFor(mode, PageSize::Size4K, params);
+    params.operations = opt.ops;
+    if (opt.seedSet)
+        params.seed = opt.seed;
+    SimConfig cfg = configFor(mode, opt.pageSize, params);
     cfg.pwcEnabled = false; // architectural walk lengths
     cfg.ntlbEnabled = false;
     Machine machine(cfg);
@@ -83,9 +86,14 @@ measure(VirtMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
+    ap::BenchOptions opt(1'200'000);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
     std::printf("Table I: trade-offs of memory virtualization "
                 "techniques (measured)\n\n");
     std::printf("%-10s %-22s %9s %9s %18s\n", "technique", "TLB hit",
@@ -94,7 +102,7 @@ main()
         ap::VirtMode::Native, ap::VirtMode::Nested, ap::VirtMode::Shadow,
         ap::VirtMode::Agile};
     for (ap::VirtMode m : modes) {
-        Row row = measure(m);
+        Row row = measure(m, opt);
         const char *hit = m == ap::VirtMode::Native ? "fast (VA=>PA)"
                                                     : "fast (gVA=>hPA)";
         std::printf("%-10s %-22s %9u %9.2f %18.3f\n", row.name, hit,

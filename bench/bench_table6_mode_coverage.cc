@@ -5,7 +5,8 @@
  * and page-walk caches disabled (the table's stated assumption), plus
  * the resulting average memory accesses per TLB miss.
  *
- * Usage: bench_table6_mode_coverage [--ops N] [--stats-json PATH]
+ * Usage: bench_table6_mode_coverage [common bench flags]
+ *                                   [--stats-json PATH]
  */
 
 #include <cstring>
@@ -13,6 +14,7 @@
 #include <iostream>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "trace/trace_cache.hh"
@@ -21,40 +23,39 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
-    std::uint64_t ops = 0;
-    bool use_cache = true;
+    ap::BenchOptions opt(0);
     std::string stats_json;
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            if (!ap::parseU64(argv[++i], ops)) {
-                std::cerr << "usage: " << argv[0]
-                          << " [--ops N] [--stats-json PATH]"
-                             " [--no-trace-cache]\n";
-                return 1;
-            }
-        } else if (!std::strcmp(argv[i], "--stats-json") &&
-                   i + 1 < argc) {
+        if (opt.consume(argc, argv, i))
+            continue;
+        if (!std::strcmp(argv[i], "--stats-json") && i + 1 < argc)
             stats_json = argv[++i];
-        } else if (!std::strcmp(argv[i], "--no-trace-cache")) {
-            use_cache = false;
-        }
+        else
+            opt.reject(argv, i, "[--stats-json PATH]");
     }
 
     ap::TraceCache cache;
+    ap::SnapshotCache snaps(opt.snapshotDir);
     std::vector<ap::RunResult> runs;
     for (const std::string &wl : ap::workloadNames()) {
         ap::WorkloadParams params = ap::defaultParamsFor(wl);
-        if (ops)
-            params.operations = ops;
+        if (opt.ops)
+            params.operations = opt.ops;
+        if (opt.seedSet)
+            params.seed = opt.seed;
         ap::SimConfig cfg = ap::configFor(ap::VirtMode::Agile,
-                                          ap::PageSize::Size4K, params);
+                                          opt.pageSize, params);
         // Table VI: "assuming no page walk caches".
         cfg.pwcEnabled = false;
         cfg.ntlbEnabled = false;
-        if (use_cache) {
-            // One cell per workload here, so this records rather than
-            // replays — but the traces become reusable by any matrix
-            // sharing the process, and results stay bit-identical.
+        if (opt.traceCache && opt.snapshotCache) {
+            // One cell per workload here, so in-process this records
+            // rather than replays — but with --snapshot-dir a repeat
+            // invocation forks every cell from its persisted warm
+            // image, and results stay bit-identical either way.
+            runs.push_back(
+                ap::runCellSnapshotted(cache, snaps, wl, params, cfg));
+        } else if (opt.traceCache) {
             runs.push_back(ap::runCellCached(cache, wl, params, cfg));
         } else {
             ap::Machine machine(cfg);

@@ -1,18 +1,28 @@
 /**
  * @file
- * Experiment-engine throughput: runs the Figure 5 matrix four ways —
+ * Experiment-engine throughput: runs the Figure 5 matrix several ways —
  * serial cold, parallel cold, parallel with the trace cache replaying
- * per-event, and parallel with the trace cache replaying through the
- * batched fast path — and reports wall-clock, simulated accesses per
- * second, speedups, and whether every variant is bit-identical to the
- * serial baseline. Machine-readable copy goes to
- * BENCH_throughput.json.
+ * per-event, parallel with the batched fast path, and parallel with
+ * the snapshot cache forking warm machine images — and reports
+ * wall-clock, simulated accesses per second, speedups, and whether
+ * every variant is bit-identical to the serial baseline.
+ * Machine-readable copy goes to BENCH_throughput.json.
  *
- * Usage: bench_throughput [--ops N] [--jobs N] [--json PATH]
+ * The snapshot rows measure *regeneration*: a first pass warms both
+ * caches (recording traces and freezing each cell at its measurement
+ * boundary), then a second pass re-runs the matrix. With only the
+ * trace cache the second pass replays warmup every time; with the
+ * snapshot cache it restores the frozen image and runs just the
+ * measured region.
+ *
+ * Usage: bench_throughput [common bench flags] [--json PATH]
  *                         [--require-cache-speedup]
+ *                         [--require-snapshot-speedup]
  *        --jobs 0 (default) uses every hardware thread.
  *        --require-cache-speedup exits nonzero unless cached+batched
  *          beats cold generation at the same job count (the CI gate).
+ *        --require-snapshot-speedup exits nonzero unless snapshot-fork
+ *          regeneration beats trace-replay regeneration.
  */
 
 #include <chrono>
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
 #include "trace/trace_cache.hh"
@@ -86,33 +97,32 @@ main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
     // Matches bench_figure5_overheads' default so the recorded JSON
-    // reflects the whole-matrix regeneration the cache accelerates.
-    std::uint64_t ops = 2'000'000;
-    unsigned jobs = 0;
-    bool require_speedup = false;
+    // reflects the whole-matrix regeneration the caches accelerate.
+    ap::BenchOptions opt(2'000'000);
+    opt.jobs = 0;
+    bool require_cache_speedup = false;
+    bool require_snapshot_speedup = false;
     std::string json_path = "BENCH_throughput.json";
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            ops = std::stoull(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-        } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+        if (opt.consume(argc, argv, i))
+            continue;
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
-        } else if (!std::strcmp(argv[i], "--require-cache-speedup")) {
-            require_speedup = true;
-        } else {
-            std::cerr << "usage: " << argv[0]
-                      << " [--ops N] [--jobs N] [--json PATH]"
-                         " [--require-cache-speedup]\n";
-            return 1;
-        }
+        else if (!std::strcmp(argv[i], "--require-cache-speedup"))
+            require_cache_speedup = true;
+        else if (!std::strcmp(argv[i], "--require-snapshot-speedup"))
+            require_snapshot_speedup = true;
+        else
+            opt.reject(argv, i,
+                       "[--json PATH] [--require-cache-speedup]"
+                       " [--require-snapshot-speedup]");
     }
-    jobs = ap::effectiveJobs(jobs);
+    unsigned jobs = ap::effectiveJobs(opt.jobs);
 
-    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(ops);
+    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
     std::printf("experiment-engine throughput: %zu cells x %llu ops, "
                 "%u hardware threads\n",
-                specs.size(), static_cast<unsigned long long>(ops),
+                specs.size(), static_cast<unsigned long long>(opt.ops),
                 std::thread::hardware_concurrency());
 
     auto t0 = std::chrono::steady_clock::now();
@@ -126,7 +136,10 @@ main(int argc, char **argv)
     Variant cold{"cold"};
     Variant replay{"cached-replay"};
     Variant batched{"cached-batched"};
+    Variant regen{"cached-regen"};
+    Variant snapfork{"snapshot-fork"};
     std::uint64_t cache_records = 0, cache_replays = 0;
+    std::uint64_t snap_captures = 0, snap_forks = 0;
 
     {
         t0 = std::chrono::steady_clock::now();
@@ -152,20 +165,46 @@ main(int argc, char **argv)
         batched.identical = allSame(serial, r);
         cache_records = cache.records();
         cache_replays = cache.replays();
+
+        // Regeneration baseline: the cache is warm, every cell
+        // replays its full trace (warmup + measured region).
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r2 = ap::runExperiments(
+            specs, jobs, ap::cachedCellFn(cache, /*batched=*/true));
+        regen.seconds = secondsSince(t0);
+        regen.identical = allSame(serial, r2);
+    }
+    {
+        // Snapshot regeneration: warm both caches, then re-run the
+        // matrix — every cell restores its frozen warm image and runs
+        // only the measured region.
+        ap::TraceCache cache;
+        ap::SnapshotCache snaps;
+        ap::runExperiments(specs, jobs,
+                           ap::snapshotCellFn(cache, snaps));
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r = ap::runExperiments(
+            specs, jobs, ap::snapshotCellFn(cache, snaps));
+        snapfork.seconds = secondsSince(t0);
+        snapfork.identical = allSame(serial, r);
+        snap_captures = snaps.captures();
+        snap_forks = snaps.forks();
     }
 
-    for (Variant *v : {&cold, &replay, &batched})
+    for (Variant *v : {&cold, &replay, &batched, &regen, &snapfork})
         v->accessesPerSec = accesses / v->seconds;
     double serial_aps = accesses / serial_sec;
 
-    bool identical =
-        cold.identical && replay.identical && batched.identical;
+    bool identical = cold.identical && replay.identical &&
+                     batched.identical && regen.identical &&
+                     snapfork.identical;
     double parallel_speedup = serial_sec / cold.seconds;
     double cache_speedup = cold.seconds / batched.seconds;
+    double snapshot_speedup = regen.seconds / snapfork.seconds;
 
     std::printf("  serial cold    (jobs=1):  %7.3f s  %12.0f accesses/s\n",
                 serial_sec, serial_aps);
-    for (const Variant *v : {&cold, &replay, &batched}) {
+    for (const Variant *v : {&cold, &replay, &batched, &regen, &snapfork}) {
         std::printf("  %-14s (jobs=%u):  %7.3f s  %12.0f accesses/s%s\n",
                     v->name, jobs, v->seconds, v->accessesPerSec,
                     v->identical ? "" : "  NOT IDENTICAL (BUG)");
@@ -173,16 +212,22 @@ main(int argc, char **argv)
     std::printf("  parallel speedup: %.2fx   trace-cache speedup "
                 "(vs cold, same jobs): %.2fx\n",
                 parallel_speedup, cache_speedup);
-    std::printf("  cache: %llu recorded, %llu replayed   "
-                "results bit-identical: %s\n",
+    std::printf("  snapshot regeneration speedup (fork vs full "
+                "replay): %.2fx\n",
+                snapshot_speedup);
+    std::printf("  cache: %llu recorded, %llu replayed   snapshots: "
+                "%llu captured, %llu forked\n",
                 static_cast<unsigned long long>(cache_records),
                 static_cast<unsigned long long>(cache_replays),
+                static_cast<unsigned long long>(snap_captures),
+                static_cast<unsigned long long>(snap_forks));
+    std::printf("  results bit-identical: %s\n",
                 identical ? "yes" : "NO (BUG)");
 
     std::ofstream json(json_path);
     json << "{\n"
          << "  \"cells\": " << specs.size() << ",\n"
-         << "  \"ops_per_cell\": " << ops << ",\n"
+         << "  \"ops_per_cell\": " << opt.ops << ",\n"
          << "  \"total_accesses\": " << accesses << ",\n"
          << "  \"hardware_concurrency\": "
          << std::thread::hardware_concurrency() << ",\n"
@@ -201,7 +246,20 @@ main(int argc, char **argv)
          << ", \"seconds\": " << batched.seconds
          << ", \"accesses_per_sec\": " << batched.accessesPerSec
          << "},\n"
+         << "    \"regen\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << regen.seconds
+         << ", \"accesses_per_sec\": " << regen.accessesPerSec << "},\n"
          << "    \"speedup_vs_cold\": " << cache_speedup << "\n"
+         << "  },\n"
+         << "  \"snapshot_cache\": {\n"
+         << "    \"captures\": " << snap_captures << ",\n"
+         << "    \"forks\": " << snap_forks << ",\n"
+         << "    \"fork\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << snapfork.seconds
+         << ", \"accesses_per_sec\": " << snapfork.accessesPerSec
+         << "},\n"
+         << "    \"speedup_vs_replay_regen\": " << snapshot_speedup
+         << "\n"
          << "  },\n"
          << "  \"speedup\": " << parallel_speedup << ",\n"
          << "  \"deterministic\": " << (identical ? "true" : "false")
@@ -210,11 +268,18 @@ main(int argc, char **argv)
 
     if (!identical)
         return 1;
-    if (require_speedup && cache_speedup <= 1.0) {
+    if (require_cache_speedup && cache_speedup <= 1.0) {
         std::fprintf(stderr,
                      "FAIL: cached+batched replay (%.3f s) is not "
                      "faster than cold generation (%.3f s)\n",
                      batched.seconds, cold.seconds);
+        return 1;
+    }
+    if (require_snapshot_speedup && snapshot_speedup <= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: snapshot-fork regeneration (%.3f s) is not "
+                     "faster than trace-replay regeneration (%.3f s)\n",
+                     snapfork.seconds, regen.seconds);
         return 1;
     }
     return 0;

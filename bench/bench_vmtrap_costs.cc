@@ -8,15 +8,20 @@
  * microbenchmarks on real hardware.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "base/logging.hh"
+#include "bench_common.hh"
 #include "sim/machine.hh"
 
 namespace
 {
 
 using namespace ap;
+
+/** --ops scales the per-event iteration counts (default 100). */
+unsigned g_iters = 100;
 
 SimConfig
 probeConfig(VirtMode mode)
@@ -46,8 +51,8 @@ measureCtxSwitch(VirtMode mode)
     m.switchTo(b);
     m.switchTo(a);
     Cycles before = trapCycles(m);
-    const int kIters = 100;
-    for (int i = 0; i < kIters; ++i) {
+    const unsigned kIters = g_iters;
+    for (unsigned i = 0; i < kIters; ++i) {
         m.switchTo(b);
         m.switchTo(a);
     }
@@ -65,7 +70,7 @@ measurePtUpdate(VirtMode mode)
         m.touch(base + i * kPageBytes, true); // populate + shadow-fill
     Cycles before = trapCycles(m);
     // COW-style: remap pages (guest PT writes + shootdowns).
-    const unsigned kPages = 128;
+    const unsigned kPages = std::min(g_iters, 128u);
     for (unsigned i = 0; i < kPages; ++i) {
         m.munmap(base + i * kPageBytes, kPageBytes);
         m.guestOs().mmapFixed(m.currentProcess(), base + i * kPageBytes,
@@ -91,9 +96,18 @@ measurePageFault(VirtMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
+    // --ops N sets the per-event iteration count (clamped to the
+    // pre-populated page counts where the micro needs warm state).
+    ap::BenchOptions opt(100);
+    for (int i = 1; i < argc; ++i) {
+        if (!opt.consume(argc, argv, i))
+            opt.reject(argv, i, "");
+    }
+    g_iters = static_cast<unsigned>(
+        std::min<std::uint64_t>(opt.ops ? opt.ops : 100, 1u << 20));
     std::printf("VMtrap cost microbenchmarks (modelled cycles per "
                 "event; Section VI)\n\n");
     std::printf("%-10s %14s %14s %14s\n", "technique", "ctx switch",
@@ -118,14 +132,14 @@ main()
         m.switchTo(b);
         m.switchTo(a);
         ap::Cycles before = m.vmm()->trapCycles();
-        for (int i = 0; i < 100; ++i) {
+        for (unsigned i = 0; i < g_iters; ++i) {
             m.switchTo(b);
             m.switchTo(a);
         }
         std::printf("\nAgile + sptr cache: ctx switch costs %lu cycles "
                     "(trap eliminated on hits)\n",
                     static_cast<unsigned long>(
-                        (m.vmm()->trapCycles() - before) / 200));
+                        (m.vmm()->trapCycles() - before) / (2 * g_iters)));
     }
     std::printf("\nPaper: VMtraps cost 1000s of cycles; nested/native "
                 "pay none for PT updates\nand context switches.\n");

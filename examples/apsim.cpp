@@ -13,9 +13,15 @@
  * plus --ops N, --footprint MB, --seed N, --quantum N, --stats,
  * --stats-json=<path> (full stats tree as versioned JSON),
  * --trace-walks=<path> (per-miss walk trace; summarize with walksum),
- * --trace-capacity N (walk-trace ring size, default 1Mi records).
+ * --trace-capacity N (walk-trace ring size, default 1Mi records),
+ * --snapshot-dir=<dir> (persist the warm-boundary machine image and
+ * the recorded operation stream under <dir>; a repeat invocation with
+ * the same workload/config restores the APSNAP1 image and runs only
+ * the measured region, bit-identical to the cold run).
  */
 
+#include <cctype>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -28,7 +34,106 @@
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "sim/scheduler.hh"
+#include "sim/snapshot.hh"
+#include "trace/compiled_trace.hh"
+#include "trace/trace.hh"
 #include "trace/walk_trace.hh"
+
+namespace
+{
+
+/** <dir>/<sanitized-workload>_o<ops>_s<seed>_f<bytes>_d<digest>: the
+ *  stem shared by a run's snapshot sidecar trace file(s). */
+std::string
+sidecarStem(const std::string &dir, const ap::SnapshotKey &key)
+{
+    std::string name = key.workload;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '-';
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "_o%llu_s%llu_f%llu_d%016llx",
+                  static_cast<unsigned long long>(key.operations),
+                  static_cast<unsigned long long>(key.seed),
+                  static_cast<unsigned long long>(key.footprintBytes),
+                  static_cast<unsigned long long>(key.configDigest));
+    return dir + "/" + name + buf;
+}
+
+/**
+ * Routes an inner workload's host calls through a TraceRecorder so
+ * Machine::runWarmup/runMeasured (which pass the machine itself as
+ * the host) record the stream as a side effect.
+ */
+class RecordingWorkload : public ap::Workload
+{
+  public:
+    RecordingWorkload(ap::Workload &inner, ap::TraceRecorder &rec)
+        : ap::Workload(inner.params()), inner_(inner), rec_(rec)
+    {}
+
+    std::string name() const override { return inner_.name(); }
+    bool selfWarmup() const override { return inner_.selfWarmup(); }
+    void init(ap::WorkloadHost &) override { inner_.init(rec_); }
+    void warmup(ap::WorkloadHost &) override { inner_.warmup(rec_); }
+    bool step(ap::WorkloadHost &) override { return inner_.step(rec_); }
+
+  private:
+    ap::Workload &inner_;
+    ap::TraceRecorder &rec_;
+};
+
+/**
+ * One workload with --snapshot-dir: if the sidecar trace exists,
+ * replay it — restoring the persisted warm image (or capturing it if
+ * missing) and running only the measured region. Otherwise record the
+ * stream while running, capture the image at the measurement
+ * boundary, and persist both. Either way the result is bit-identical
+ * to machine.run(workload).
+ */
+ap::RunResult
+runSnapshotted(ap::Machine &machine, ap::Workload &workload,
+               const std::string &name, ap::SnapshotCache &snaps,
+               const ap::SnapshotKey &key, const std::string &trace_path)
+{
+    ap::Trace disk;
+    if (ap::readTraceFile(trace_path, disk)) {
+        auto compiled = std::make_shared<const ap::CompiledTrace>(
+            ap::compileTrace(disk));
+        ap::BatchReplayWorkload replay(compiled);
+        bool warmed = false;
+        ap::SnapshotPtr snap = snaps.obtain(key, [&] {
+            machine.runWarmup(replay);
+            warmed = true;
+            return ap::captureSnapshot(machine);
+        });
+        if (!warmed) {
+            bool ok = ap::restoreSnapshot(*snap, machine);
+            ap_assert(ok, "stale snapshot for ", name);
+            replay.resumeAtBoundary(machine);
+        }
+        ap::RunResult r = machine.runMeasured(replay);
+        r.workload = name;
+        return r;
+    }
+
+    // Cold: run normally but with the host calls recorded, capturing
+    // the warm image at the measurement boundary between the halves.
+    ap::TraceRecorder rec(machine);
+    RecordingWorkload recording(workload, rec);
+    machine.runWarmup(recording);
+    rec.markWarmupBoundary();
+    snaps.obtain(key, [&] { return ap::captureSnapshot(machine); });
+    ap::RunResult result = machine.runMeasured(recording);
+    ap::Trace trace = std::move(rec.trace());
+    trace.workload = name;
+    trace.seed = workload.params().seed;
+    ap::writeTraceFile(trace, trace_path);
+    return result;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,6 +149,7 @@ main(int argc, char **argv)
     bool dump_stats = false;
     std::string stats_json_path;
     std::string trace_walks_path;
+    std::string snapshot_dir;
     std::vector<std::string> options;
 
     // `--flag value` or `--flag=value`; "" means not present.
@@ -82,6 +188,8 @@ main(int argc, char **argv)
             stats_json_path = v;
         } else if (!(v = flagValue(arg, "--trace-walks", i)).empty()) {
             trace_walks_path = v;
+        } else if (!(v = flagValue(arg, "--snapshot-dir", i)).empty()) {
+            snapshot_dir = v;
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg.find('=') != std::string::npos) {
@@ -139,12 +247,92 @@ main(int argc, char **argv)
 
     ap::RunResult result;
     if (workloads.size() == 1) {
-        result = machine.run(*workloads[0]);
+        if (snapshot_dir.empty()) {
+            result = machine.run(*workloads[0]);
+        } else {
+            ap::SnapshotCache snaps(snapshot_dir);
+            ap::SnapshotKey key;
+            key.workload = workload_names[0];
+            key.operations = params[0].operations;
+            key.seed = params[0].seed;
+            key.footprintBytes = params[0].footprintBytes;
+            key.configDigest = ap::simConfigDigest(cfg);
+            result = runSnapshotted(
+                machine, *workloads[0], workload_names[0], snaps, key,
+                sidecarStem(snapshot_dir, key) + ".aptrace");
+            std::cout << "snapshot: "
+                      << (snaps.forks() || snaps.diskLoads()
+                              ? "restored warm image, measured region only"
+                              : "captured warm image")
+                      << "\n";
+        }
     } else {
         ap::Scheduler sched(machine, quantum);
-        for (auto &w : workloads)
-            sched.add(*w);
-        ap::ConsolidationResult c = sched.run();
+        ap::ConsolidationResult c;
+        if (snapshot_dir.empty()) {
+            for (auto &w : workloads)
+                sched.add(*w);
+            c = sched.run();
+        } else {
+            // The quantum shapes the interleaved stream, so it is
+            // folded into the key alongside the workload mix.
+            std::string joined;
+            for (std::size_t i = 0; i < workload_names.size(); ++i)
+                joined += (i ? "+" : "") + workload_names[i];
+            ap::SnapshotKey key;
+            key.workload = "consolidated:" + joined + "@q" +
+                           std::to_string(quantum);
+            key.operations = params[0].operations;
+            key.seed = params[0].seed;
+            key.footprintBytes = total_footprint;
+            key.configDigest = ap::simConfigDigest(cfg);
+            std::string stem = sidecarStem(snapshot_dir, key);
+            ap::SnapshotCache snaps(snapshot_dir);
+
+            std::vector<ap::Trace> slots(workloads.size());
+            bool ready = true;
+            for (std::size_t i = 0; i < slots.size(); ++i) {
+                ready = ready &&
+                        ap::readTraceFile(
+                            stem + "_" + std::to_string(i) + ".aptrace",
+                            slots[i]);
+            }
+            if (!ready) {
+                for (std::size_t i = 0; i < workloads.size(); ++i)
+                    sched.addRecorded(*workloads[i], slots[i]);
+                sched.warmup();
+                snaps.obtain(key,
+                             [&] { return ap::captureSnapshot(machine); });
+                c = sched.runMeasured();
+                for (std::size_t i = 0; i < slots.size(); ++i) {
+                    ap::writeTraceFile(slots[i],
+                                       stem + "_" + std::to_string(i) +
+                                           ".aptrace");
+                }
+                std::cout << "snapshot: captured warm image\n";
+            } else {
+                for (const ap::Trace &t : slots)
+                    sched.addReplay(t);
+                bool warmed = false;
+                ap::SnapshotPtr snap = snaps.obtain(key, [&] {
+                    sched.warmup();
+                    warmed = true;
+                    return ap::captureSnapshot(machine);
+                });
+                if (!warmed) {
+                    bool ok = sched.resumeFromSnapshot(*snap);
+                    ap_assert(ok, "stale consolidation snapshot for ",
+                              key.workload);
+                }
+                c = sched.runMeasured();
+                std::cout << "snapshot: "
+                          << (warmed
+                                  ? "captured warm image"
+                                  : "restored warm image, measured "
+                                    "region only")
+                          << "\n";
+            }
+        }
         result = c.machine;
         result.workload = "consolidated";
         std::cout << "context switches: " << c.contextSwitches << "\n";

@@ -9,8 +9,13 @@
  * worker threads; jobs=0 uses every hardware thread. Every cell
  * replays one shared recorded trace (the policy knobs never change
  * the operation stream); --no-trace-cache re-generates each cell.
+ * Cells that share a full config (the baseline point appears in all
+ * three sweeps) additionally fork one warm machine image instead of
+ * re-running warmup; --snapshot-dir persists those images across
+ * invocations and --no-snapshot-cache disables the forking.
  *
  *   ./policy_explorer [workload] [ops] [jobs] [--no-trace-cache]
+ *                     [--no-snapshot-cache] [--snapshot-dir DIR]
  */
 
 #include <cstdio>
@@ -39,7 +44,7 @@ struct PolicyCell
 
 double
 run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell,
-    TraceCache *cache)
+    TraceCache *cache, SnapshotCache *snaps)
 {
     WorkloadParams params = defaultParamsFor(wl);
     params.operations = ops;
@@ -48,6 +53,10 @@ run(const std::string &wl, std::uint64_t ops, const PolicyCell &cell,
     cfg.policy.writeThreshold = cell.threshold;
     cfg.policy.backPolicy = cell.back;
     cfg.policy.promoteAfterCleanIntervals = cell.hysteresis;
+    if (cache && snaps) {
+        return runCellSnapshotted(*cache, *snaps, wl, params, cfg)
+            .totalOverhead();
+    }
     if (cache)
         return runCellCached(*cache, wl, params, cfg).totalOverhead();
     Machine machine(cfg);
@@ -62,10 +71,16 @@ main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
     bool use_cache = true;
+    bool use_snaps = true;
+    std::string snapshot_dir;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-trace-cache"))
             use_cache = false;
+        else if (!std::strcmp(argv[i], "--no-snapshot-cache"))
+            use_snaps = false;
+        else if (!std::strcmp(argv[i], "--snapshot-dir") && i + 1 < argc)
+            snapshot_dir = argv[++i];
         else
             pos.push_back(argv[i]);
     }
@@ -99,10 +114,14 @@ main(int argc, char **argv)
 
     // Every cell shares one (workload, ops, seed, 4K) stream: the
     // first records it, the other ~22 replay through the fast path.
+    // The baseline policy point recurs in all three sweeps, so those
+    // cells share one warm image through the snapshot cache.
     ap::TraceCache cache;
+    ap::SnapshotCache snaps(snapshot_dir);
     std::vector<double> overhead = ap::parallelMap(
         cells.size(), jobs, [&](std::size_t i) {
-            return run(wl, ops, cells[i], use_cache ? &cache : nullptr);
+            return run(wl, ops, cells[i], use_cache ? &cache : nullptr,
+                       use_cache && use_snaps ? &snaps : nullptr);
         });
 
     std::printf("agile policy sweep on %s (%lu ops); cells are total "
@@ -134,6 +153,15 @@ main(int argc, char **argv)
             std::printf(" %7.1f%%", overhead[at++] * 100);
         }
         std::printf("\n");
+    }
+    if (use_cache) {
+        std::printf("\n[traces: %llu recorded, %llu replayed; snapshots: "
+                    "%llu captured, %llu forked, %llu from disk]\n",
+                    static_cast<unsigned long long>(cache.records()),
+                    static_cast<unsigned long long>(cache.replays()),
+                    static_cast<unsigned long long>(snaps.captures()),
+                    static_cast<unsigned long long>(snaps.forks()),
+                    static_cast<unsigned long long>(snaps.diskLoads()));
     }
     return 0;
 }

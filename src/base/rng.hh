@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/serialize.hh"
+
 namespace ap
 {
 
@@ -39,6 +41,21 @@ class Rng
 
     /** @return true with probability @p p. */
     bool chance(double p);
+
+    /** Snapshot support: the full generator state is the four words. */
+    void
+    saveState(Serializer &s) const
+    {
+        for (std::uint64_t w : s_)
+            s.putU64(w);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        for (std::uint64_t &w : s_)
+            w = d.getU64();
+    }
 
   private:
     std::uint64_t s_[4];

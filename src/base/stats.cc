@@ -205,6 +205,35 @@ Distribution::printJson(std::ostream &os) const
 }
 
 void
+Distribution::saveValues(Serializer &s) const
+{
+    s.putU64(underflow_);
+    s.putU64(overflow_);
+    s.putU64(count_);
+    s.putDouble(sum_);
+    s.putU64(min_seen_);
+    s.putU64(max_seen_);
+    s.putPodVector(buckets_);
+}
+
+void
+Distribution::restoreValues(Deserializer &d)
+{
+    underflow_ = d.getU64();
+    overflow_ = d.getU64();
+    count_ = d.getU64();
+    sum_ = d.getDouble();
+    min_seen_ = d.getU64();
+    max_seen_ = d.getU64();
+    std::vector<std::uint64_t> buckets;
+    d.getPodVector(buckets);
+    ap_assert(!d.ok() || buckets.size() == buckets_.size(),
+              "distribution ", name(), " bucket count mismatch on restore");
+    if (d.ok())
+        buckets_ = std::move(buckets);
+}
+
+void
 Distribution::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -312,6 +341,45 @@ StatGroup::resetStats()
         s->reset();
     for (StatGroup *g : children_)
         g->resetStats();
+}
+
+void
+StatGroup::saveStatsTree(Serializer &s) const
+{
+    s.putString(name_);
+    s.putU64(stats_.size());
+    for (const StatBase *st : stats_) {
+        s.putString(st->name());
+        st->saveValues(s);
+    }
+    s.putU64(children_.size());
+    for (const StatGroup *g : children_)
+        g->saveStatsTree(s);
+}
+
+void
+StatGroup::restoreStatsTree(Deserializer &d)
+{
+    if (d.getString() != name_ || d.getU64() != stats_.size()) {
+        d.fail();
+        return;
+    }
+    for (StatBase *st : stats_) {
+        if (d.getString() != st->name()) {
+            d.fail();
+            return;
+        }
+        st->restoreValues(d);
+    }
+    if (d.getU64() != children_.size()) {
+        d.fail();
+        return;
+    }
+    for (StatGroup *g : children_) {
+        g->restoreStatsTree(d);
+        if (!d.ok())
+            return;
+    }
 }
 
 const StatBase *

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "base/serialize.hh"
+
 namespace ap::stats
 {
 
@@ -47,6 +49,15 @@ class StatBase
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
+    /** Append the stat's mutable state (snapshot support). Formulas
+     *  carry no state of their own and write nothing. */
+    virtual void saveValues(Serializer &s) const = 0;
+
+    /** Restore state written by saveValues. The restored stat must be
+     *  indistinguishable from the saved one — including reset()
+     *  behaviour afterwards (distribution min/max rearm etc.). */
+    virtual void restoreValues(Deserializer &d) = 0;
+
   private:
     friend class StatGroup;
 
@@ -71,6 +82,8 @@ class Scalar : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0.0; }
+    void saveValues(Serializer &s) const override { s.putDouble(value_); }
+    void restoreValues(Deserializer &d) override { value_ = d.getDouble(); }
 
   private:
     double value_ = 0.0;
@@ -106,6 +119,8 @@ class Distribution : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override;
+    void saveValues(Serializer &s) const override;
+    void restoreValues(Deserializer &d) override;
 
   private:
     std::uint64_t min_;
@@ -132,6 +147,8 @@ class Formula : public StatBase
     void print(std::ostream &os, const std::string &prefix) const override;
     void printJson(std::ostream &os) const override;
     void reset() override {}
+    void saveValues(Serializer &) const override {}
+    void restoreValues(Deserializer &) override {}
 
   private:
     std::function<double()> fn_;
@@ -168,6 +185,19 @@ class StatGroup
 
     /** Look up a direct child stat by name; nullptr if absent. */
     const StatBase *findStat(const std::string &name) const;
+
+    /**
+     * Serialize every stat value in this group and its children, in
+     * registration order, with name guards. Two machines built from
+     * the same config register identical trees, so a tree saved on one
+     * restores onto the other exactly.
+     */
+    void saveStatsTree(Serializer &s) const;
+
+    /** Restore a tree written by saveStatsTree. Latches the
+     *  deserializer's failure flag if the tree shapes or stat names
+     *  disagree. */
+    void restoreStatsTree(Deserializer &d);
 
   private:
     friend class StatBase;

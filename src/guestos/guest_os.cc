@@ -5,6 +5,7 @@
 
 #include "guestos/guest_os.hh"
 
+#include <map>
 #include <vector>
 
 #include "base/bitfield.hh"
@@ -134,6 +135,97 @@ GuestOs::process(ProcId pid)
     auto it = procs_.find(pid);
     ap_assert(it != procs_.end(), "unknown pid ", pid);
     return *it->second;
+}
+
+void
+GuestOs::saveState(Serializer &s) const
+{
+    s.putMarker(0x20534f47); // "GOS "
+    s.putU32(next_pid_);
+    s.putU64(anon_content_seq_);
+    s.putU64(guest_cycles_);
+    // frame_refs_ is lookup-only, so it may stay unordered in memory,
+    // but its on-disk order must not depend on hashing.
+    std::map<FrameId, std::uint32_t> refs(frame_refs_.begin(),
+                                          frame_refs_.end());
+    s.putU64(refs.size());
+    for (const auto &[frame, count] : refs) {
+        s.putU64(frame);
+        s.putU32(count);
+    }
+    // Ascending pid order: replaying the original insert sequence
+    // reproduces procs_'s iteration order (livePids) exactly.
+    std::map<ProcId, const GuestProcess *> sorted;
+    for (const auto &[pid, p] : procs_)
+        sorted.emplace(pid, p.get());
+    s.putU64(sorted.size());
+    for (const auto &[pid, p] : sorted) {
+        s.putU32(pid);
+        s.putBool(p->alive);
+        s.putU8(static_cast<std::uint8_t>(p->mode));
+        s.putU64(p->clockHand);
+        s.putRaw(&p->ctx, sizeof(p->ctx));
+        p->as.saveState(s);
+        s.putBool(p->pt != nullptr);
+        if (p->pt) {
+            s.putU64(p->pt->root());
+            s.putU64(p->pt->pageCount());
+        }
+    }
+}
+
+void
+GuestOs::restoreState(Deserializer &d)
+{
+    d.checkMarker(0x20534f47);
+    // Dying process shells must not run exit paths against the
+    // restored image; drop them wholesale. Restored tables adopt
+    // already-materialized pages, so ~RadixPageTable of the old
+    // processes has nothing consistent to free either — a restore
+    // target must be a machine that never ran (enforced by Machine).
+    procs_.clear();
+    next_pid_ = d.getU32();
+    anon_content_seq_ = d.getU64();
+    guest_cycles_ = d.getU64();
+    frame_refs_.clear();
+    std::uint64_t nrefs = d.getU64();
+    for (std::uint64_t i = 0; i < nrefs && d.ok(); ++i) {
+        FrameId frame = d.getU64();
+        frame_refs_[frame] = d.getU32();
+    }
+    std::uint64_t nprocs = d.getU64();
+    for (std::uint64_t i = 0; i < nprocs && d.ok(); ++i) {
+        ProcId pid = d.getU32();
+        auto p = std::make_unique<GuestProcess>();
+        p->pid = pid;
+        p->alive = d.getBool();
+        p->mode = static_cast<VirtMode>(d.getU8());
+        p->clockHand = d.getU64();
+        d.getRaw(&p->ctx, sizeof(p->ctx));
+        p->as.restoreState(d);
+        bool has_pt = d.getBool();
+        if (has_pt) {
+            FrameId root = d.getU64();
+            std::uint64_t pages = d.getU64();
+            if (isNative()) {
+                p->ptSpace = std::make_unique<HostPtSpace>(
+                    host_mem_, TableOwner::NativePt);
+                p->pt = std::make_unique<RadixPageTable>(
+                    *p->ptSpace, "nPT", RadixPageTable::ForRestore{});
+            } else {
+                auto space = std::make_unique<GuestPtSpace>(*vmm_);
+                space->onFree = [this, pid](FrameId gframe) {
+                    if (smgr_ && smgr_->hasProcess(pid))
+                        smgr_->onGptPageFree(pid, gframe);
+                };
+                p->ptSpace = std::move(space);
+                p->pt = std::make_unique<RadixPageTable>(
+                    *p->ptSpace, "gPT", RadixPageTable::ForRestore{});
+            }
+            p->pt->restoreState(root, pages);
+        }
+        procs_[pid] = std::move(p);
+    }
 }
 
 bool

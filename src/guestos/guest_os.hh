@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/rng.hh"
 #include "base/types.hh"
@@ -189,6 +190,16 @@ class GuestOs : public stats::StatGroup
     /** Cycles spent inside the guest kernel (identical across modes;
      *  accounted into ideal execution time). */
     Cycles guestCycles() const { return guest_cycles_; }
+
+    /**
+     * Snapshot support. Processes are rebuilt with createProcess's
+     * exact wiring (PT space, shadow free hook) but without
+     * re-registering with the shadow manager — the manager restores
+     * its own per-process state, including the guest-table pointers,
+     * through its resolver. Restore the VMM/PhysMem first.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
     stats::Scalar pageFaults;
     stats::Scalar cowBreaks;

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 
+#include "base/serialize.hh"
 #include "base/types.hh"
 
 namespace ap
@@ -82,6 +83,31 @@ class AddressSpace
     {
         for (const auto &[base, vma] : vmas_)
             fn(vma);
+    }
+
+    /** Snapshot support. */
+    void
+    saveState(Serializer &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<Vma>,
+                      "Vma must be raw-serializable");
+        s.putU64(vmas_.size());
+        for (const auto &[base, vma] : vmas_)
+            s.putRaw(&vma, sizeof(Vma));
+        s.putU64(bump_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        vmas_.clear();
+        std::uint64_t n = d.getU64();
+        for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+            Vma vma;
+            d.getRaw(&vma, sizeof(Vma));
+            vmas_.emplace(vma.base, vma);
+        }
+        bump_ = d.getU64();
     }
 
   private:

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 #include "base/types.hh"
 
 namespace ap
@@ -122,6 +123,29 @@ class FrameAllocator
     std::uint64_t capacity() const { return capacity_; }
     std::uint64_t allocated() const { return allocated_; }
     std::uint64_t freeFrames() const { return capacity_ - allocated_; }
+
+    /** Snapshot support. The free list is order-exact so future
+     *  alloc()/claimContiguousRun() decisions replay identically. */
+    void
+    saveState(Serializer &s) const
+    {
+        s.putU64(capacity_);
+        s.putU64(allocated_);
+        s.putU64(next_);
+        s.putPodVector(free_list_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        if (d.getU64() != capacity_) {
+            d.fail();
+            return;
+        }
+        allocated_ = d.getU64();
+        next_ = d.getU64();
+        d.getPodVector(free_list_);
+    }
 
   private:
     std::uint64_t capacity_;

@@ -19,8 +19,16 @@ RadixPageTable::RadixPageTable(PtSpace &space, std::string name)
     page_count_ = 1;
 }
 
+RadixPageTable::RadixPageTable(PtSpace &space, std::string name, ForRestore)
+    : space_(space), name_(std::move(name)), root_(PhysMem::kNoFrame)
+{
+}
+
 RadixPageTable::~RadixPageTable()
 {
+    // A deferred-restore shell that never adopted a root owns nothing.
+    if (root_ == PhysMem::kNoFrame)
+        return;
     clear();
     space_.freeTablePage(root_);
     --page_count_;

@@ -102,6 +102,30 @@ class RadixPageTable
     RadixPageTable(PtSpace &space, std::string name);
     ~RadixPageTable();
 
+    /** Tag selecting the deferred-restore constructor. */
+    struct ForRestore
+    {
+    };
+
+    /**
+     * Construct without allocating a root: the table is an empty shell
+     * until restoreState() adopts a root whose pages already exist in
+     * @p space (snapshot restore rebuilds the space's pages first).
+     */
+    RadixPageTable(PtSpace &space, std::string name, ForRestore);
+
+    /**
+     * Adopt an already-materialized tree. @p root must be a live table
+     * page in the space and @p page_count the number of table pages
+     * reachable from it (incl. the root).
+     */
+    void
+    restoreState(FrameId root, std::uint64_t page_count)
+    {
+        root_ = root;
+        page_count_ = page_count;
+    }
+
     RadixPageTable(const RadixPageTable &) = delete;
     RadixPageTable &operator=(const RadixPageTable &) = delete;
 

@@ -170,6 +170,64 @@ PhysMem::tableFrames(TableOwner owner) const
     return table_counts_[static_cast<std::size_t>(owner)];
 }
 
+void
+PhysMem::saveState(Serializer &s) const
+{
+    s.putMarker(0x4d454d50); // "PMEM"
+    s.putU64(capacity_);
+    s.putU64(allocated_);
+    s.putU64(next_fresh_);
+    s.putPodVector(free_list_);
+    for (std::uint64_t c : table_counts_)
+        s.putU64(c);
+    for (FrameId f = 1; f < next_fresh_; ++f) {
+        const FrameInfo &fi = frames_[f];
+        s.putU8(static_cast<std::uint8_t>(fi.kind));
+        s.putU8(static_cast<std::uint8_t>(fi.owner));
+        s.putU64(fi.contentId);
+        s.putBool(fi.table != nullptr);
+        if (fi.table) {
+            static_assert(std::is_trivially_copyable_v<Pte>,
+                          "Pte must be raw-serializable");
+            s.putRaw(fi.table->data(), sizeof(PtPage));
+        }
+    }
+}
+
+void
+PhysMem::restoreState(Deserializer &d)
+{
+    d.checkMarker(0x4d454d50);
+    if (d.getU64() != capacity_) {
+        d.fail();
+        return;
+    }
+    allocated_ = d.getU64();
+    next_fresh_ = d.getU64();
+    d.getPodVector(free_list_);
+    for (std::uint64_t &c : table_counts_)
+        c = d.getU64();
+    // Wipe wholesale: the restored image fully determines frame state,
+    // and any tables this PhysMem held before must not leak into it.
+    for (FrameInfo &fi : frames_)
+        fi = FrameInfo{};
+    table_pool_.clear();
+    if (!d.ok() || next_fresh_ > capacity_ + 1) {
+        d.fail();
+        return;
+    }
+    for (FrameId f = 1; f < next_fresh_; ++f) {
+        FrameInfo &fi = frames_[f];
+        fi.kind = static_cast<FrameKind>(d.getU8());
+        fi.owner = static_cast<TableOwner>(d.getU8());
+        fi.contentId = d.getU64();
+        if (d.getBool()) {
+            fi.table = std::make_unique<PtPage>();
+            d.getRaw(fi.table->data(), sizeof(PtPage));
+        }
+    }
+}
+
 PhysMem::FrameInfo &
 PhysMem::info(FrameId frame)
 {

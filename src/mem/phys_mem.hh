@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/types.hh"
 #include "mem/pte.hh"
 
@@ -102,6 +103,15 @@ class PhysMem
 
     /** Sentinel returned when allocation fails. */
     static constexpr FrameId kNoFrame = 0;
+
+    /**
+     * Snapshot support. Serializes every frame that has ever been
+     * handed out ([1, next_fresh_)) plus the allocator bookkeeping; the
+     * recycled-PtPage pool is deliberately excluded (allocTable zeroes
+     * recycled pages, so pool contents are unobservable).
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
   private:
     struct FrameInfo

@@ -636,10 +636,11 @@ Machine::delta(const RunResult &end, const RunResult &start)
     return d;
 }
 
-RunResult
-Machine::run(Workload &workload)
+ProcId
+Machine::runWarmup(Workload &workload)
 {
     ProcId pid = spawnProcess();
+    run_pid_ = pid;
     workload.init(*this);
     // Fast-forward: populate the working set, then run the first part
     // of the workload (TLB/policy warmup) without measuring, then
@@ -658,17 +659,133 @@ Machine::run(Workload &workload)
         more = workload.step(*this);
         ++steps;
     }
+    warm_exhausted_ = !more;
+    return pid;
+}
+
+RunResult
+Machine::runMeasured(Workload &workload)
+{
     RunResult base = snapshot(workload.name());
     // Measurement boundary: from here on the trace and the counters
     // describe the same set of walks, so summarizing the trace
     // reproduces the RunResult's coverage numbers exactly.
     if (walk_trace_)
         walk_trace_->clear();
+    bool more = !warm_exhausted_;
     while (more)
         more = workload.step(*this);
     RunResult result = delta(snapshot(workload.name()), base);
-    guest_os_->exitProcess(pid);
+    guest_os_->exitProcess(run_pid_);
     return result;
+}
+
+RunResult
+Machine::run(Workload &workload)
+{
+    runWarmup(workload);
+    return runMeasured(workload);
+}
+
+void
+Machine::saveState(Serializer &s) const
+{
+    s.putMarker(0x4843414d); // "MACH"
+    rng_.saveState(s);
+    internal_rng_.saveState(s);
+    s.putU32(current_);
+    s.putU32(background_);
+    s.putU32(run_pid_);
+    s.putBool(warm_exhausted_);
+    static_assert(std::is_trivially_copyable_v<LastXlat>,
+                  "LastXlat must be raw-serializable");
+    s.putRaw(&l0_[0], sizeof(l0_));
+    s.putU32(last_translate_faults_);
+    s.putU64(instructions_);
+    s.putU64(walk_cycles_);
+    s.putU64(tlb_misses_);
+    s.putU64(next_interval_);
+    s.putU64(interval_walk_cycles_);
+    s.putU64(interval_trap_cycles_base_);
+    for (std::uint64_t c : interval_trap_counts_)
+        s.putU64(c);
+    s.putU64(interval_gpt_writes_);
+    s.putU64(interval_start_ops_);
+
+    mem_.saveState(s);
+    tlb_->saveState(s);
+    pwc_->saveState(s);
+    ntlb_->saveState(s);
+    s.putBool(vmm_ != nullptr);
+    if (vmm_)
+        vmm_->saveState(s);
+    guest_os_->saveState(s);
+    s.putBool(smgr_ != nullptr);
+    if (smgr_)
+        smgr_->saveState(s);
+    s.putBool(shsp_ != nullptr);
+    if (shsp_)
+        shsp_->saveState(s);
+    // Stats last: every component above is pure state, the stats tree
+    // carries the accumulated counters of all of them.
+    saveStatsTree(s);
+    s.putMarker(0x444e4546); // "FEND"
+}
+
+bool
+Machine::restoreState(Deserializer &d)
+{
+    d.checkMarker(0x4843414d);
+    rng_.restoreState(d);
+    internal_rng_.restoreState(d);
+    current_ = d.getU32();
+    background_ = d.getU32();
+    run_pid_ = d.getU32();
+    warm_exhausted_ = d.getBool();
+    d.getRaw(&l0_[0], sizeof(l0_));
+    last_translate_faults_ = d.getU32();
+    instructions_ = d.getU64();
+    walk_cycles_ = d.getU64();
+    tlb_misses_ = d.getU64();
+    next_interval_ = d.getU64();
+    interval_walk_cycles_ = d.getU64();
+    interval_trap_cycles_base_ = d.getU64();
+    for (std::uint64_t &c : interval_trap_counts_)
+        c = d.getU64();
+    interval_gpt_writes_ = d.getU64();
+    interval_start_ops_ = d.getU64();
+    if (!d.ok())
+        return false;
+
+    // Order matters: memory first (page trees materialize), then the
+    // structures that hold frame ids into it, then the guest OS (which
+    // adopts its page-table roots), then the shadow manager (which
+    // resolves guest tables through the restored guest OS).
+    mem_.restoreState(d);
+    tlb_->restoreState(d);
+    pwc_->restoreState(d);
+    ntlb_->restoreState(d);
+    if (d.getBool() != (vmm_ != nullptr))
+        return false;
+    if (vmm_)
+        vmm_->restoreState(d);
+    guest_os_->restoreState(d);
+    if (d.getBool() != (smgr_ != nullptr))
+        return false;
+    if (smgr_) {
+        smgr_->restoreState(d, [this](ProcId pid) -> RadixPageTable * {
+            return guest_os_->hasProcess(pid)
+                       ? guest_os_->process(pid).pt.get()
+                       : nullptr;
+        });
+    }
+    if (d.getBool() != (shsp_ != nullptr))
+        return false;
+    if (shsp_)
+        shsp_->restoreState(d);
+    restoreStatsTree(d);
+    d.checkMarker(0x444e4546);
+    return d.ok();
 }
 
 } // namespace ap

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "base/rng.hh"
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "core/agile_policy.hh"
 #include "guestos/guest_os.hh"
@@ -92,6 +93,37 @@ class Machine : public stats::StatGroup, public WorkloadHost
 
     /** Run @p workload to completion in a fresh process. */
     RunResult run(Workload &workload);
+
+    /**
+     * The warmup half of run(): spawn a process, init the workload,
+     * fast-forward, and run the unmeasured fraction of its steps.
+     * After this returns the machine sits exactly at the measurement
+     * boundary — the state a MachineSnapshot captures.
+     * @return the spawned pid.
+     */
+    ProcId runWarmup(Workload &workload);
+
+    /**
+     * The measured half of run(): take the baseline, drain the
+     * remaining steps, and exit the process. Valid after runWarmup()
+     * on the same machine, or after restoring a snapshot taken at the
+     * boundary (the workload must then be positioned there too, e.g.
+     * BatchReplayWorkload::resumeAtBoundary).
+     */
+    RunResult runMeasured(Workload &workload);
+
+    /**
+     * Snapshot support: serialize every piece of machine state that
+     * can influence subsequent simulation — memory, TLBs/PWC/nTLB,
+     * VMM, shadow manager, guest OS, RNG streams, counters, and the
+     * whole stats tree. restoreState() must target a freshly
+     * constructed Machine with an identical SimConfig that has not
+     * run anything (restore adopts page-table trees in place).
+     * @return false (with untouched-but-unspecified state) if the
+     * stream is corrupt or from a mismatched config.
+     */
+    void saveState(Serializer &s) const;
+    bool restoreState(Deserializer &d);
 
     // ------------------------------------------------------------------
     // Direct driving API (examples, tests, microbenches)
@@ -244,6 +276,11 @@ class Machine : public stats::StatGroup, public WorkloadHost
 
     ProcId current_ = 0;
     ProcId background_ = 0;
+
+    /** Pid spawned by runWarmup (runMeasured exits it). */
+    ProcId run_pid_ = 0;
+    /** The workload finished inside the warmup loop. */
+    bool warm_exhausted_ = false;
 
     /** [0] = data stream, [1] = instruction stream. */
     LastXlat l0_[2];

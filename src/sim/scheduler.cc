@@ -10,6 +10,40 @@
 namespace ap
 {
 
+namespace
+{
+
+/** Marker args on scheduler-injected Yield events. Real workload
+ *  yields are recorded with arg == 0. */
+constexpr std::uint64_t kStepMark = 1;
+constexpr std::uint64_t kInitMark = 2;
+
+TraceEvent
+marker(std::uint64_t arg)
+{
+    return TraceEvent{TraceEvent::Kind::Yield, 0, arg, 0, false, false};
+}
+
+bool
+isMarker(const TraceEvent &e)
+{
+    return e.kind == TraceEvent::Kind::Yield && e.arg != 0;
+}
+
+/** Steps delimited by step marks in [begin, end) of @p t. */
+std::uint64_t
+countStepMarks(const Trace &t, std::uint64_t begin, std::uint64_t end)
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t i = begin; i < end && i < t.events.size(); ++i)
+        if (t.events[i].kind == TraceEvent::Kind::Yield &&
+            t.events[i].arg == kStepMark)
+            ++n;
+    return n;
+}
+
+} // namespace
+
 Scheduler::Scheduler(Machine &machine, std::uint64_t quantum)
     : machine_(machine), quantum_(quantum)
 {
@@ -19,39 +53,95 @@ Scheduler::Scheduler(Machine &machine, std::uint64_t quantum)
 void
 Scheduler::add(Workload &workload)
 {
-    workloads_.push_back(&workload);
+    Slot slot;
+    slot.workload = &workload;
+    slots_.push_back(std::move(slot));
 }
 
-ConsolidationResult
-Scheduler::run()
+void
+Scheduler::addRecorded(Workload &workload, Trace &out)
 {
-    ap_assert(!workloads_.empty(), "nothing scheduled");
-    ConsolidationResult result;
+    Slot slot;
+    slot.workload = &workload;
+    slot.rec = std::make_unique<TraceRecorder>(machine_);
+    slot.out = &out;
+    slots_.push_back(std::move(slot));
+}
 
-    // Create one process per workload; populate each before
-    // measurement (the same protocol Machine::run uses).
-    struct Slot
-    {
-        Workload *workload;
-        ProcId pid;
-        bool more = true;
-        std::uint64_t steps = 0;
-        std::uint64_t warm_steps = 0;
-    };
-    std::vector<Slot> slots;
-    for (Workload *w : workloads_) {
-        Slot slot;
-        slot.workload = w;
+void
+Scheduler::addReplay(const Trace &trace)
+{
+    Slot slot;
+    slot.replay = &trace;
+    slots_.push_back(std::move(slot));
+}
+
+bool
+Scheduler::stepSlot(Slot &slot)
+{
+    if (slot.replay) {
+        // Apply recorded events up to (and consuming) the next step
+        // mark; scheduler markers are metadata, never applied.
+        const auto &events = slot.replay->events;
+        while (slot.cursor < events.size()) {
+            const TraceEvent &e = events[slot.cursor++];
+            if (isMarker(e)) {
+                if (e.arg == kStepMark)
+                    break;
+                continue;
+            }
+            applyTraceEvent(machine_, e);
+        }
+        return slot.cursor < events.size();
+    }
+    if (slot.rec) {
+        bool more = slot.workload->step(*slot.rec);
+        slot.rec->trace().events.push_back(marker(kStepMark));
+        return more;
+    }
+    return slot.workload->step(machine_);
+}
+
+void
+Scheduler::warmup()
+{
+    ap_assert(!slots_.empty(), "nothing scheduled");
+    ap_assert(!warm_, "scheduler already warmed");
+
+    // Create one process per slot; populate each before measurement
+    // (the same protocol Machine::run uses).
+    for (Slot &slot : slots_) {
         slot.pid = machine_.spawnProcess();
-        w->init(machine_);
-        w->warmup(machine_);
+        if (slot.replay) {
+            // Replay the recorded init+populate phase (everything up
+            // to the init mark).
+            const auto &events = slot.replay->events;
+            while (slot.cursor < events.size()) {
+                const TraceEvent &e = events[slot.cursor++];
+                if (isMarker(e)) {
+                    if (e.arg == kInitMark)
+                        break;
+                    continue;
+                }
+                applyTraceEvent(machine_, e);
+            }
+            slot.warm_steps = countStepMarks(
+                *slot.replay, slot.cursor, slot.replay->warmupEvents);
+            continue;
+        }
+        WorkloadHost &host =
+            slot.rec ? static_cast<WorkloadHost &>(*slot.rec)
+                     : static_cast<WorkloadHost &>(machine_);
+        slot.workload->init(host);
+        slot.workload->warmup(host);
+        if (slot.rec)
+            slot.rec->trace().events.push_back(marker(kInitMark));
         slot.warm_steps =
-            w->selfWarmup()
+            slot.workload->selfWarmup()
                 ? 0
                 : static_cast<std::uint64_t>(
-                      w->params().operations *
+                      slot.workload->params().operations *
                       machine_.config().warmupFraction);
-        slots.push_back(slot);
     }
 
     // Fast-forward phase, interleaved like the measured phase so the
@@ -59,50 +149,109 @@ Scheduler::run()
     bool warming = true;
     while (warming) {
         warming = false;
-        for (Slot &slot : slots) {
+        for (Slot &slot : slots_) {
             if (!slot.more || slot.steps >= slot.warm_steps)
                 continue;
             machine_.switchTo(slot.pid);
-            ++result.contextSwitches;
+            ++ctx_switches_;
             for (std::uint64_t i = 0;
                  i < quantum_ && slot.more && slot.steps < slot.warm_steps;
                  ++i, ++slot.steps) {
-                slot.more = slot.workload->step(machine_);
+                slot.more = stepSlot(slot);
             }
             warming |= slot.more && slot.steps < slot.warm_steps;
         }
     }
+
+    for (Slot &slot : slots_)
+        if (slot.rec)
+            slot.rec->markWarmupBoundary();
+    warm_ = true;
+}
+
+bool
+Scheduler::resumeFromSnapshot(const MachineSnapshot &snap)
+{
+    ap_assert(!slots_.empty(), "nothing scheduled");
+    ap_assert(!warm_, "scheduler already warmed");
+    for (const Slot &slot : slots_)
+        ap_assert(slot.replay != nullptr,
+                  "snapshot resume requires all-replay slots");
+    if (!restoreSnapshot(snap, machine_))
+        return false;
+    for (Slot &slot : slots_) {
+        slot.pid = static_cast<ProcId>(slot.replay->seed);
+        slot.cursor = slot.replay->warmupEvents;
+        std::uint64_t init_end = 0;
+        const auto &events = slot.replay->events;
+        while (init_end < events.size() &&
+               !(isMarker(events[init_end]) &&
+                 events[init_end].arg == kInitMark))
+            ++init_end;
+        slot.warm_steps = countStepMarks(*slot.replay, init_end,
+                                         slot.replay->warmupEvents);
+        slot.steps = slot.warm_steps;
+        slot.more = slot.cursor < events.size();
+        // Reconstruct the warm-phase switch count the cold run would
+        // have accumulated: one switch per quantum the slot occupied.
+        ctx_switches_ +=
+            (slot.warm_steps + quantum_ - 1) / quantum_;
+    }
+    warm_ = true;
+    return true;
+}
+
+ConsolidationResult
+Scheduler::runMeasured()
+{
+    ap_assert(warm_, "runMeasured before warmup/resume");
+    ConsolidationResult result;
 
     RunResult base = machine_.snapshot("consolidated");
 
     bool any = true;
     while (any) {
         any = false;
-        for (Slot &slot : slots) {
+        for (Slot &slot : slots_) {
             if (!slot.more)
                 continue;
             machine_.switchTo(slot.pid);
-            ++result.contextSwitches;
+            ++ctx_switches_;
             for (std::uint64_t i = 0; i < quantum_ && slot.more;
                  ++i, ++slot.steps) {
-                slot.more = slot.workload->step(machine_);
+                slot.more = stepSlot(slot);
             }
             any |= slot.more;
         }
     }
 
+    result.contextSwitches = ctx_switches_;
     result.machine = Machine::delta(
         machine_.snapshot("consolidated"), base);
-    for (Slot &slot : slots) {
+    for (Slot &slot : slots_) {
         ScheduledRun r;
-        r.workload = slot.workload->name();
+        r.workload = slot.workload ? slot.workload->name()
+                                   : slot.replay->workload;
         r.pid = slot.pid;
         r.steps = slot.steps;
         r.finished = !slot.more;
         result.runs.push_back(r);
         machine_.guestOs().exitProcess(slot.pid);
+        if (slot.rec) {
+            *slot.out = std::move(slot.rec->trace());
+            slot.out->workload = slot.workload->name();
+            // Slot traces carry the guest pid for snapshot resume.
+            slot.out->seed = slot.pid;
+        }
     }
     return result;
+}
+
+ConsolidationResult
+Scheduler::run()
+{
+    warmup();
+    return runMeasured();
 }
 
 } // namespace ap

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Snapshot capture/restore, config digest, on-disk container and the
+ * snapshot cache.
+ */
+
+#include "sim/snapshot.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "base/serialize.hh"
+#include "sim/machine.hh"
+
+namespace ap
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'A', 'P', 'S', 'N', 'A', 'P', '1', '\0'};
+
+/** FNV-1a, the integrity hash of the container and the key digest. */
+std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t h = 0xcbf29ce484222325ull)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return bool(is);
+}
+
+} // namespace
+
+std::uint64_t
+simConfigDigest(const SimConfig &cfg)
+{
+    // Serialize every behavior-affecting field in a fixed order and
+    // hash the bytes. New knobs MUST be appended here: a forgotten
+    // field would let a snapshot restore into a machine that diverges.
+    Serializer s;
+    s.putU32(1); // digest schema version
+    s.putU8(static_cast<std::uint8_t>(cfg.mode));
+    s.putU8(static_cast<std::uint8_t>(cfg.pageSize));
+    s.putU64(cfg.hostMemFrames);
+    s.putU64(cfg.guestPtFrames);
+    s.putU64(cfg.guestDataFrames);
+    auto geom = [&s](const TlbGeometry &g) {
+        s.putU64(g.entries);
+        s.putU64(g.ways);
+    };
+    geom(cfg.tlb.l1d4k);
+    geom(cfg.tlb.l1d2m);
+    geom(cfg.tlb.l1d1g);
+    geom(cfg.tlb.l1i4k);
+    geom(cfg.tlb.l1i2m);
+    geom(cfg.tlb.l2u4k);
+    s.putBool(cfg.pwcEnabled);
+    s.putU64(cfg.pwcEntries);
+    s.putU64(cfg.pwcWays);
+    s.putBool(cfg.ntlbEnabled);
+    s.putU64(cfg.ntlbEntries);
+    s.putU64(cfg.ntlbWays);
+    s.putU64(cfg.cyclesPerOp);
+    s.putU64(cfg.walkRefCycles);
+    s.putU64(cfg.walkRefWarmCycles);
+    s.putDouble(cfg.warmupFraction);
+    s.putU64(cfg.l2TlbHitCycles);
+    s.putU64(cfg.ctxSwitchGuestCycles);
+    s.putU64(cfg.trapCosts.exitRoundTrip);
+    for (Cycles c : cfg.trapCosts.handlerWork)
+        s.putU64(c);
+    s.putU64(cfg.trapCosts.perEntryWork);
+    s.putU8(static_cast<std::uint8_t>(cfg.guestOs.pageSize));
+    s.putU64(cfg.guestOs.pageFaultCost);
+    s.putU64(cfg.guestOs.cowCopyCost);
+    s.putU64(cfg.guestOs.syscallCost);
+    s.putU64(cfg.guestOs.perPageCost);
+    s.putBool(cfg.hwOptAd);
+    s.putU32(cfg.adWritebackRefs);
+    s.putU64(cfg.sptrCacheEntries);
+    s.putBool(cfg.unsyncEnabled);
+    s.putU32(cfg.policy.writeThreshold);
+    s.putU8(static_cast<std::uint8_t>(cfg.policy.backPolicy));
+    s.putBool(cfg.policy.startNested);
+    s.putDouble(cfg.policy.tlbOverheadThreshold);
+    s.putDouble(cfg.policy.nestedWalkFactor);
+    s.putU64(cfg.policy.projectedTrapCost);
+    s.putDouble(cfg.policy.engageMargin);
+    s.putU32(cfg.policy.promoteAfterCleanIntervals);
+    s.putDouble(cfg.shsp.nestedWalkFactor);
+    s.putDouble(cfg.shsp.switchMargin);
+    s.putU64(cfg.shsp.projectedTrapCost);
+    s.putDouble(cfg.shsp.minBenefitFrac);
+    s.putU32(cfg.shsp.minResidency);
+    s.putBool(cfg.shsp.startNested);
+    s.putU64(cfg.policyIntervalOps);
+    s.putBool(cfg.verifyTranslations);
+    return fnv1a(s.data().data(), s.size());
+}
+
+SnapshotPtr
+captureSnapshot(const Machine &machine)
+{
+    auto snap = std::make_shared<MachineSnapshot>();
+    snap->configDigest = simConfigDigest(machine.config());
+    Serializer s;
+    machine.saveState(s);
+    snap->bytes = s.takeData();
+    return snap;
+}
+
+bool
+restoreSnapshot(const MachineSnapshot &snap, Machine &machine)
+{
+    if (snap.configDigest != simConfigDigest(machine.config()))
+        return false;
+    Deserializer d(snap.bytes);
+    return machine.restoreState(d);
+}
+
+bool
+writeSnapshot(const MachineSnapshot &snap, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put(os, snap.configDigest);
+    put(os, std::uint64_t{snap.bytes.size()});
+    os.write(reinterpret_cast<const char *>(snap.bytes.data()),
+             static_cast<std::streamsize>(snap.bytes.size()));
+    put(os, fnv1a(snap.bytes.data(), snap.bytes.size()));
+    return bool(os);
+}
+
+bool
+writeSnapshotFile(const MachineSnapshot &snap, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && writeSnapshot(snap, os);
+}
+
+bool
+readSnapshot(std::istream &is, MachineSnapshot &out)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    std::uint64_t size = 0;
+    if (!get(is, out.configDigest) || !get(is, size))
+        return false;
+    // A machine image is at most a few multiples of host memory.
+    if (size > (std::uint64_t{1} << 36))
+        return false;
+    out.bytes.resize(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char *>(out.bytes.data()),
+            static_cast<std::streamsize>(size));
+    std::uint64_t checksum = 0;
+    if (!is || !get(is, checksum))
+        return false;
+    return checksum == fnv1a(out.bytes.data(), out.bytes.size());
+}
+
+bool
+readSnapshotFile(const std::string &path, MachineSnapshot &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && readSnapshot(is, out);
+}
+
+std::string
+SnapshotCache::filePath(const SnapshotKey &key) const
+{
+    // Stable (cross-process) key digest, unlike SnapshotKeyHash whose
+    // std::hash mixing is implementation-defined.
+    std::uint64_t h = fnv1a(key.workload.data(), key.workload.size());
+    const std::uint64_t words[4] = {key.operations, key.seed,
+                                    key.footprintBytes,
+                                    key.configDigest};
+    h = fnv1a(words, sizeof(words), h);
+    char name[17];
+    std::snprintf(name, sizeof(name), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return dir_ + "/" + name + ".apsnap";
+}
+
+SnapshotPtr
+SnapshotCache::obtain(const SnapshotKey &key, const CaptureFn &capture)
+{
+    std::promise<SnapshotPtr> promise;
+    std::shared_future<SnapshotPtr> fut;
+    bool winner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            winner = true;
+            fut = promise.get_future().share();
+            map_.emplace(key, fut);
+        } else {
+            fut = it->second;
+            ++forks_;
+        }
+    }
+    if (winner) {
+        // Capture outside the lock: distinct keys warm concurrently
+        // and only same-key requesters wait.
+        try {
+            SnapshotPtr snap;
+            bool from_disk = false;
+            if (!dir_.empty()) {
+                auto loaded = std::make_shared<MachineSnapshot>();
+                if (readSnapshotFile(filePath(key), *loaded) &&
+                    loaded->configDigest == key.configDigest) {
+                    snap = std::move(loaded);
+                    from_disk = true;
+                }
+            }
+            if (!snap)
+                snap = capture();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (from_disk)
+                    ++disk_loads_;
+                else
+                    ++captures_;
+            }
+            if (!dir_.empty() && !from_disk && snap)
+                writeSnapshotFile(*snap, filePath(key)); // best effort
+            promise.set_value(std::move(snap));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+    return fut.get();
+}
+
+std::uint64_t
+SnapshotCache::captures() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return captures_;
+}
+
+std::uint64_t
+SnapshotCache::forks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return forks_;
+}
+
+std::uint64_t
+SnapshotCache::diskLoads() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return disk_loads_;
+}
+
+} // namespace ap

@@ -18,9 +18,11 @@
 #define AGILEPAGING_TLB_ASSOC_CACHE_HH
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/serialize.hh"
 
 namespace ap
 {
@@ -150,6 +152,47 @@ class AssocCache
 
     std::size_t capacity() const { return entries_; }
     std::size_t ways() const { return ways_; }
+
+    /**
+     * Snapshot support. Dead lines are serialized along with live ones
+     * — their contents are unobservable through the probe path, but
+     * copying them raw keeps future replacement decisions (which read
+     * last_use_ of dead ways' successors) byte-for-byte identical.
+     */
+    void
+    saveState(Serializer &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<V>,
+                      "AssocCache payload must be trivially copyable "
+                      "to snapshot");
+        s.putU64(entries_);
+        s.putU64(ways_);
+        s.putU64(use_clock_);
+        s.putU64(gen_);
+        s.putPodVector(keys_);
+        s.putPodVector(gens_);
+        s.putPodVector(last_use_);
+        s.putPodVector(values_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        if (d.getU64() != entries_ || d.getU64() != ways_) {
+            d.fail();
+            return;
+        }
+        use_clock_ = d.getU64();
+        gen_ = d.getU64();
+        d.getPodVector(keys_);
+        d.getPodVector(gens_);
+        d.getPodVector(last_use_);
+        d.getPodVector(values_);
+        if (keys_.size() != entries_ || gens_.size() != entries_ ||
+            last_use_.size() != entries_ || values_.size() != entries_) {
+            d.fail();
+        }
+    }
 
   private:
     static constexpr std::size_t kNotFound = ~std::size_t{0};

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "tlb/assoc_cache.hh"
@@ -55,6 +56,10 @@ class NestedTlb : public stats::StatGroup
     void flushAll();
 
     bool enabled() const { return enabled_; }
+
+    /** Snapshot support. */
+    void saveState(Serializer &s) const { cache_.saveState(s); }
+    void restoreState(Deserializer &d) { cache_.restoreState(d); }
 
     stats::Scalar hits;
     stats::Scalar misses;

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "tlb/assoc_cache.hh"
@@ -79,6 +80,21 @@ class PageWalkCache : public stats::StatGroup
     void flushAll();
 
     bool enabled() const { return enabled_; }
+
+    /** Snapshot support. */
+    void
+    saveState(Serializer &s) const
+    {
+        for (const auto &t : tables_)
+            t.saveState(s);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        for (auto &t : tables_)
+            t.restoreState(d);
+    }
 
     stats::Scalar hitsSkip1;
     stats::Scalar hitsSkip2;

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "tlb/assoc_cache.hh"
@@ -94,6 +95,10 @@ class Tlb : public stats::StatGroup
 
     PageSize pageSize() const { return ps_; }
     std::size_t size() const { return cache_.size(); }
+
+    /** Snapshot support (stat counters travel via the stats tree). */
+    void saveState(Serializer &s) const { cache_.saveState(s); }
+    void restoreState(Deserializer &d) { cache_.restoreState(d); }
 
     stats::Scalar hits;
     stats::Scalar misses;

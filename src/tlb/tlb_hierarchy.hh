@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "tlb/tlb.hh"
@@ -151,6 +152,33 @@ class TlbHierarchy : public stats::StatGroup
     Tlb l1d4k, l1d2m, l1d1g;
     Tlb l1i4k, l1i2m;
     Tlb l2u4k;
+
+    /** Snapshot support: every cache plus the aggregate counters the
+     *  Formula stats read. */
+    void
+    saveState(Serializer &s) const
+    {
+        for (const Tlb *t : {&l1d4k, &l1d2m, &l1d1g, &l1i4k, &l1i2m,
+                             &l2u4k})
+            t->saveState(s);
+        s.putU64(probe_count_);
+        s.putU64(l1_hit_count_);
+        s.putU64(l2_hit_count_);
+        s.putU64(miss_count_);
+        s.putU64(flush_gen_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        for (Tlb *t : {&l1d4k, &l1d2m, &l1d1g, &l1i4k, &l1i2m, &l2u4k})
+            t->restoreState(d);
+        probe_count_ = d.getU64();
+        l1_hit_count_ = d.getU64();
+        l2_hit_count_ = d.getU64();
+        miss_count_ = d.getU64();
+        flush_gen_ = d.getU64();
+    }
 
   private:
     std::uint64_t probe_count_ = 0;

@@ -162,6 +162,18 @@ BatchReplayWorkload::init(WorkloadHost &host)
 }
 
 void
+BatchReplayWorkload::resumeAtBoundary(Machine &machine)
+{
+    machine_ = batched_ ? &machine : nullptr;
+    next_op_ = trace_->warmupOps;
+    access_cursor_ = 0;
+    for (std::uint64_t o = 0; o < trace_->warmupOps; ++o) {
+        if (trace_->ops[o].kind == TraceEvent::Kind::Access)
+            access_cursor_ += trace_->ops[o].n;
+    }
+}
+
+void
 BatchReplayWorkload::warmup(WorkloadHost &host)
 {
     while (next_op_ < trace_->warmupOps)

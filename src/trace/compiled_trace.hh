@@ -116,6 +116,14 @@ class BatchReplayWorkload : public Workload
     /** The recorded warmup boundary is authoritative. */
     bool selfWarmup() const override { return true; }
 
+    /**
+     * Position the replay at the measurement boundary of @p machine
+     * without replaying anything — the counterpart of restoring a
+     * warm-state snapshot into the machine. After this, driving
+     * Machine::runMeasured(*this) plays exactly the measured ops.
+     */
+    void resumeAtBoundary(Machine &machine);
+
   private:
     void applyOp(WorkloadHost &host);
 

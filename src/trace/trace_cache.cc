@@ -118,4 +118,182 @@ cachedCellFn(TraceCache &cache, bool batched)
     };
 }
 
+RunResult
+runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
+                   const std::string &workload_name,
+                   const WorkloadParams &params, const SimConfig &cfg,
+                   bool batched)
+{
+    TraceCacheKey tkey;
+    tkey.workload = workload_name;
+    tkey.pageSize = cfg.pageSize;
+    tkey.operations = params.operations;
+    tkey.seed = params.seed;
+    tkey.footprintBytes = params.footprintBytes;
+    tkey.warmupFraction = cfg.warmupFraction;
+
+    std::optional<RunResult> recorded;
+    TraceCache::TracePtr compiled = traces.obtain(tkey, [&] {
+        auto workload = makeWorkload(workload_name, params);
+        ap_assert(workload != nullptr, "unknown workload ",
+                  workload_name);
+        Machine machine(cfg);
+        RecordedRun rec = recordRun(machine, *workload);
+        recorded = rec.result;
+        return std::make_shared<const CompiledTrace>(
+            compileTrace(rec.trace));
+    });
+    // The recording run was a complete measured run of this cell; its
+    // result stands and it already paid for warmup, so the snapshot
+    // cache is left for the next cell of this config to seed.
+    if (recorded)
+        return *recorded;
+
+    SnapshotKey skey;
+    skey.workload = workload_name;
+    skey.operations = params.operations;
+    skey.seed = params.seed;
+    skey.footprintBytes = params.footprintBytes;
+    skey.configDigest = simConfigDigest(cfg);
+
+    // Kept outside the capture lambda: the capture winner finishes
+    // its run on the machine it just warmed (the snapshot future is
+    // fulfilled as soon as capture completes, so same-key waiters are
+    // not held through this cell's measured region).
+    std::unique_ptr<Machine> warm;
+    std::unique_ptr<BatchReplayWorkload> warm_replay;
+    SnapshotPtr snap = snaps.obtain(skey, [&] {
+        warm = std::make_unique<Machine>(cfg);
+        warm_replay =
+            std::make_unique<BatchReplayWorkload>(compiled, batched);
+        warm->runWarmup(*warm_replay);
+        return captureSnapshot(*warm);
+    });
+
+    RunResult r;
+    if (warm) {
+        r = warm->runMeasured(*warm_replay);
+    } else {
+        Machine machine(cfg);
+        bool ok = restoreSnapshot(*snap, machine);
+        ap_assert(ok, "snapshot restore failed for ", workload_name);
+        BatchReplayWorkload replay(compiled, batched);
+        replay.resumeAtBoundary(machine);
+        r = machine.runMeasured(replay);
+    }
+    r.workload = compiled->workload;
+    return r;
+}
+
+namespace
+{
+
+/** Shared trace-cache front half of the runWorkload* entry points. */
+TraceCache::TracePtr
+obtainWorkloadTrace(TraceCache &traces, const std::string &cache_name,
+                    Workload &workload, const SimConfig &cfg,
+                    std::optional<RunResult> &recorded)
+{
+    const WorkloadParams &params = workload.params();
+    TraceCacheKey tkey;
+    tkey.workload = cache_name;
+    tkey.pageSize = cfg.pageSize;
+    tkey.operations = params.operations;
+    tkey.seed = params.seed;
+    tkey.footprintBytes = params.footprintBytes;
+    tkey.warmupFraction = cfg.warmupFraction;
+    return traces.obtain(tkey, [&] {
+        Machine machine(cfg);
+        RecordedRun rec = recordRun(machine, workload);
+        recorded = rec.result;
+        rec.trace.workload = cache_name;
+        return std::make_shared<const CompiledTrace>(
+            compileTrace(rec.trace));
+    });
+}
+
+} // namespace
+
+RunResult
+runWorkloadCached(TraceCache &traces, const std::string &cache_name,
+                  Workload &workload, const SimConfig &cfg, bool batched)
+{
+    std::optional<RunResult> recorded;
+    TraceCache::TracePtr compiled =
+        obtainWorkloadTrace(traces, cache_name, workload, cfg, recorded);
+    if (recorded)
+        return *recorded;
+
+    Machine machine(cfg);
+    BatchReplayWorkload replay(compiled, batched);
+    RunResult r = machine.run(replay);
+    r.workload = compiled->workload;
+    return r;
+}
+
+RunResult
+runWorkloadSnapshotted(TraceCache &traces, SnapshotCache &snaps,
+                       const std::string &cache_name, Workload &workload,
+                       const SimConfig &cfg, bool batched)
+{
+    const WorkloadParams &params = workload.params();
+    std::optional<RunResult> recorded;
+    TraceCache::TracePtr compiled =
+        obtainWorkloadTrace(traces, cache_name, workload, cfg, recorded);
+    if (recorded)
+        return *recorded;
+
+    SnapshotKey skey;
+    skey.workload = cache_name;
+    skey.operations = params.operations;
+    skey.seed = params.seed;
+    skey.footprintBytes = params.footprintBytes;
+    skey.configDigest = simConfigDigest(cfg);
+
+    std::unique_ptr<Machine> warm;
+    std::unique_ptr<BatchReplayWorkload> warm_replay;
+    SnapshotPtr snap = snaps.obtain(skey, [&] {
+        warm = std::make_unique<Machine>(cfg);
+        warm_replay =
+            std::make_unique<BatchReplayWorkload>(compiled, batched);
+        warm->runWarmup(*warm_replay);
+        return captureSnapshot(*warm);
+    });
+
+    RunResult r;
+    if (warm) {
+        r = warm->runMeasured(*warm_replay);
+    } else {
+        Machine machine(cfg);
+        bool ok = restoreSnapshot(*snap, machine);
+        ap_assert(ok, "snapshot restore failed for ", cache_name);
+        BatchReplayWorkload replay(compiled, batched);
+        replay.resumeAtBoundary(machine);
+        r = machine.runMeasured(replay);
+    }
+    r.workload = compiled->workload;
+    return r;
+}
+
+RunResult
+runExperimentSnapshotted(TraceCache &traces, SnapshotCache &snaps,
+                         const ExperimentSpec &spec, bool batched)
+{
+    WorkloadParams params = defaultParamsFor(spec.workload);
+    if (spec.operations)
+        params.operations = spec.operations;
+    SimConfig cfg =
+        configFor(spec.mode, spec.pageSize, params, spec.hwOpts);
+    return runCellSnapshotted(traces, snaps, spec.workload, params, cfg,
+                              batched);
+}
+
+CellFn
+snapshotCellFn(TraceCache &traces, SnapshotCache &snaps, bool batched)
+{
+    return [&traces, &snaps, batched](const ExperimentSpec &spec) {
+        return runExperimentSnapshotted(traces, snaps, spec, batched);
+    };
+}
+
 } // namespace ap

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "sim/experiment.hh"
+#include "sim/snapshot.hh"
 #include "trace/compiled_trace.hh"
 
 namespace ap
@@ -125,6 +126,59 @@ RunResult runExperimentCached(TraceCache &cache,
  * through @p cache. The cache must outlive the returned function.
  */
 CellFn cachedCellFn(TraceCache &cache, bool batched = true);
+
+/**
+ * Run one cell through both caches: the trace cache dedupes the
+ * operation stream across cells (as runCellCached), and the snapshot
+ * cache dedupes the *warm machine state* across cells whose full
+ * config matches. The first cell per snapshot key replays warmup once
+ * and freezes the machine at the measurement boundary; every later
+ * identical cell forks a fresh Machine from the frozen image and runs
+ * only the measured region. Results are bit-identical to
+ * runExperiment for every cell.
+ */
+RunResult runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
+                             const std::string &workload_name,
+                             const WorkloadParams &params,
+                             const SimConfig &cfg, bool batched = true);
+
+/** runExperiment, but through both caches. */
+RunResult runExperimentSnapshotted(TraceCache &traces,
+                                   SnapshotCache &snaps,
+                                   const ExperimentSpec &spec,
+                                   bool batched = true);
+
+/**
+ * runCellCached for a caller-supplied workload instance (one the
+ * registry cannot build — e.g. a bench-local synthetic workload).
+ * @p cache_name keys the cache; see runWorkloadSnapshotted.
+ */
+RunResult runWorkloadCached(TraceCache &traces,
+                            const std::string &cache_name,
+                            Workload &workload, const SimConfig &cfg,
+                            bool batched = true);
+
+/**
+ * runCellSnapshotted for a caller-supplied workload instance (one the
+ * registry cannot build — e.g. a bench-local synthetic workload).
+ * @p cache_name keys the caches and must uniquely identify the
+ * workload's behavior beyond its params (encode any extra knobs in
+ * it). Only the first caller per trace key steps @p workload; later
+ * calls replay the recorded stream and ignore it.
+ */
+RunResult runWorkloadSnapshotted(TraceCache &traces,
+                                 SnapshotCache &snaps,
+                                 const std::string &cache_name,
+                                 Workload &workload,
+                                 const SimConfig &cfg,
+                                 bool batched = true);
+
+/**
+ * A CellFn routing every cell through both caches. Both caches must
+ * outlive the returned function.
+ */
+CellFn snapshotCellFn(TraceCache &traces, SnapshotCache &snaps,
+                      bool batched = true);
 
 } // namespace ap
 

@@ -62,6 +62,68 @@ ShadowMgr::ShadowMgr(stats::StatGroup *parent, PhysMem &mem, Vmm &vmm,
 ShadowMgr::~ShadowMgr() = default;
 
 void
+ShadowMgr::saveState(Serializer &s) const
+{
+    s.putMarker(0x52474d53); // "SMGR"
+    s.putU64(procs_.size());
+    for (const auto &[proc, p] : procs_) {
+        s.putU32(proc);
+        s.putU64(p.gptRootGframe);
+        s.putBool(p.agile);
+        static_assert(std::is_trivially_copyable_v<TranslationContext>,
+                      "TranslationContext must be raw-serializable");
+        s.putRaw(&p.ctx, sizeof(p.ctx));
+        s.putU64(p.spt->root());
+        s.putU64(p.spt->pageCount());
+        static_assert(std::is_trivially_copyable_v<GptNode>,
+                      "GptNode must be raw-serializable");
+        s.putU64(p.nodes.size());
+        for (const auto &[gframe, node] : p.nodes) {
+            s.putU64(gframe);
+            s.putRaw(&node, sizeof(node));
+        }
+        s.putPodVector(p.unsynced);
+    }
+}
+
+void
+ShadowMgr::restoreState(
+    Deserializer &d,
+    const std::function<RadixPageTable *(ProcId)> &gpt_resolver)
+{
+    d.checkMarker(0x52474d53);
+    procs_.clear();
+    std::uint64_t nprocs = d.getU64();
+    for (std::uint64_t i = 0; i < nprocs && d.ok(); ++i) {
+        ProcId proc = d.getU32();
+        ProcState &p = procs_[proc];
+        p.gpt = gpt_resolver(proc);
+        p.gptRootGframe = d.getU64();
+        p.agile = d.getBool();
+        d.getRaw(&p.ctx, sizeof(p.ctx));
+        FrameId spt_root = d.getU64();
+        std::uint64_t spt_pages = d.getU64();
+        // The shadow table's pages already exist in restored host
+        // memory; adopt them instead of rebuilding.
+        p.sptSpace =
+            std::make_unique<HostPtSpace>(mem_, TableOwner::ShadowPt);
+        p.spt = std::make_unique<RadixPageTable>(
+            *p.sptSpace, "sPT", RadixPageTable::ForRestore{});
+        p.spt->restoreState(spt_root, spt_pages);
+        std::uint64_t nnodes = d.getU64();
+        for (std::uint64_t j = 0; j < nnodes && d.ok(); ++j) {
+            FrameId gframe = d.getU64();
+            GptNode node;
+            d.getRaw(&node, sizeof(node));
+            p.nodes.emplace(gframe, node);
+        }
+        d.getPodVector(p.unsynced);
+        if (!p.gpt)
+            d.fail();
+    }
+}
+
+void
 ShadowMgr::registerProcess(ProcId proc, RadixPageTable *gpt,
                            FrameId gpt_root_gframe, bool agile)
 {

@@ -18,10 +18,12 @@
 #ifndef AGILEPAGING_VMM_SHADOW_MGR_HH
 #define AGILEPAGING_VMM_SHADOW_MGR_HH
 
+#include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "mem/page_table.hh"
@@ -110,7 +112,10 @@ class ShadowMgr : public stats::StatGroup
         TranslationContext ctx{};
         /** Agile: partial shadowing allowed; plain shadow otherwise. */
         bool agile = false;
-        std::unordered_map<FrameId, GptNode> nodes;
+        /** Ordered so iteration (policy scans, resync-all) is
+         *  insert-history-independent — a snapshot-restored manager
+         *  must iterate exactly like the one it was captured from. */
+        std::map<FrameId, GptNode> nodes;
         std::vector<FrameId> unsynced;
     };
 
@@ -267,6 +272,14 @@ class ShadowMgr : public stats::StatGroup
 
     const ShadowConfig &config() const { return cfg_; }
 
+    /** Snapshot support. Guest page tables are owned by the guest OS,
+     *  so only their identity travels; @p gpt_resolver maps a pid back
+     *  to the restored table on load. */
+    void saveState(Serializer &s) const;
+    void restoreState(
+        Deserializer &d,
+        const std::function<RadixPageTable *(ProcId)> &gpt_resolver);
+
     stats::Scalar fills;
     stats::Scalar syncWrites;
     stats::Scalar unsyncEvents;
@@ -298,7 +311,8 @@ class ShadowMgr : public stats::StatGroup
     TlbHierarchy *tlb_;
     PageWalkCache *pwc_;
 
-    std::unordered_map<ProcId, ProcState> procs_;
+    /** Ordered for the same reason as ProcState::nodes. */
+    std::map<ProcId, ProcState> procs_;
 };
 
 } // namespace ap

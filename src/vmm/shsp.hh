@@ -14,8 +14,10 @@
 #ifndef AGILEPAGING_VMM_SHSP_HH
 #define AGILEPAGING_VMM_SHSP_HH
 
+#include <map>
 #include <unordered_map>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "vmm/shadow_mgr.hh"
@@ -76,6 +78,30 @@ class ShspController : public stats::StatGroup
 
     /** @return true if the process currently runs shadowed. */
     bool inShadow(ProcId proc) const;
+
+    /** Snapshot support. states_ is lookup-only (never iterated), so
+     *  it stays unordered; entries travel sorted by pid. */
+    void
+    saveState(Serializer &s) const
+    {
+        std::map<ProcId, State> sorted(states_.begin(), states_.end());
+        s.putU64(sorted.size());
+        for (const auto &[proc, st] : sorted) {
+            s.putU32(proc);
+            s.putU32(st.intervalsSinceSwitch);
+        }
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        states_.clear();
+        std::uint64_t n = d.getU64();
+        for (std::uint64_t i = 0; i < n && d.ok(); ++i) {
+            ProcId proc = d.getU32();
+            states_[proc].intervalsSinceSwitch = d.getU32();
+        }
+    }
 
     stats::Scalar switchesToShadow;
     stats::Scalar switchesToNested;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "tlb/assoc_cache.hh"
@@ -62,6 +63,28 @@ class SptrCache : public stats::StatGroup
     }
 
     std::size_t capacity() const { return capacity_; }
+
+    /** Snapshot support. The inner cache's presence is fixed by
+     *  capacity_ (a config property), so only its contents travel. */
+    void
+    saveState(Serializer &s) const
+    {
+        s.putBool(cache_ != nullptr);
+        if (cache_)
+            cache_->saveState(s);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        bool present = d.getBool();
+        if (present != (cache_ != nullptr)) {
+            d.fail();
+            return;
+        }
+        if (cache_)
+            cache_->restoreState(d);
+    }
 
     stats::Scalar hits;
     stats::Scalar misses;

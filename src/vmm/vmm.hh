@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/serialize.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "mem/frame_alloc.hh"
@@ -177,6 +178,49 @@ class Vmm : public stats::StatGroup
 
     /** Host frames consumed by this VM's data backings. */
     std::uint64_t backedDataFrames() const { return backed_data_; }
+
+    /**
+     * Snapshot support. PhysMem must be restored *before*
+     * restoreState() is called: the hPT adopts its restored root
+     * in place (the page tree already exists in host memory), so no
+     * table page is allocated or freed here.
+     */
+    void
+    saveState(Serializer &s) const
+    {
+        s.putMarker(0x204d4d56); // "VMM "
+        pt_alloc_.saveState(s);
+        data_alloc_.saveState(s);
+        s.putU64(hpt_->root());
+        s.putU64(hpt_->pageCount());
+        s.putPodVector(backings_);
+        s.putU64(backed_data_);
+        for (std::uint64_t c : trap_counts_)
+            s.putU64(c);
+        s.putU64(trap_cycles_);
+        if (sptr_cache_)
+            sptr_cache_->saveState(s);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        d.checkMarker(0x204d4d56);
+        pt_alloc_.restoreState(d);
+        data_alloc_.restoreState(d);
+        FrameId hpt_root = d.getU64();
+        std::uint64_t hpt_pages = d.getU64();
+        if (!d.ok())
+            return;
+        hpt_->restoreState(hpt_root, hpt_pages);
+        d.getPodVector(backings_);
+        backed_data_ = d.getU64();
+        for (std::uint64_t &c : trap_counts_)
+            c = d.getU64();
+        trap_cycles_ = d.getU64();
+        if (sptr_cache_)
+            sptr_cache_->restoreState(d);
+    }
 
     stats::Scalar trapsTotal;
     stats::Scalar trapCyclesStat;

@@ -374,6 +374,118 @@ TEST(Stats, DistributionResetRestoresExtremes)
     EXPECT_EQ(d.maxSeen(), 50u);
 }
 
+TEST(Stats, DistributionSaveRestoreRoundTrip)
+{
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 0, 100, 10);
+    d.sample(5);
+    d.sample(42, 3);
+    d.sample(120); // overflow
+
+    Serializer s;
+    d.saveValues(s);
+
+    stats::StatGroup g2("g");
+    stats::Distribution d2(&g2, "d", "x", 0, 100, 10);
+    Deserializer in(s.data());
+    d2.restoreValues(in);
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(d2.count(), d.count());
+    EXPECT_DOUBLE_EQ(d2.sum(), d.sum());
+    EXPECT_EQ(d2.minSeen(), 5u);
+    EXPECT_EQ(d2.maxSeen(), 120u);
+    EXPECT_EQ(d2.overflow(), 1u);
+    EXPECT_EQ(d2.buckets(), d.buckets());
+}
+
+TEST(Stats, DistributionResetAfterRestoreRearmsExtremes)
+{
+    // The measurement-boundary contract for restored machines: a
+    // reset after restoring serialized values must rearm the min/max
+    // trackers exactly as a cold run's reset does, not leave them
+    // pinned at the restored extremes.
+    stats::StatGroup g("g");
+    stats::Distribution d(&g, "d", "x", 0, 100, 10);
+    d.sample(5);
+    d.sample(95);
+    Serializer s;
+    d.saveValues(s);
+
+    stats::StatGroup g2("g");
+    stats::Distribution d2(&g2, "d", "x", 0, 100, 10);
+    Deserializer in(s.data());
+    d2.restoreValues(in);
+    ASSERT_TRUE(in.ok());
+
+    d2.reset();
+    EXPECT_EQ(d2.count(), 0u);
+    d2.sample(50);
+    EXPECT_EQ(d2.minSeen(), 50u);
+    EXPECT_EQ(d2.maxSeen(), 50u);
+}
+
+TEST(Stats, TreeSaveRestoreRoundTrip)
+{
+    stats::StatGroup root("machine");
+    stats::StatGroup child("tlb", &root);
+    stats::Scalar hits(&child, "hits", "");
+    stats::Distribution refs(&root, "refs", "", 0, 30, 1);
+    stats::Formula ratio(&root, "ratio", "", [&] { return 2.0; });
+    hits += 7;
+    refs.sample(4, 2);
+
+    Serializer s;
+    root.saveStatsTree(s);
+
+    stats::StatGroup root2("machine");
+    stats::StatGroup child2("tlb", &root2);
+    stats::Scalar hits2(&child2, "hits", "");
+    stats::Distribution refs2(&root2, "refs", "", 0, 30, 1);
+    stats::Formula ratio2(&root2, "ratio", "", [&] { return 2.0; });
+
+    Deserializer in(s.data());
+    root2.restoreStatsTree(in);
+    ASSERT_TRUE(in.ok());
+    EXPECT_EQ(in.remaining(), 0u);
+    EXPECT_DOUBLE_EQ(hits2.value(), 7.0);
+    EXPECT_EQ(refs2.count(), 2u);
+
+    // Restored trees re-serialize byte-identically.
+    Serializer s2;
+    root2.saveStatsTree(s2);
+    EXPECT_EQ(s.data(), s2.data());
+}
+
+TEST(Stats, TreeRestoreRejectsMismatchedShape)
+{
+    stats::StatGroup root("machine");
+    stats::Scalar a(&root, "a", "");
+    a += 1;
+    Serializer s;
+    root.saveStatsTree(s);
+
+    // Different stat name under the same group name.
+    stats::StatGroup other("machine");
+    stats::Scalar b(&other, "b", "");
+    Deserializer in(s.data());
+    other.restoreStatsTree(in);
+    EXPECT_FALSE(in.ok());
+
+    // Different group name.
+    stats::StatGroup renamed("engine");
+    stats::Scalar a2(&renamed, "a", "");
+    Deserializer in2(s.data());
+    renamed.restoreStatsTree(in2);
+    EXPECT_FALSE(in2.ok());
+
+    // Truncated stream.
+    stats::StatGroup again("machine");
+    stats::Scalar a3(&again, "a", "");
+    Deserializer in3(s.data().data(), s.size() / 2);
+    again.restoreStatsTree(in3);
+    EXPECT_FALSE(in3.ok());
+}
+
 TEST(Stats, FormulaNullFunction)
 {
     stats::StatGroup g("g");

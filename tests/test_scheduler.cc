@@ -87,5 +87,129 @@ TEST(Scheduler, CtxSwitchTrapsUnderShadowNotNested)
     EXPECT_LT(cached, shadow / 4);
 }
 
+void
+expectSameConsolidation(const ConsolidationResult &a,
+                        const ConsolidationResult &b)
+{
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].pid, b.runs[i].pid);
+        EXPECT_EQ(a.runs[i].steps, b.runs[i].steps);
+        EXPECT_EQ(a.runs[i].finished, b.runs[i].finished);
+    }
+    const RunResult &x = a.machine;
+    const RunResult &y = b.machine;
+    EXPECT_EQ(x.instructions, y.instructions);
+    EXPECT_EQ(x.idealCycles, y.idealCycles);
+    EXPECT_EQ(x.walkCycles, y.walkCycles);
+    EXPECT_EQ(x.trapCycles, y.trapCycles);
+    EXPECT_EQ(x.tlbMisses, y.tlbMisses);
+    EXPECT_EQ(x.walks, y.walks);
+    EXPECT_EQ(x.traps, y.traps);
+    EXPECT_EQ(x.guestPageFaults, y.guestPageFaults);
+    EXPECT_DOUBLE_EQ(x.avgWalkRefs, y.avgWalkRefs);
+    for (std::size_t k = 0; k < kNumTrapKinds; ++k)
+        EXPECT_EQ(x.trapByKind[k], y.trapByKind[k]);
+}
+
+ConsolidationResult
+plainRun(VirtMode mode, std::uint64_t ops)
+{
+    Machine m(schedConfig(mode));
+    auto a = makeWorkload("mcf", schedParams(ops));
+    auto b = makeWorkload("canneal", schedParams(ops));
+    Scheduler sched(m, 1'000);
+    sched.add(*a);
+    sched.add(*b);
+    return sched.run();
+}
+
+ConsolidationResult
+recordRunPair(VirtMode mode, std::uint64_t ops, Trace &ta, Trace &tb)
+{
+    Machine m(schedConfig(mode));
+    auto a = makeWorkload("mcf", schedParams(ops));
+    auto b = makeWorkload("canneal", schedParams(ops));
+    Scheduler sched(m, 1'000);
+    sched.addRecorded(*a, ta);
+    sched.addRecorded(*b, tb);
+    return sched.run();
+}
+
+TEST(SchedulerReplay, RecordingIsTransparent)
+{
+    ConsolidationResult plain = plainRun(VirtMode::Agile, 12'000);
+    Trace ta, tb;
+    ConsolidationResult rec =
+        recordRunPair(VirtMode::Agile, 12'000, ta, tb);
+    expectSameConsolidation(plain, rec);
+    EXPECT_GT(ta.events.size(), 12'000u);
+    EXPECT_GT(ta.warmupEvents, 0u);
+    EXPECT_EQ(ta.workload, "mcf");
+    // Slot traces carry the guest pid for snapshot resume.
+    EXPECT_EQ(ta.seed, rec.runs[0].pid);
+    EXPECT_EQ(tb.seed, rec.runs[1].pid);
+}
+
+TEST(SchedulerReplay, ReplayMatchesPlainRunAcrossModes)
+{
+    // Record under one mode; the interleaved stream is
+    // mode-independent, so the same traces must reproduce every
+    // technique's plain run bit for bit.
+    Trace ta, tb;
+    recordRunPair(VirtMode::Nested, 12'000, ta, tb);
+    for (VirtMode mode :
+         {VirtMode::Nested, VirtMode::Shadow, VirtMode::Agile}) {
+        ConsolidationResult plain = plainRun(mode, 12'000);
+        Machine m(schedConfig(mode));
+        Scheduler sched(m, 1'000);
+        sched.addReplay(ta);
+        sched.addReplay(tb);
+        ConsolidationResult rep = sched.run();
+        expectSameConsolidation(plain, rep);
+    }
+}
+
+TEST(SchedulerReplay, SnapshotResumeMatchesColdReplay)
+{
+    Trace ta, tb;
+    recordRunPair(VirtMode::Shadow, 12'000, ta, tb);
+
+    Machine cold(schedConfig(VirtMode::Shadow));
+    Scheduler cold_sched(cold, 1'000);
+    cold_sched.addReplay(ta);
+    cold_sched.addReplay(tb);
+    cold_sched.warmup();
+    SnapshotPtr snap = captureSnapshot(cold);
+    ConsolidationResult cold_r = cold_sched.runMeasured();
+
+    Machine resumed(schedConfig(VirtMode::Shadow));
+    Scheduler res_sched(resumed, 1'000);
+    res_sched.addReplay(ta);
+    res_sched.addReplay(tb);
+    ASSERT_TRUE(res_sched.resumeFromSnapshot(*snap));
+    ConsolidationResult res_r = res_sched.runMeasured();
+    expectSameConsolidation(cold_r, res_r);
+}
+
+TEST(SchedulerReplay, ResumeRejectsMismatchedConfig)
+{
+    Trace ta, tb;
+    recordRunPair(VirtMode::Shadow, 8'000, ta, tb);
+    Machine cold(schedConfig(VirtMode::Shadow));
+    Scheduler cold_sched(cold, 1'000);
+    cold_sched.addReplay(ta);
+    cold_sched.addReplay(tb);
+    cold_sched.warmup();
+    SnapshotPtr snap = captureSnapshot(cold);
+
+    Machine other(schedConfig(VirtMode::Nested));
+    Scheduler other_sched(other, 1'000);
+    other_sched.addReplay(ta);
+    other_sched.addReplay(tb);
+    EXPECT_FALSE(other_sched.resumeFromSnapshot(*snap));
+}
+
 } // namespace
 } // namespace ap

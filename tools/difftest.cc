@@ -16,6 +16,12 @@
  *                                 still-failing trace (exit 0 only
  *                                 then)
  *   difftest --replay FILE [...]  replay one saved trace and report
+ *   difftest --snapshot [...]     snapshot-vs-cold mode: per seed,
+ *                                 run each workload cold and via
+ *                                 warmup -> capture -> restore into a
+ *                                 fresh machine -> measured region,
+ *                                 and require the two RunResults to
+ *                                 match field for field
  *
  * Exit status: 0 when every seed passed (or, with --inject, every
  * seed was caught), 1 otherwise.
@@ -29,8 +35,10 @@
 
 #include "base/logging.hh"
 #include "sim/config.hh"
+#include "sim/experiment.hh"
 #include "sim/oracle.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/snapshot.hh"
 
 namespace
 {
@@ -38,7 +46,8 @@ namespace
 const char kUsage[] =
     "usage: difftest [--seeds N] [--seed-base S] [--ops N] [--jobs N]\n"
     "                [--page 4k|2m|both] [--reclaim] [--no-hw-opts]\n"
-    "                [--sweep N] [--inject K] [--replay FILE] [--out DIR]\n";
+    "                [--sweep N] [--inject K] [--replay FILE] [--out DIR]\n"
+    "                [--snapshot]\n";
 
 struct Cli
 {
@@ -52,6 +61,7 @@ struct Cli
     bool hwOpts = true;
     std::uint64_t sweep = 256;
     std::uint64_t inject = 0;
+    bool snapshot = false;
     std::string replayPath;
     std::string outDir = ".";
 };
@@ -187,6 +197,99 @@ runMatrix(const Cli &cli)
     return all_ok ? 0 : 1;
 }
 
+/** Field-for-field RunResult comparison; appends mismatches. */
+bool
+sameRunResult(const ap::RunResult &a, const ap::RunResult &b,
+              std::string &why)
+{
+    auto check = [&why](bool ok, const char *field) {
+        if (!ok)
+            why += std::string(why.empty() ? "" : ", ") + field;
+        return ok;
+    };
+    bool same = true;
+    same &= check(a.instructions == b.instructions, "instructions");
+    same &= check(a.idealCycles == b.idealCycles, "idealCycles");
+    same &= check(a.walkCycles == b.walkCycles, "walkCycles");
+    same &= check(a.trapCycles == b.trapCycles, "trapCycles");
+    same &= check(a.tlbMisses == b.tlbMisses, "tlbMisses");
+    same &= check(a.walks == b.walks, "walks");
+    same &= check(a.traps == b.traps, "traps");
+    same &= check(a.guestPageFaults == b.guestPageFaults,
+                  "guestPageFaults");
+    same &= check(a.avgWalkRefs == b.avgWalkRefs, "avgWalkRefs");
+    for (int i = 0; i < 6; ++i)
+        same &= check(a.coverage[i] == b.coverage[i], "coverage");
+    for (unsigned k = 0; k < ap::kNumTrapKinds; ++k)
+        same &= check(a.trapByKind[k] == b.trapByKind[k], "trapByKind");
+    return same;
+}
+
+/**
+ * Snapshot-vs-cold differential: every workload x mode x page cell
+ * runs twice — cold (Machine::run) and split (runWarmup on one
+ * machine, capture, restore into a *fresh* machine, runMeasured) —
+ * and the two results must be bit-identical.
+ */
+int
+runSnapshotDiff(const Cli &cli)
+{
+    const ap::VirtMode modes[] = {ap::VirtMode::Nested,
+                                  ap::VirtMode::Shadow,
+                                  ap::VirtMode::Agile};
+    bool all_ok = true;
+    for (ap::PageSize page : cli.pages) {
+        std::uint64_t cells = 0, failed = 0;
+        for (std::uint64_t i = 0; i < cli.seeds; ++i) {
+            std::uint64_t seed = cli.seedBase + i;
+            const auto &names = ap::workloadNames();
+            const std::string &wl = names[i % names.size()];
+            ap::WorkloadParams params = ap::defaultParamsFor(wl);
+            params.operations = cli.ops;
+            params.seed = seed;
+            for (ap::VirtMode mode : modes) {
+                ap::SimConfig cfg =
+                    configFor(mode, page, params, cli.hwOpts);
+                auto w1 = ap::makeWorkload(wl, params);
+                ap::Machine cold_machine(cfg);
+                ap::RunResult cold = cold_machine.run(*w1);
+
+                auto w2 = ap::makeWorkload(wl, params);
+                ap::Machine warm(cfg);
+                warm.runWarmup(*w2);
+                ap::SnapshotPtr snap = ap::captureSnapshot(warm);
+                ap::Machine restored(cfg);
+                if (!ap::restoreSnapshot(*snap, restored)) {
+                    std::cout << "seed " << seed << " " << wl << "/"
+                              << ap::virtModeName(mode)
+                              << ": restore failed\n";
+                    all_ok = false;
+                    ++failed;
+                    ++cells;
+                    continue;
+                }
+                ap::RunResult split = restored.runMeasured(*w2);
+                std::string why;
+                if (!sameRunResult(cold, split, why)) {
+                    std::cout << "seed " << seed << " " << wl << "/"
+                              << ap::virtModeName(mode) << " ("
+                              << ap::pageSizeName(page)
+                              << "): snapshot run diverges from cold "
+                              << "run in " << why << "\n";
+                    all_ok = false;
+                    ++failed;
+                }
+                ++cells;
+            }
+        }
+        std::cout << ap::pageSizeName(page) << ": " << cli.seeds
+                  << " seeds, " << cells
+                  << " snapshot-vs-cold cells -- "
+                  << (failed ? "FAIL" : "PASS") << "\n";
+    }
+    return all_ok ? 0 : 1;
+}
+
 int
 runReplay(const Cli &cli)
 {
@@ -268,6 +371,8 @@ main(int argc, char **argv)
             cli.inject = nextU64();
         } else if (a == "--replay") {
             cli.replayPath = next();
+        } else if (a == "--snapshot") {
+            cli.snapshot = true;
         } else if (a == "--out") {
             cli.outDir = next();
         } else {
@@ -275,5 +380,7 @@ main(int argc, char **argv)
             return 2;
         }
     }
+    if (cli.snapshot)
+        return runSnapshotDiff(cli);
     return cli.replayPath.empty() ? runMatrix(cli) : runReplay(cli);
 }
