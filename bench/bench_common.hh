@@ -56,6 +56,7 @@ struct BenchOptions
     bool pageSizeSet = false;
     bool traceCache = true;
     bool snapshotCache = true;
+    bool batchedWalks = true;
     std::string snapshotDir;
 
     /** The usage fragment for the flags consume() understands. */
@@ -64,7 +65,8 @@ struct BenchOptions
     {
         return "[ops] [--ops N] [--jobs N] [--seed N]"
                " [--page-size 4K|2M] [--no-trace-cache]"
-               " [--no-snapshot-cache] [--snapshot-dir DIR]";
+               " [--no-snapshot-cache] [--no-batched-walks]"
+               " [--snapshot-dir DIR]";
     }
 
     /**
@@ -113,6 +115,8 @@ struct BenchOptions
             traceCache = false;
         } else if (!std::strcmp(arg, "--no-snapshot-cache")) {
             snapshotCache = false;
+        } else if (!std::strcmp(arg, "--no-batched-walks")) {
+            batchedWalks = false;
         } else if (!std::strcmp(arg, "--snapshot-dir")) {
             snapshotDir = value("--snapshot-dir");
         } else if (arg[0] != '-') {

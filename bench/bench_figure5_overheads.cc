@@ -79,7 +79,7 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << stats_json << "\n";
             return 1;
         }
-        ap::writeRunResultsJson(os, runs);
+        ap::writeRunResultsJson(os, runs, ap::effectiveJobs(opt.jobs));
     }
     if (csv) {
         ap::printCsv(std::cout, runs);

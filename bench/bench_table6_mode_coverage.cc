@@ -71,7 +71,7 @@ main(int argc, char **argv)
             std::cerr << "cannot write " << stats_json << "\n";
             return 1;
         }
-        ap::writeRunResultsJson(os, runs);
+        ap::writeRunResultsJson(os, runs, 1); // serial bench
     }
     ap::printTable6(std::cout, runs);
 

@@ -15,14 +15,23 @@
  * snapshot cache it restores the frozen image and runs just the
  * measured region.
  *
+ * Every variant runs once untimed before its timed run, so the first
+ * variant measured no longer pays the process's one-time costs (heap
+ * high-water growth, pool population) that used to skew the ratios.
+ *
  * Usage: bench_throughput [common bench flags] [--json PATH]
  *                         [--require-cache-speedup]
  *                         [--require-snapshot-speedup]
+ *                         [--require-engine-speedup]
  *        --jobs 0 (default) uses every hardware thread.
  *        --require-cache-speedup exits nonzero unless cached+batched
  *          beats cold generation at the same job count (the CI gate).
  *        --require-snapshot-speedup exits nonzero unless snapshot-fork
  *          regeneration beats trace-replay regeneration.
+ *        --require-engine-speedup exits nonzero unless the cached-fork
+ *          path beats cold generation at the same job count by at
+ *          least 2x (conservative CI floor; see EXPERIMENTS.md for
+ *          measured values).
  */
 
 #include <chrono>
@@ -38,6 +47,7 @@
 #include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel_runner.hh"
+#include "sim/report.hh"
 #include "trace/trace_cache.hh"
 
 namespace
@@ -102,6 +112,7 @@ main(int argc, char **argv)
     opt.jobs = 0;
     bool require_cache_speedup = false;
     bool require_snapshot_speedup = false;
+    bool require_engine_speedup = false;
     std::string json_path = "BENCH_throughput.json";
     for (int i = 1; i < argc; ++i) {
         if (opt.consume(argc, argv, i))
@@ -112,18 +123,28 @@ main(int argc, char **argv)
             require_cache_speedup = true;
         else if (!std::strcmp(argv[i], "--require-snapshot-speedup"))
             require_snapshot_speedup = true;
+        else if (!std::strcmp(argv[i], "--require-engine-speedup"))
+            require_engine_speedup = true;
         else
             opt.reject(argv, i,
                        "[--json PATH] [--require-cache-speedup]"
-                       " [--require-snapshot-speedup]");
+                       " [--require-snapshot-speedup]"
+                       " [--require-engine-speedup]");
     }
     unsigned jobs = ap::effectiveJobs(opt.jobs);
+    ap::setBatchedWalksDefault(opt.batchedWalks);
 
     std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
     std::printf("experiment-engine throughput: %zu cells x %llu ops, "
                 "%u hardware threads\n",
                 specs.size(), static_cast<unsigned long long>(opt.ops),
                 std::thread::hardware_concurrency());
+
+    // Untimed warmup: the process's first matrix pass grows the heap
+    // to its high-water mark and populates the per-thread pools; run
+    // it before any clock starts so that one-time cost is not charged
+    // to whichever variant happens to be measured first.
+    ap::runExperiments(specs, 1);
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<ap::RunResult> serial = ap::runExperiments(specs, 1);
@@ -142,13 +163,23 @@ main(int argc, char **argv)
     std::uint64_t snap_captures = 0, snap_forks = 0;
 
     {
+        // Warmup at this job count (spins up the worker pool and its
+        // per-thread state), then the timed run.
+        ap::runExperiments(specs, jobs);
         t0 = std::chrono::steady_clock::now();
         std::vector<ap::RunResult> r = ap::runExperiments(specs, jobs);
         cold.seconds = secondsSince(t0);
         cold.identical = allSame(serial, r);
     }
     {
-        // Fresh cache per variant so each pays its own recording cost.
+        // Fresh cache per variant so each pays its own recording cost;
+        // the warmup pass uses a throwaway cache for the same reason.
+        {
+            ap::TraceCache warm_cache;
+            ap::runExperiments(
+                specs, jobs,
+                ap::cachedCellFn(warm_cache, /*batched=*/false));
+        }
         ap::TraceCache cache;
         t0 = std::chrono::steady_clock::now();
         std::vector<ap::RunResult> r = ap::runExperiments(
@@ -157,6 +188,12 @@ main(int argc, char **argv)
         replay.identical = allSame(serial, r);
     }
     {
+        {
+            ap::TraceCache warm_cache;
+            ap::runExperiments(
+                specs, jobs,
+                ap::cachedCellFn(warm_cache, /*batched=*/true));
+        }
         ap::TraceCache cache;
         t0 = std::chrono::steady_clock::now();
         std::vector<ap::RunResult> r = ap::runExperiments(
@@ -177,7 +214,8 @@ main(int argc, char **argv)
     {
         // Snapshot regeneration: warm both caches, then re-run the
         // matrix — every cell restores its frozen warm image and runs
-        // only the measured region.
+        // only the measured region. The cache-population pass doubles
+        // as this variant's untimed warmup.
         ap::TraceCache cache;
         ap::SnapshotCache snaps;
         ap::runExperiments(specs, jobs,
@@ -201,6 +239,9 @@ main(int argc, char **argv)
     double parallel_speedup = serial_sec / cold.seconds;
     double cache_speedup = cold.seconds / batched.seconds;
     double snapshot_speedup = regen.seconds / snapfork.seconds;
+    // The whole engine pass in one number: warm cached-fork
+    // regeneration vs cold generation at the same job count.
+    double engine_speedup = cold.seconds / snapfork.seconds;
 
     std::printf("  serial cold    (jobs=1):  %7.3f s  %12.0f accesses/s\n",
                 serial_sec, serial_aps);
@@ -215,6 +256,9 @@ main(int argc, char **argv)
     std::printf("  snapshot regeneration speedup (fork vs full "
                 "replay): %.2fx\n",
                 snapshot_speedup);
+    std::printf("  engine speedup (cached-fork vs cold, same jobs): "
+                "%.2fx\n",
+                engine_speedup);
     std::printf("  cache: %llu recorded, %llu replayed   snapshots: "
                 "%llu captured, %llu forked\n",
                 static_cast<unsigned long long>(cache_records),
@@ -229,8 +273,9 @@ main(int argc, char **argv)
          << "  \"cells\": " << specs.size() << ",\n"
          << "  \"ops_per_cell\": " << opt.ops << ",\n"
          << "  \"total_accesses\": " << accesses << ",\n"
-         << "  \"hardware_concurrency\": "
-         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"host\": ";
+    ap::writeHostMetaJson(json, ap::currentHostMeta(jobs));
+    json << ",\n"
          << "  \"serial\": {\"jobs\": 1, \"seconds\": " << serial_sec
          << ", \"accesses_per_sec\": " << serial_aps << "},\n"
          << "  \"parallel\": {\"jobs\": " << jobs
@@ -261,6 +306,7 @@ main(int argc, char **argv)
          << "    \"speedup_vs_replay_regen\": " << snapshot_speedup
          << "\n"
          << "  },\n"
+         << "  \"engine_speedup_vs_cold\": " << engine_speedup << ",\n"
          << "  \"speedup\": " << parallel_speedup << ",\n"
          << "  \"deterministic\": " << (identical ? "true" : "false")
          << "\n}\n";
@@ -280,6 +326,16 @@ main(int argc, char **argv)
                      "FAIL: snapshot-fork regeneration (%.3f s) is not "
                      "faster than trace-replay regeneration (%.3f s)\n",
                      snapfork.seconds, regen.seconds);
+        return 1;
+    }
+    // 2x is a deliberately conservative CI floor (shared runners are
+    // noisy); the single-core measurement is >3x — see EXPERIMENTS.md.
+    if (require_engine_speedup && engine_speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: cached-fork regeneration (%.3f s) is only "
+                     "%.2fx faster than cold generation (%.3f s); "
+                     "the engine gate requires >=2x\n",
+                     snapfork.seconds, engine_speedup, cold.seconds);
         return 1;
     }
     return 0;

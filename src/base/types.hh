@@ -77,6 +77,20 @@ pageBytes(PageSize ps)
     }
 }
 
+/** @return log2 of pageBytes(ps); VA >> pageShift(ps) is the VPN. */
+constexpr unsigned
+pageShift(PageSize ps)
+{
+    switch (ps) {
+      case PageSize::Size2M:
+        return kPageShift + kLevelBits;
+      case PageSize::Size1G:
+        return kPageShift + 2 * kLevelBits;
+      default:
+        return kPageShift;
+    }
+}
+
 /**
  * @return the walk depth at which a mapping of the given size terminates.
  * A 4 KB mapping is installed at depth 3 (leaf), a 2 MB mapping at depth 2,

@@ -58,7 +58,7 @@ GuestOs::~GuestOs()
             pids.push_back(pid);
     }
     for (ProcId pid : pids)
-        exitProcess(pid);
+        reapProcess(pid);
 }
 
 ProcId
@@ -120,6 +120,38 @@ GuestOs::exitProcess(ProcId pid)
         munmap(pid, base, len);
     // Destroy the page table while shadow hooks are still wired.
     p.pt.reset();
+    if (smgr_ && smgr_->hasProcess(pid))
+        smgr_->unregisterProcess(pid);
+    if (tlb_)
+        tlb_->flushAsid(pid);
+    if (pwc_)
+        pwc_->flushAsid(pid);
+    p.alive = false;
+}
+
+void
+GuestOs::reapProcess(ProcId pid)
+{
+    GuestProcess &p = process(pid);
+    ap_assert(p.alive, "double exit");
+    // One DFS over the table's terminals frees exactly the frames the
+    // per-page munmap walk would (in the same ascending-VA order), but
+    // without per-page lookups, PTE invalidations, leaf-table pruning
+    // scans, or shadow notifications — the whole-table destruction and
+    // the ASID flushes below subsume those.
+    if (p.pt) {
+        p.pt->forEachTerminal(
+            [&](Addr, const Pte &pte, unsigned depth) {
+                if (pte.switching)
+                    return; // table pointer, not a mapping
+                std::uint64_t frames = std::uint64_t{1}
+                                       << (kLevelBits *
+                                           (kPtLevels - 1 - depth));
+                refDecAndMaybeFree(pte.pfn, frames);
+            });
+        p.pt.reset();
+    }
+    p.as.clear();
     if (smgr_ && smgr_->hasProcess(pid))
         smgr_->unregisterProcess(pid);
     if (tlb_)

@@ -108,6 +108,18 @@ class GuestOs : public stats::StatGroup
     /** Terminate: unmap everything, free the page table. */
     void exitProcess(ProcId pid);
 
+    /**
+     * Terminate without simulating the teardown. Frees the same frames
+     * and flushes the same translation state as exitProcess, but in
+     * bulk — one pass over the page table's terminals instead of a
+     * per-page munmap of every VMA — and charges nothing. Only valid
+     * once the process's counters no longer matter (after the
+     * measurement delta has been taken or during machine teardown);
+     * mid-run process churn must keep using exitProcess so its
+     * simulated cost lands in the results.
+     */
+    void reapProcess(ProcId pid);
+
     GuestProcess &process(ProcId pid);
     bool hasProcess(ProcId pid) const;
 

@@ -71,6 +71,9 @@ class AddressSpace
     /** VMA containing @p va, if any. */
     const Vma *find(Addr va) const;
 
+    /** Drop every VMA (process teardown). */
+    void clear() { vmas_.clear(); }
+
     std::size_t count() const { return vmas_.size(); }
 
     /** Total mapped bytes. */

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Slab arena for page-table pages.
+ *
+ * The hot allocation pattern of the simulator is page-table churn:
+ * shadow rebuilds, guest fork/exec, and snapshot restores allocate and
+ * retire thousands of 4 KB PTE arrays. Routing each through the heap
+ * (one make_unique per page) dominated allocation cost, and a restore
+ * paid one heap round-trip per live table page.
+ *
+ * This arena follows the a3/gxen shadow-page-table pool shape: pages
+ * live in large slabs carved out once, a bump cursor hands out
+ * never-used pages, and retired pages go on a recycle list consumed
+ * before the cursor moves. reset() is the cursor trick that makes
+ * snapshot forks cheap — every outstanding page reverts to the arena
+ * in O(1) without touching the heap, and the subsequent restore
+ * re-acquires pages from the same slabs in the same order.
+ *
+ * Counters (pool hits, recycles, high-water, slab fallbacks) are
+ * observability surfaces exported through the stats tree; they travel
+ * through saveState/restoreState so a forked machine reports the same
+ * allocation history as the machine it was forked from.
+ */
+
+#ifndef AGILEPAGING_MEM_ARENA_HH
+#define AGILEPAGING_MEM_ARENA_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/serialize.hh"
+#include "mem/pte.hh"
+
+namespace ap
+{
+
+/** One page worth of page-table entries. */
+using PtPage = std::array<Pte, kPtEntries>;
+
+/**
+ * Pool of PtPage storage with cursor recycling.
+ *
+ * Pages returned by acquire() stay valid until release()d or until
+ * reset(); the arena owns all storage.
+ */
+class PtPageArena
+{
+  public:
+    /** Default pages per slab (1 MB of PTE storage). */
+    static constexpr std::size_t kDefaultSlabPages = 256;
+
+    explicit PtPageArena(std::size_t slab_pages = kDefaultSlabPages)
+        : slab_pages_(slab_pages)
+    {
+        ap_assert(slab_pages >= 1, "arena slab must hold pages");
+    }
+
+    /**
+     * Hand out one page.
+     * @param fresh set true when the page has never been written (its
+     *        PTEs are still value-initialized zero) — callers skip the
+     *        clear for those.
+     */
+    PtPage *
+    acquire(bool &fresh)
+    {
+        ++live_;
+        if (live_ > high_water_)
+            high_water_ = live_;
+        if (!recycled_.empty()) {
+            PtPage *p = recycled_.back();
+            recycled_.pop_back();
+            ++pool_hits_;
+            ++recycles_;
+            fresh = false;
+            return p;
+        }
+        if (cursor_ == slabs_.size() * slab_pages_) {
+            // No recycled page and every slab page handed out at least
+            // once: grow by one slab (the only heap traffic here).
+            slabs_.push_back(std::make_unique<PtPage[]>(slab_pages_));
+            ++slab_allocs_;
+        } else {
+            ++pool_hits_;
+        }
+        std::size_t slab = cursor_ / slab_pages_;
+        std::size_t idx = cursor_ % slab_pages_;
+        ++cursor_;
+        // Below the reuse mark the page was handed out before a
+        // reset() and carries stale PTEs.
+        fresh = cursor_ > reused_mark_;
+        if (fresh)
+            reused_mark_ = cursor_;
+        return &slabs_[slab][idx];
+    }
+
+    /** Return one page to the recycle list (contents left as-is). */
+    void
+    release(PtPage *page)
+    {
+        ap_assert(live_ > 0, "arena release with none live");
+        --live_;
+        recycled_.push_back(page);
+    }
+
+    /**
+     * Cursor recycling: every outstanding page reverts to the arena.
+     * Slabs are kept; subsequent acquires reuse their storage in
+     * order. All previously handed-out pointers become invalid.
+     */
+    void
+    reset()
+    {
+        cursor_ = 0;
+        live_ = 0;
+        recycled_.clear();
+    }
+
+    /** Pages currently handed out. */
+    std::uint64_t live() const { return live_; }
+    /** Most pages ever simultaneously handed out. */
+    std::uint64_t highWater() const { return high_water_; }
+    /** Acquires served without new heap allocation. */
+    std::uint64_t poolHits() const { return pool_hits_; }
+    /** Acquires served from the recycle list. */
+    std::uint64_t recycles() const { return recycles_; }
+    /** Slab allocations (the fallback path that touches the heap). */
+    std::uint64_t slabAllocs() const { return slab_allocs_; }
+    /** Pages of backing storage currently owned. */
+    std::uint64_t
+    reservedPages() const
+    {
+        return slabs_.size() * slab_pages_;
+    }
+
+    /**
+     * Snapshot support: the counters travel with the machine so a
+     * forked run reports the allocation history of its parent at the
+     * snapshot point. Page contents are owned (and re-serialized) by
+     * PhysMem; callers reset() before re-acquiring on restore.
+     */
+    void
+    saveState(Serializer &s) const
+    {
+        s.putU64(pool_hits_);
+        s.putU64(recycles_);
+        s.putU64(slab_allocs_);
+        s.putU64(high_water_);
+    }
+
+    void
+    restoreState(Deserializer &d)
+    {
+        pool_hits_ = d.getU64();
+        recycles_ = d.getU64();
+        slab_allocs_ = d.getU64();
+        high_water_ = d.getU64();
+    }
+
+  private:
+    std::size_t slab_pages_;
+    std::vector<std::unique_ptr<PtPage[]>> slabs_;
+    /** Next never-recycled slot (slab-major index). */
+    std::size_t cursor_ = 0;
+    /** Slots at index < reused_mark_ have been handed out at least
+     *  once since construction and may hold stale PTEs. */
+    std::size_t reused_mark_ = 0;
+    std::vector<PtPage *> recycled_;
+    std::uint64_t live_ = 0;
+    std::uint64_t high_water_ = 0;
+    std::uint64_t pool_hits_ = 0;
+    std::uint64_t recycles_ = 0;
+    std::uint64_t slab_allocs_ = 0;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_MEM_ARENA_HH

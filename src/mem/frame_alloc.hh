@@ -71,10 +71,13 @@ class FrameAllocator
             FrameId f = free_list_.back();
             free_list_.pop_back();
             ++allocated_;
+            ++recycles_;
+            noteHighWater();
             return f;
         }
         if (next_ <= capacity_) {
             ++allocated_;
+            noteHighWater();
             return next_++;
         }
         return 0;
@@ -101,13 +104,17 @@ class FrameAllocator
             }
             next_ = first + n;
             allocated_ += n;
+            noteHighWater();
             return first;
         }
         if (n == 1)
             return alloc();
         FrameId f = claimContiguousRun(free_list_, n);
-        if (f)
+        if (f) {
             allocated_ += n;
+            recycles_ += n;
+            noteHighWater();
+        }
         return f;
     }
 
@@ -123,6 +130,10 @@ class FrameAllocator
     std::uint64_t capacity() const { return capacity_; }
     std::uint64_t allocated() const { return allocated_; }
     std::uint64_t freeFrames() const { return capacity_ - allocated_; }
+    /** Allocations served by recycling previously freed ids. */
+    std::uint64_t recycles() const { return recycles_; }
+    /** Most frame ids ever simultaneously allocated. */
+    std::uint64_t highWater() const { return high_water_; }
 
     /** Snapshot support. The free list is order-exact so future
      *  alloc()/claimContiguousRun() decisions replay identically. */
@@ -133,6 +144,8 @@ class FrameAllocator
         s.putU64(allocated_);
         s.putU64(next_);
         s.putPodVector(free_list_);
+        s.putU64(recycles_);
+        s.putU64(high_water_);
     }
 
     void
@@ -145,13 +158,24 @@ class FrameAllocator
         allocated_ = d.getU64();
         next_ = d.getU64();
         d.getPodVector(free_list_);
+        recycles_ = d.getU64();
+        high_water_ = d.getU64();
     }
 
   private:
+    void
+    noteHighWater()
+    {
+        if (allocated_ > high_water_)
+            high_water_ = allocated_;
+    }
+
     std::uint64_t capacity_;
     std::uint64_t allocated_ = 0;
     FrameId next_ = 1;
     std::vector<FrameId> free_list_;
+    std::uint64_t recycles_ = 0;
+    std::uint64_t high_water_ = 0;
 };
 
 } // namespace ap

@@ -5,17 +5,21 @@
 
 #include "mem/phys_mem.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "mem/frame_alloc.hh"
 
 namespace ap
 {
 
-PhysMem::PhysMem(std::uint64_t frames) : capacity_(frames)
+PhysMem::PhysMem(std::uint64_t frames, std::size_t arena_slab_pages)
+    : capacity_(frames), arena_(arena_slab_pages)
 {
     ap_assert(frames >= 1, "PhysMem needs at least 1 frame");
     // Index 0 is the reserved null frame; usable ids are 1..capacity_.
     frames_.resize(frames + 1);
+    tables_.resize(frames + 1, nullptr);
 }
 
 FrameId
@@ -44,7 +48,6 @@ PhysMem::allocData(std::uint64_t content_id)
     fi.kind = FrameKind::Data;
     fi.owner = TableOwner::None;
     fi.contentId = content_id;
-    fi.table.reset();
     return f;
 }
 
@@ -73,7 +76,6 @@ PhysMem::allocDataContiguous(std::uint64_t n, std::uint64_t content_id)
         fi.kind = FrameKind::Data;
         fi.owner = TableOwner::None;
         fi.contentId = content_id;
-        fi.table.reset();
     }
     return first;
 }
@@ -88,13 +90,11 @@ PhysMem::allocTable(TableOwner owner)
     fi.kind = FrameKind::PageTable;
     fi.owner = owner;
     fi.contentId = 0;
-    if (!table_pool_.empty()) {
-        fi.table = std::move(table_pool_.back());
-        table_pool_.pop_back();
-        fi.table->fill(Pte{});
-    } else {
-        fi.table = std::make_unique<PtPage>();
-    }
+    bool fresh = false;
+    PtPage *page = arena_.acquire(fresh);
+    if (!fresh)
+        page->fill(Pte{});
+    tables_[f] = page;
     ++table_counts_[static_cast<std::size_t>(owner)];
     return f;
 }
@@ -106,34 +106,14 @@ PhysMem::free(FrameId frame)
     ap_assert(fi.kind != FrameKind::Free, "double free of frame ", frame);
     if (fi.kind == FrameKind::PageTable) {
         --table_counts_[static_cast<std::size_t>(fi.owner)];
-        // Park the 4 KB PTE array for the next allocTable instead of
-        // returning it to the heap.
-        table_pool_.push_back(std::move(fi.table));
+        // Park the 4 KB PTE array in the arena for the next allocTable
+        // instead of returning it to the heap.
+        arena_.release(tables_[frame]);
+        tables_[frame] = nullptr;
     }
-    fi.kind = FrameKind::Free;
-    fi.owner = TableOwner::None;
-    fi.table.reset();
-    fi.contentId = 0;
+    fi = FrameInfo{};
     --allocated_;
     free_list_.push_back(frame);
-}
-
-PtPage &
-PhysMem::table(FrameId frame)
-{
-    FrameInfo &fi = info(frame);
-    ap_assert(fi.kind == FrameKind::PageTable,
-              "frame ", frame, " is not a page-table frame");
-    return *fi.table;
-}
-
-const PtPage &
-PhysMem::table(FrameId frame) const
-{
-    const FrameInfo &fi = info(frame);
-    ap_assert(fi.kind == FrameKind::PageTable,
-              "frame ", frame, " is not a page-table frame");
-    return *fi.table;
 }
 
 FrameKind
@@ -185,13 +165,15 @@ PhysMem::saveState(Serializer &s) const
         s.putU8(static_cast<std::uint8_t>(fi.kind));
         s.putU8(static_cast<std::uint8_t>(fi.owner));
         s.putU64(fi.contentId);
-        s.putBool(fi.table != nullptr);
-        if (fi.table) {
+        const PtPage *page = tables_[f];
+        s.putBool(page != nullptr);
+        if (page) {
             static_assert(std::is_trivially_copyable_v<Pte>,
                           "Pte must be raw-serializable");
-            s.putRaw(fi.table->data(), sizeof(PtPage));
+            s.putRaw(page->data(), sizeof(PtPage));
         }
     }
+    arena_.saveState(s);
 }
 
 void
@@ -203,29 +185,43 @@ PhysMem::restoreState(Deserializer &d)
         return;
     }
     allocated_ = d.getU64();
+    std::uint64_t prev_fresh = next_fresh_;
     next_fresh_ = d.getU64();
     d.getPodVector(free_list_);
     for (std::uint64_t &c : table_counts_)
         c = d.getU64();
-    // Wipe wholesale: the restored image fully determines frame state,
-    // and any tables this PhysMem held before must not leak into it.
-    for (FrameInfo &fi : frames_)
-        fi = FrameInfo{};
-    table_pool_.clear();
     if (!d.ok() || next_fresh_ > capacity_ + 1) {
         d.fail();
         return;
     }
+    // Only frames that were ever handed out (by the prior life of this
+    // machine or by the image) can hold state; everything beyond both
+    // high-water marks is still default-initialized, so the wipe is
+    // O(touched) rather than O(capacity).
+    std::uint64_t wipe = std::max(prev_fresh, next_fresh_);
+    std::fill(frames_.begin() + 1,
+              frames_.begin() + static_cast<std::ptrdiff_t>(wipe),
+              FrameInfo{});
+    std::fill(tables_.begin() + 1,
+              tables_.begin() + static_cast<std::ptrdiff_t>(wipe),
+              nullptr);
+    // Cursor recycling: all previously live table pages revert to the
+    // arena at once; the loop below re-acquires them from the same
+    // slabs and overwrites every byte from the image.
+    arena_.reset();
     for (FrameId f = 1; f < next_fresh_; ++f) {
         FrameInfo &fi = frames_[f];
         fi.kind = static_cast<FrameKind>(d.getU8());
         fi.owner = static_cast<TableOwner>(d.getU8());
         fi.contentId = d.getU64();
         if (d.getBool()) {
-            fi.table = std::make_unique<PtPage>();
-            d.getRaw(fi.table->data(), sizeof(PtPage));
+            bool fresh = false;
+            PtPage *page = arena_.acquire(fresh);
+            d.getRaw(page->data(), sizeof(PtPage));
+            tables_[f] = page;
         }
     }
+    arena_.restoreState(d);
 }
 
 PhysMem::FrameInfo &

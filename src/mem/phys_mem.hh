@@ -17,15 +17,14 @@
 #include <memory>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/serialize.hh"
 #include "base/types.hh"
+#include "mem/arena.hh"
 #include "mem/pte.hh"
 
 namespace ap
 {
-
-/** One page worth of page-table entries. */
-using PtPage = std::array<Pte, kPtEntries>;
 
 /** What a host frame currently holds. */
 enum class FrameKind : std::uint8_t
@@ -56,8 +55,14 @@ enum class TableOwner : std::uint8_t
 class PhysMem
 {
   public:
-    /** @param frames capacity of the pool in 4 KB frames (>= 2). */
-    explicit PhysMem(std::uint64_t frames);
+    /**
+     * @param frames capacity of the pool in 4 KB frames (>= 2).
+     * @param arena_slab_pages PtPage slab granularity of the backing
+     *        arena (sizing knob; simulated behavior is unaffected).
+     */
+    explicit PhysMem(std::uint64_t frames,
+                     std::size_t arena_slab_pages =
+                         PtPageArena::kDefaultSlabPages);
 
     /**
      * Allocate a data frame.
@@ -83,9 +88,45 @@ class PhysMem
     /** Release a frame back to the pool. @pre frame is allocated. */
     void free(FrameId frame);
 
-    /** @return mutable PTE array of a PageTable frame. */
-    PtPage &table(FrameId frame);
-    const PtPage &table(FrameId frame) const;
+    /**
+     * @return mutable PTE array of a PageTable frame.
+     *
+     * This is the single hottest call in the simulator (every walker
+     * level, every functional page-table op), so it is an inline
+     * two-load array index; the assert collapses bounds and kind
+     * checks into one branch (tables_[f] is non-null exactly for
+     * in-range PageTable frames).
+     */
+    PtPage &
+    table(FrameId frame)
+    {
+        ap_assert(frame <= capacity_ && tables_[frame],
+                  "frame ", frame, " is not a page-table frame");
+        return *tables_[frame];
+    }
+
+    const PtPage &
+    table(FrameId frame) const
+    {
+        ap_assert(frame <= capacity_ && tables_[frame],
+                  "frame ", frame, " is not a page-table frame");
+        return *tables_[frame];
+    }
+
+    /**
+     * Unchecked memo view of the frame-to-table mapping for batched
+     * walk pre-resolution: null unless @p frame currently holds a
+     * page-table page. Entries are invalidated by free()/restore (the
+     * slot is nulled) before any pointer could dangle.
+     */
+    const PtPage *
+    tableOrNull(FrameId frame) const
+    {
+        return frame <= capacity_ ? tables_[frame] : nullptr;
+    }
+
+    /** Arena backing all page-table pages (pool observability). */
+    const PtPageArena &arena() const { return arena_; }
 
     FrameKind kind(FrameId frame) const;
     TableOwner owner(FrameId frame) const;
@@ -106,20 +147,22 @@ class PhysMem
 
     /**
      * Snapshot support. Serializes every frame that has ever been
-     * handed out ([1, next_fresh_)) plus the allocator bookkeeping; the
-     * recycled-PtPage pool is deliberately excluded (allocTable zeroes
-     * recycled pages, so pool contents are unobservable).
+     * handed out ([1, next_fresh_)) plus the allocator bookkeeping and
+     * arena counters; arena page *contents* are restored from the
+     * per-frame images, so the recycle list itself is never saved
+     * (recycled pages are cleared on reuse and thus unobservable).
      */
     void saveState(Serializer &s) const;
     void restoreState(Deserializer &d);
 
   private:
+    /** Plain-data per-frame record; table storage lives in the arena
+     *  and is addressed through tables_. */
     struct FrameInfo
     {
         FrameKind kind = FrameKind::Free;
         TableOwner owner = TableOwner::None;
         std::uint64_t contentId = 0;
-        std::unique_ptr<PtPage> table;
     };
 
     FrameId allocRaw();
@@ -131,10 +174,11 @@ class PhysMem
     std::uint64_t next_fresh_ = 1; // frame 0 reserved
     std::vector<FrameId> free_list_;
     std::vector<FrameInfo> frames_;
+    /** Frame -> PTE page; non-null exactly for PageTable frames. */
+    std::vector<PtPage *> tables_;
     std::array<std::uint64_t, 5> table_counts_{};
-    /** Retired PtPage storage, recycled by allocTable so page-table
-     *  churn (shadow rebuilds, CoW, mmap/munmap) stops allocating. */
-    std::vector<std::unique_ptr<PtPage>> table_pool_;
+    /** Pool behind every page-table page this PhysMem hands out. */
+    PtPageArena arena_;
 };
 
 } // namespace ap

@@ -13,6 +13,8 @@ namespace ap
 
 namespace
 {
+bool g_batched_walks_default = true;
+
 std::string
 lower(std::string s)
 {
@@ -21,6 +23,18 @@ lower(std::string s)
     return s;
 }
 } // namespace
+
+void
+setBatchedWalksDefault(bool on)
+{
+    g_batched_walks_default = on;
+}
+
+bool
+batchedWalksDefault()
+{
+    return g_batched_walks_default;
+}
 
 bool
 parseVirtMode(const std::string &s, VirtMode &out)
@@ -129,6 +143,15 @@ SimConfig::applyOption(const std::string &option)
         return as_bool(hwOptAd);
     if (key == "verify")
         return as_bool(verifyTranslations);
+    if (key == "batched_walks")
+        return as_bool(batchedWalks);
+    if (key == "arena_slab_pages") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0)
+            return false;
+        arenaSlabPages = n;
+        return true;
+    }
     if (key == "sptr_cache") {
         std::uint64_t n;
         if (!as_u64(n))

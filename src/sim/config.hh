@@ -87,6 +87,20 @@ struct SimConfig
      *  (slow; on in tests, off in benchmarks). */
     bool verifyTranslations = false;
 
+    // ------------------------------------------------------------------
+    // Host-side engine knobs. These change how fast the simulator runs,
+    // never what it simulates, so they are deliberately excluded from
+    // the snapshot config digest (simConfigDigest).
+    // ------------------------------------------------------------------
+
+    /** Batched-replay runs pre-resolve their sorted VPNs read-only so
+     *  real walks find shared upper-level subtrees cache-warm
+     *  ("--no-batched-walks" in the drivers turns this off). Stats are
+     *  exact either way. */
+    bool batchedWalks = true;
+    /** Pages per slab of the page-table-page arena (sizing knob). */
+    std::uint64_t arenaSlabPages = 256;
+
     /** Apply both optional hardware optimizations (the evaluated agile
      *  configuration includes them; Section VII "includes the benefit
      *  of hardware optimizations"). */
@@ -103,6 +117,15 @@ struct SimConfig
      */
     bool applyOption(const std::string &option);
 };
+
+/**
+ * Process-wide default for SimConfig::batchedWalks, consulted by the
+ * matrix drivers' configFor() path so "--no-batched-walks" reaches
+ * every cell they build. Host-side engine toggle only — simulated
+ * results are identical either way.
+ */
+void setBatchedWalksDefault(bool on);
+bool batchedWalksDefault();
 
 /** Parse a mode name ("native", "nested", "shadow", "agile", "shsp").*/
 bool parseVirtMode(const std::string &s, VirtMode &out);

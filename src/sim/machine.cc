@@ -7,6 +7,8 @@
 
 #include "sim/machine.hh"
 
+#include <algorithm>
+
 #include "base/bitfield.hh"
 #include "base/debug.hh"
 #include "base/logging.hh"
@@ -22,10 +24,44 @@ Machine::Machine(const SimConfig &cfg)
                      [this] { return double(walk_cycles_); }),
       l2HitCyclesStat(this, "l2_hit_cycles", "cycles in L2 TLB hits"),
       protFaults(this, "prot_faults", "write-permission fixups"),
+      arenaPoolHits(this, "arena_pool_hits",
+                    "PT-page acquires served without heap allocation",
+                    [this] { return double(mem_.arena().poolHits()); }),
+      arenaRecycles(this, "arena_recycles",
+                    "PT-page acquires served from the recycle list",
+                    [this] { return double(mem_.arena().recycles()); }),
+      arenaHighWater(this, "arena_high_water",
+                     "most PT pages simultaneously live",
+                     [this] { return double(mem_.arena().highWater()); }),
+      arenaSlabAllocs(this, "arena_slab_allocs",
+                      "slab allocations (heap fallback path)",
+                      [this] { return double(mem_.arena().slabAllocs()); }),
+      guestPtFrameRecycles(
+          this, "guest_pt_frame_recycles",
+          "guest PT frame ids served by recycling",
+          [this] { return vmm_ ? double(vmm_->ptAllocator().recycles())
+                               : 0.0; }),
+      guestPtFrameHighWater(
+          this, "guest_pt_frame_high_water",
+          "most guest PT frame ids simultaneously allocated",
+          [this] { return vmm_ ? double(vmm_->ptAllocator().highWater())
+                               : 0.0; }),
+      guestDataFrameRecycles(
+          this, "guest_data_frame_recycles",
+          "guest data frame ids served by recycling",
+          [this] { return vmm_ ? double(vmm_->dataAllocator().recycles())
+                               : 0.0; }),
+      guestDataFrameHighWater(
+          this, "guest_data_frame_high_water",
+          "most guest data frame ids simultaneously allocated",
+          [this] { return vmm_ ? double(vmm_->dataAllocator().highWater())
+                               : 0.0; }),
       cfg_(cfg),
       rng_(12345),          // workload stream: identical in every mode
       internal_rng_(12345), // machine stream: driven by events only
-      mem_(cfg.hostMemFrames)
+      mem_(cfg.hostMemFrames,
+           cfg.arenaSlabPages ? cfg.arenaSlabPages
+                              : PtPageArena::kDefaultSlabPages)
 {
     tlb_ = std::make_unique<TlbHierarchy>(this, cfg_.tlb);
     pwc_ = std::make_unique<PageWalkCache>(this, cfg_.pwcEntries,
@@ -317,6 +353,9 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
     // Verification re-checks every access against the functional
     // mappings; the filter would skip those checks, so turn it off.
     const bool filter_ok = !cfg_.verifyTranslations;
+    const std::uint64_t misses_before = tlb_misses_;
+    if (cfg_.batchedWalks && prime_next_ && count >= 64)
+        primeBatch(vas, begin, count);
     // The flush generation only moves inside maybeInterval() or
     // accessSlow(), so cache it in a register and re-load after
     // either call instead of chasing the pointer every iteration.
@@ -344,6 +383,27 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
         accessSlow(va, write, instr);
         gen = tlb_->flushGeneration();
     }
+    // Re-arm priming only at walk densities where the sorted pre-touch
+    // pays for the sort (roughly one miss per 16 accesses — cold or
+    // TLB-thrashing phases); a warm TLB keeps it off.
+    prime_next_ = (tlb_misses_ - misses_before) * 16 >= count;
+}
+
+void
+Machine::primeBatch(const Addr *vas, std::size_t begin, std::size_t count)
+{
+    prime_vpns_.clear();
+    prime_vpns_.reserve(count);
+    for (std::size_t i = begin; i < begin + count; ++i)
+        prime_vpns_.push_back(vas[i] >> kPageShift);
+    std::sort(prime_vpns_.begin(), prime_vpns_.end());
+    prime_vpns_.erase(
+        std::unique(prime_vpns_.begin(), prime_vpns_.end()),
+        prime_vpns_.end());
+    const TranslationContext &ctx = guest_os_->context(current_);
+    Walker::PrimeMemo memo;
+    for (Addr vpn : prime_vpns_)
+        walker_->primeWalk(ctx, vpn << kPageShift, memo);
 }
 
 void
@@ -676,7 +736,9 @@ Machine::runMeasured(Workload &workload)
     while (more)
         more = workload.step(*this);
     RunResult result = delta(snapshot(workload.name()), base);
-    guest_os_->exitProcess(run_pid_);
+    // The delta above already froze the counters; tear the workload
+    // process down in bulk rather than simulating its exit.
+    guest_os_->reapProcess(run_pid_);
     return result;
 }
 

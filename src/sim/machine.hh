@@ -204,6 +204,17 @@ class Machine : public stats::StatGroup, public WorkloadHost
     stats::Formula walkCyclesStat;
     stats::Scalar l2HitCyclesStat;
     stats::Scalar protFaults;
+    /** Page-table-page arena observability (Formulas over the arena's
+     *  own counters, so they track saveState/restoreState for free). */
+    stats::Formula arenaPoolHits;
+    stats::Formula arenaRecycles;
+    stats::Formula arenaHighWater;
+    stats::Formula arenaSlabAllocs;
+    /** Guest frame-id allocator recycling (0 when running native). */
+    stats::Formula guestPtFrameRecycles;
+    stats::Formula guestPtFrameHighWater;
+    stats::Formula guestDataFrameRecycles;
+    stats::Formula guestDataFrameHighWater;
 
   private:
     void doAccess(Addr va, bool write, bool instr);
@@ -225,6 +236,16 @@ class Machine : public stats::StatGroup, public WorkloadHost
     void recordWalkTrace(
         ProcId pid, Addr va, bool write, bool instr, const WalkResult &r,
         const std::array<std::uint64_t, kNumTrapKinds> &traps_before);
+
+    /**
+     * Batched-walk pre-resolution (cfg_.batchedWalks): VPN-sort the
+     * batch's unique pages and prime-walk them so the real in-order
+     * walks find their upper-level PTE lines warm, sharing each upper
+     * subtree once per batch. Purely host-side: no simulated state or
+     * statistic moves.
+     */
+    void primeBatch(const Addr *vas, std::size_t begin,
+                    std::size_t count);
 
     /** Interval bookkeeping: policy/SHSP ticks. */
     void maybeInterval();
@@ -293,6 +314,13 @@ class Machine : public stats::StatGroup, public WorkloadHost
     std::uint64_t instructions_ = 0;
     Cycles walk_cycles_ = 0;
     std::uint64_t tlb_misses_ = 0;
+
+    /** Scratch VPN buffer for primeBatch (reused, never serialized:
+     *  priming is host-side only). */
+    std::vector<Addr> prime_vpns_;
+    /** Miss-density gate: prime the next batch only when the previous
+     *  one actually walked (a warm forked TLB skips priming). */
+    bool prime_next_ = true;
 
     Tick next_interval_ = 0;
     // Interval deltas for policy/SHSP decisions.

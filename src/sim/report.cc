@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <thread>
 
 namespace ap
 {
@@ -128,8 +129,31 @@ printCsv(std::ostream &os, const std::vector<RunResult> &runs)
     }
 }
 
+HostMeta
+currentHostMeta(unsigned jobs)
+{
+    HostMeta meta;
+    meta.hardwareConcurrency = std::thread::hardware_concurrency();
+    meta.jobs = jobs;
+#ifdef AP_BUILD_TYPE
+    meta.buildType = AP_BUILD_TYPE;
+#else
+    meta.buildType = "unknown";
+#endif
+    return meta;
+}
+
 void
-writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs)
+writeHostMetaJson(std::ostream &os, const HostMeta &meta)
+{
+    os << "{\"hardware_concurrency\": " << meta.hardwareConcurrency
+       << ", \"jobs\": " << meta.jobs << ", \"build_type\": \""
+       << meta.buildType << "\"}";
+}
+
+void
+writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
+                    unsigned jobs)
 {
     auto esc = [](const std::string &s) {
         std::string out;
@@ -140,7 +164,9 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs)
         }
         return out;
     };
-    os << "{\"schema\": \"ap-runs-v1\", \"runs\": [";
+    os << "{\"schema\": \"ap-runs-v1\", \"host\": ";
+    writeHostMetaJson(os, currentHostMeta(jobs));
+    os << ", \"runs\": [";
     bool first_run = true;
     for (const RunResult &r : runs) {
         if (!first_run)

@@ -37,13 +37,37 @@ void printTable6(std::ostream &os, const std::vector<RunResult> &runs);
 void printCsv(std::ostream &os, const std::vector<RunResult> &runs);
 
 /**
+ * Execution-environment block recorded alongside machine-readable
+ * results, so a number can always be traced to the host and build
+ * that produced it.
+ */
+struct HostMeta
+{
+    /** std::thread::hardware_concurrency() of the producing host. */
+    unsigned hardwareConcurrency = 0;
+    /** Worker threads the producing run actually used (0 = unknown). */
+    unsigned jobs = 0;
+    /** CMAKE_BUILD_TYPE the binary was compiled as. */
+    std::string buildType;
+};
+
+/** The current process's HostMeta (@p jobs = worker count used). */
+HostMeta currentHostMeta(unsigned jobs);
+
+/** Emit @p meta as a JSON object ({"hardware_concurrency": ...}). */
+void writeHostMetaJson(std::ostream &os, const HostMeta &meta);
+
+/**
  * Machine-readable JSON with every RunResult field, including the
  * per-cause VM-exit attribution. The root object carries
- * `"schema": "ap-runs-v1"` and a `"runs"` array; see EXPERIMENTS.md
- * for the full schema.
+ * `"schema": "ap-runs-v1"`, a `"host"` block describing the producing
+ * machine/build, and a `"runs"` array; see EXPERIMENTS.md for the
+ * full schema. @p jobs records the worker-thread count that produced
+ * @p runs (0 if unknown/not applicable).
  */
 void writeRunResultsJson(std::ostream &os,
-                         const std::vector<RunResult> &runs);
+                         const std::vector<RunResult> &runs,
+                         unsigned jobs = 0);
 
 /**
  * ASCII bar (# per 2% of overhead) for quick visual comparison. Capped

@@ -21,7 +21,7 @@ namespace ap
 namespace
 {
 
-constexpr char kMagic[8] = {'A', 'P', 'S', 'N', 'A', 'P', '1', '\0'};
+constexpr char kMagic[8] = {'A', 'P', 'S', 'N', 'A', 'P', '2', '\0'};
 
 /** FNV-1a, the integrity hash of the container and the key digest. */
 std::uint64_t

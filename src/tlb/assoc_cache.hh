@@ -45,6 +45,12 @@ class AssocCache
     {
         ap_assert(entries > 0 && ways > 0, "bad cache geometry");
         ap_assert(entries % ways == 0, "entries not divisible by ways");
+        // Every real TLB/PWC geometry has a power-of-two set count, so
+        // the probe path indexes with a mask instead of a division; a
+        // non-power-of-two geometry (tests, exotic configs) falls back
+        // to the modulo path.
+        if ((sets_ & (sets_ - 1)) == 0)
+            set_mask_ = sets_ - 1;
         keys_.resize(entries, 0);
         gens_.resize(entries, 0); // generation 0 < gen_ = never live
         last_use_.resize(entries, 0);
@@ -81,7 +87,7 @@ class AssocCache
     bool
     insert(std::uint64_t key, V value)
     {
-        std::size_t base = (key % sets_) * ways_;
+        std::size_t base = setBase(key);
         std::size_t victim = base;
         bool victim_live = false;
         bool first = true;
@@ -197,20 +203,42 @@ class AssocCache
   private:
     static constexpr std::size_t kNotFound = ~std::size_t{0};
 
+    /** First index of the set @p key maps to. */
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        std::size_t set = set_mask_ != kNoMask ? (key & set_mask_)
+                                               : (key % sets_);
+        return set * ways_;
+    }
+
+    /**
+     * Branch-free scan of one set: every way's tag and generation are
+     * compared unconditionally and the hit (unique — insert never
+     * duplicates a key) is selected arithmetically, so the compare loop
+     * has no data-dependent branches and vectorizes.
+     */
     std::size_t
     findIndex(std::uint64_t key) const
     {
-        std::size_t base = (key % sets_) * ways_;
-        for (std::size_t i = base; i < base + ways_; ++i) {
-            if (keys_[i] == key && gens_[i] == gen_)
-                return i;
+        const std::size_t base = setBase(key);
+        const std::uint64_t *keys = keys_.data() + base;
+        const std::uint64_t *gens = gens_.data() + base;
+        const std::uint64_t gen = gen_;
+        std::size_t hit = 0;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            std::size_t match = (keys[w] == key) & (gens[w] == gen);
+            hit |= match * (base + w + 1);
         }
-        return kNotFound;
+        return hit == 0 ? kNotFound : hit - 1;
     }
 
     std::size_t ways_;
     std::size_t sets_;
     std::size_t entries_;
+    static constexpr std::size_t kNoMask = ~std::size_t{0};
+    /** sets_ - 1 when sets_ is a power of two, else kNoMask. */
+    std::size_t set_mask_ = kNoMask;
     std::uint64_t use_clock_ = 0;
     /** Current generation; lines written under an older one are dead. */
     std::uint64_t gen_ = 1;

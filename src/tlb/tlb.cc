@@ -16,7 +16,7 @@ namespace
 std::uint64_t
 vpnOf(Addr va, PageSize ps)
 {
-    return va / pageBytes(ps);
+    return va >> pageShift(ps);
 }
 } // namespace
 
@@ -27,6 +27,7 @@ Tlb::Tlb(const std::string &name, stats::StatGroup *parent,
       misses(this, "misses", "probes that missed"),
       evictions(this, "evictions", "valid entries displaced"),
       ps_(ps),
+      shift_(pageShift(ps)),
       cache_(entries, ways)
 {
 }
@@ -43,13 +44,6 @@ bool
 Tlb::contains(Addr va, ProcId asid) const
 {
     return cache_.peek(key(va, asid)) != nullptr;
-}
-
-void
-Tlb::insert(Addr va, ProcId asid, const TlbEntry &entry)
-{
-    if (cache_.insert(key(va, asid), entry))
-        ++evictions;
 }
 
 void

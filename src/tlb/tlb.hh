@@ -79,7 +79,12 @@ class Tlb : public stats::StatGroup
     bool contains(Addr va, ProcId asid) const;
 
     /** Install a translation (evicts LRU within the set if needed). */
-    void insert(Addr va, ProcId asid, const TlbEntry &entry);
+    void
+    insert(Addr va, ProcId asid, const TlbEntry &entry)
+    {
+        if (cache_.insert(key(va, asid), entry))
+            ++evictions;
+    }
 
     /** Invalidate one page's translation. */
     void flushPage(Addr va, ProcId asid);
@@ -110,11 +115,12 @@ class Tlb : public stats::StatGroup
     {
         // vpn in the low bits (drives set selection); asid in the high
         // bits so different processes never alias.
-        return va / pageBytes(ps_) |
-               (static_cast<std::uint64_t>(asid) << 40);
+        return (va >> shift_) | (static_cast<std::uint64_t>(asid) << 40);
     }
 
     PageSize ps_;
+    /** pageShift(ps_), cached so key() is a shift, not a divide. */
+    unsigned shift_;
     AssocCache<TlbEntry> cache_;
 };
 

@@ -34,71 +34,6 @@ TlbHierarchy::TlbHierarchy(stats::StatGroup *parent,
 {
 }
 
-TlbProbeResult
-TlbHierarchy::probe(Addr va, ProcId asid, bool is_instr)
-{
-    ++probe_count_;
-    TlbProbeResult result;
-
-    // L1 fast path: pointer probes of each page-size sub-TLB (hardware
-    // probes them in parallel), no entry copies until a hit is known.
-    const TlbEntry *e = nullptr;
-    const Tlb *src = nullptr;
-    if (is_instr) {
-        if ((e = l1i4k.find(va, asid)))
-            src = &l1i4k;
-        else if ((e = l1i2m.find(va, asid)))
-            src = &l1i2m;
-    } else {
-        if ((e = l1d4k.find(va, asid)))
-            src = &l1d4k;
-        else if ((e = l1d2m.find(va, asid)))
-            src = &l1d2m;
-        else if ((e = l1d1g.find(va, asid)))
-            src = &l1d1g;
-    }
-    if (e) {
-        ++l1_hit_count_;
-        result.level = TlbHitLevel::L1;
-        result.entry = *e;
-        result.size = src->pageSize();
-        return result;
-    }
-
-    // Unified L2 holds only 4K translations (Table III).
-    if (const TlbEntry *e2 = l2u4k.find(va, asid)) {
-        ++l2_hit_count_;
-        result.level = TlbHitLevel::L2;
-        result.entry = *e2;
-        result.size = PageSize::Size4K;
-        // Refill the L1 that missed.
-        (is_instr ? l1i4k : l1d4k).insert(va, asid, result.entry);
-        return result;
-    }
-
-    ++miss_count_;
-    return result;
-}
-
-void
-TlbHierarchy::fill(Addr va, ProcId asid, bool is_instr, PageSize ps,
-                   const TlbEntry &entry)
-{
-    switch (ps) {
-      case PageSize::Size4K:
-        (is_instr ? l1i4k : l1d4k).insert(va, asid, entry);
-        l2u4k.insert(va, asid, entry);
-        break;
-      case PageSize::Size2M:
-        (is_instr ? l1i2m : l1d2m).insert(va, asid, entry);
-        break;
-      case PageSize::Size1G:
-        // No 1G ITLB on this machine; 1G code pages fill the DTLB.
-        l1d1g.insert(va, asid, entry);
-        break;
-    }
-}
-
 void
 TlbHierarchy::flushPage(Addr va, ProcId asid)
 {

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Thread-local recycling pool for the trace engine's scratch buffers.
+ *
+ * Recording runs grow a multi-MB event vector and the compiled-trace
+ * reader/writer repacks per-run bitmaps through temporary word
+ * buffers; both are allocated, filled, and dropped once per cell. The
+ * pool keeps the backing stores of returned buffers alive (per
+ * thread, so the parallel runner never contends) and hands them back
+ * with their capacity intact, turning the per-cell allocation churn
+ * into a handful of pointer swaps after the first cell warms the
+ * pool.
+ */
+
+#ifndef AGILEPAGING_TRACE_BUFFER_POOL_HH
+#define AGILEPAGING_TRACE_BUFFER_POOL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace ap
+{
+
+/** Per-thread buffer recycler for trace record/compile scratch. */
+class TraceBufferPool
+{
+  public:
+    /** The calling thread's pool. */
+    static TraceBufferPool &
+    instance()
+    {
+        thread_local TraceBufferPool pool;
+        return pool;
+    }
+
+    /** Borrow a cleared word buffer (bitmap repack scratch). */
+    std::vector<std::uint64_t>
+    takeWords()
+    {
+        if (words_.empty()) {
+            ++word_allocs_;
+            return {};
+        }
+        ++word_reuses_;
+        std::vector<std::uint64_t> v = std::move(words_.back());
+        words_.pop_back();
+        v.clear();
+        return v;
+    }
+
+    /** Return a word buffer; its capacity is kept for the next take. */
+    void
+    giveWords(std::vector<std::uint64_t> v)
+    {
+        if (words_.size() < kMaxPooled && v.capacity() > 0)
+            words_.push_back(std::move(v));
+    }
+
+    /** Borrow a cleared event buffer (recording-run backing store). */
+    std::vector<TraceEvent>
+    takeEvents()
+    {
+        if (events_.empty()) {
+            ++event_allocs_;
+            return {};
+        }
+        ++event_reuses_;
+        std::vector<TraceEvent> v = std::move(events_.back());
+        events_.pop_back();
+        v.clear();
+        return v;
+    }
+
+    /** Return an event buffer, keeping its (multi-MB) capacity. */
+    void
+    giveEvents(std::vector<TraceEvent> v)
+    {
+        if (events_.size() < kMaxPooled && v.capacity() > 0)
+            events_.push_back(std::move(v));
+    }
+
+    /** Takes served by recycling a returned buffer. */
+    std::uint64_t wordReuses() const { return word_reuses_; }
+    std::uint64_t eventReuses() const { return event_reuses_; }
+    /** Takes that had to start from an empty buffer. */
+    std::uint64_t wordAllocs() const { return word_allocs_; }
+    std::uint64_t eventAllocs() const { return event_allocs_; }
+
+  private:
+    /** Buffers retained per kind; beyond this, returns just free. */
+    static constexpr std::size_t kMaxPooled = 4;
+
+    std::vector<std::vector<std::uint64_t>> words_;
+    std::vector<std::vector<TraceEvent>> events_;
+    std::uint64_t word_reuses_ = 0;
+    std::uint64_t event_reuses_ = 0;
+    std::uint64_t word_allocs_ = 0;
+    std::uint64_t event_allocs_ = 0;
+};
+
+/**
+ * Hand a finished trace's event storage back to the pool (call once
+ * the trace has been compiled or otherwise consumed).
+ */
+inline void
+recycleTrace(Trace &&t)
+{
+    TraceBufferPool::instance().giveEvents(std::move(t.events));
+}
+
+/** RAII loan of a pooled word buffer. */
+class PooledWords
+{
+  public:
+    PooledWords() : buf_(TraceBufferPool::instance().takeWords()) {}
+    ~PooledWords() { TraceBufferPool::instance().giveWords(std::move(buf_)); }
+    PooledWords(const PooledWords &) = delete;
+    PooledWords &operator=(const PooledWords &) = delete;
+
+    std::vector<std::uint64_t> &operator*() { return buf_; }
+    std::vector<std::uint64_t> *operator->() { return &buf_; }
+
+  private:
+    std::vector<std::uint64_t> buf_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TRACE_BUFFER_POOL_HH

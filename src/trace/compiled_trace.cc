@@ -13,6 +13,7 @@
 #include <ostream>
 
 #include "base/logging.hh"
+#include "trace/buffer_pool.hh"
 #include "sim/machine.hh"
 
 namespace ap
@@ -235,7 +236,10 @@ writeCompiledTrace(const CompiledTrace &trace, std::ostream &os)
     put(os, op_count);
 
     std::uint64_t cursor = 0;
-    std::vector<std::uint64_t> wbuf, ibuf;
+    // Repack scratch comes from the per-thread pool: its capacity
+    // survives across cells instead of being re-grown per write.
+    PooledWords wloan, iloan;
+    std::vector<std::uint64_t> &wbuf = *wloan, &ibuf = *iloan;
     for (const CompiledOp &op : trace.ops) {
         put(os, static_cast<std::uint8_t>(op.kind));
         if (op.kind == TraceEvent::Kind::Access) {
@@ -295,7 +299,8 @@ readCompiledTraceBody(std::istream &is, CompiledTrace &out)
     out.ctrl.clear();
     out.ops.reserve(op_count);
 
-    std::vector<std::uint64_t> wbuf, ibuf;
+    PooledWords wloan, iloan;
+    std::vector<std::uint64_t> &wbuf = *wloan, &ibuf = *iloan;
     for (std::uint64_t o = 0; o < op_count; ++o) {
         std::uint8_t kind = 0;
         if (!get(is, kind) ||

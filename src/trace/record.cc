@@ -5,6 +5,8 @@
 
 #include "trace/record.hh"
 
+#include "trace/buffer_pool.hh"
+
 namespace ap
 {
 
@@ -16,8 +18,11 @@ recordRun(Machine &machine, Workload &workload)
     out.trace.seed = workload.params().seed;
 
     TraceRecorder recorder(machine);
-    // One event per op plus warmup touches; over-reserving by half
-    // avoids every doubling realloc of the multi-MB event vector.
+    // The event vector's backing store is recycled across recording
+    // runs (recycleTrace returns it); one event per op plus warmup
+    // touches, over-reserved by half so a first-use buffer never pays
+    // a doubling realloc either.
+    recorder.trace().events = TraceBufferPool::instance().takeEvents();
     recorder.trace().events.reserve(workload.params().operations +
                                     workload.params().operations / 2 +
                                     4096);
@@ -46,7 +51,7 @@ recordRun(Machine &machine, Workload &workload)
         more = workload.step(recorder);
     out.result =
         Machine::delta(machine.snapshot(workload.name()), base);
-    machine.guestOs().exitProcess(pid);
+    machine.guestOs().reapProcess(pid);
     out.trace = std::move(recorder.trace());
     out.trace.workload = workload.name();
     out.trace.seed = workload.params().seed;

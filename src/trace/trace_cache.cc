@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "base/logging.hh"
+#include "trace/buffer_pool.hh"
 #include "trace/record.hh"
 
 namespace ap
@@ -83,8 +84,10 @@ runCellCached(TraceCache &cache, const std::string &workload_name,
         Machine machine(cfg);
         RecordedRun rec = recordRun(machine, *workload);
         recorded = rec.result;
-        return std::make_shared<const CompiledTrace>(
+        auto t = std::make_shared<const CompiledTrace>(
             compileTrace(rec.trace));
+        recycleTrace(std::move(rec.trace));
+        return t;
     });
     if (recorded)
         return *recorded;
@@ -140,8 +143,10 @@ runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
         Machine machine(cfg);
         RecordedRun rec = recordRun(machine, *workload);
         recorded = rec.result;
-        return std::make_shared<const CompiledTrace>(
+        auto t = std::make_shared<const CompiledTrace>(
             compileTrace(rec.trace));
+        recycleTrace(std::move(rec.trace));
+        return t;
     });
     // The recording run was a complete measured run of this cell; its
     // result stands and it already paid for warmup, so the snapshot
@@ -207,8 +212,10 @@ obtainWorkloadTrace(TraceCache &traces, const std::string &cache_name,
         RecordedRun rec = recordRun(machine, workload);
         recorded = rec.result;
         rec.trace.workload = cache_name;
-        return std::make_shared<const CompiledTrace>(
+        auto t = std::make_shared<const CompiledTrace>(
             compileTrace(rec.trace));
+        recycleTrace(std::move(rec.trace));
+        return t;
     });
 }
 

@@ -101,12 +101,9 @@ Vmm::allocGuestPtFrame()
 }
 
 FrameId
-Vmm::ensurePtBacked(FrameId gframe)
+Vmm::backPtSlow(FrameId gframe)
 {
-    ap_assert(isPtRegion(gframe), "not a PT-region frame: ", gframe);
     Backing &b = backingSlot(gframe);
-    if (b.hframe)
-        return b.hframe;
     FrameId hframe = mem_.allocTable(TableOwner::GuestPt);
     if (hframe == PhysMem::kNoFrame)
         return PhysMem::kNoFrame;

@@ -114,8 +114,19 @@ class Vmm : public stats::StatGroup
     bool handleHostFault(Addr gpa);
 
     /** Back a PT-region frame immediately (no trap charge; callers
-     *  charge contextually). @return host frame or kNoFrame. */
-    FrameId ensurePtBacked(FrameId gframe);
+     *  charge contextually). @return host frame or kNoFrame.
+     *
+     *  Inline because every functional guest page-table operation
+     *  funnels through here (GuestPtSpace::page): the already-backed
+     *  case is one load and one branch. */
+    FrameId
+    ensurePtBacked(FrameId gframe)
+    {
+        ap_assert(gframe > 0 && isPtRegion(gframe),
+                  "not a PT-region frame: ", gframe);
+        FrameId hframe = backings_[gframe].hframe;
+        return hframe ? hframe : backPtSlow(gframe);
+    }
 
     /** Back a data frame immediately (shadow fill resolves backing as
      *  part of the fill, without a separate EPT exit).
@@ -175,6 +186,10 @@ class Vmm : public stats::StatGroup
 
     const VmmConfig &config() const { return cfg_; }
     PhysMem &physMem() { return mem_; }
+
+    /** Guest frame-id allocators (pool observability). */
+    const FrameAllocator &ptAllocator() const { return pt_alloc_; }
+    const FrameAllocator &dataAllocator() const { return data_alloc_; }
 
     /** Host frames consumed by this VM's data backings. */
     std::uint64_t backedDataFrames() const { return backed_data_; }
@@ -252,6 +267,8 @@ class Vmm : public stats::StatGroup
     Backing &backingSlot(FrameId gframe);
     const Backing *backingSlotIfAny(FrameId gframe) const;
     bool backDataFrame(FrameId gframe);
+    /** Out-of-line tail of ensurePtBacked (first touch only). */
+    FrameId backPtSlow(FrameId gframe);
 
     PhysMem &mem_;
     VmmConfig cfg_;

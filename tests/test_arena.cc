@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Arena and buffer-pool tests: cursor recycling, slab growth on
+ * exhaustion, bounded slab footprint under sustained 2M-page mapping
+ * churn, and the trace engine's thread-local scratch recycler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "guestos/guest_os.hh"
+#include "mem/arena.hh"
+#include "sim/experiment.hh"
+#include "sim/machine.hh"
+#include "trace/buffer_pool.hh"
+
+namespace ap
+{
+namespace
+{
+
+TEST(PtPageArena, RecycleListServedBeforeCursor)
+{
+    PtPageArena arena(4);
+    bool fresh = false;
+    PtPage *a = arena.acquire(fresh);
+    EXPECT_TRUE(fresh);
+    PtPage *b = arena.acquire(fresh);
+    EXPECT_TRUE(fresh);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(arena.live(), 2u);
+
+    arena.release(b);
+    arena.release(a);
+    EXPECT_EQ(arena.live(), 0u);
+
+    // LIFO recycle: the most recently released page comes back first,
+    // marked not-fresh (its contents are stale).
+    PtPage *c = arena.acquire(fresh);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(c, a);
+    PtPage *d = arena.acquire(fresh);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(d, b);
+    EXPECT_EQ(arena.recycles(), 2u);
+    // Only the very first acquire of each slot touched the heap path;
+    // the slab itself was allocated once.
+    EXPECT_EQ(arena.slabAllocs(), 1u);
+}
+
+TEST(PtPageArena, ExhaustionGrowsByWholeSlabs)
+{
+    // Tiny slabs force the exhaustion path quickly.
+    PtPageArena arena(2);
+    bool fresh = false;
+    std::set<PtPage *> pages;
+    for (int i = 0; i < 5; ++i) {
+        PtPage *p = arena.acquire(fresh);
+        EXPECT_TRUE(fresh);
+        // Every page must be distinct, writable storage.
+        (*p)[0].pfn = 0x1000u + i;
+        pages.insert(p);
+    }
+    EXPECT_EQ(pages.size(), 5u);
+    EXPECT_EQ(arena.slabAllocs(), 3u); // ceil(5 / 2)
+    EXPECT_EQ(arena.reservedPages(), 6u);
+    EXPECT_EQ(arena.live(), 5u);
+    EXPECT_EQ(arena.highWater(), 5u);
+    // Earlier writes survived later slab growth (slabs never move).
+    for (PtPage *p : pages) {
+        EXPECT_GE((*p)[0].pfn, 0x1000u);
+        EXPECT_LT((*p)[0].pfn, 0x1005u);
+    }
+}
+
+TEST(PtPageArena, ResetReusesSlabStorageInOrder)
+{
+    PtPageArena arena(4);
+    bool fresh = false;
+    PtPage *first = arena.acquire(fresh);
+    arena.acquire(fresh);
+    arena.acquire(fresh);
+    std::uint64_t slabs_before = arena.slabAllocs();
+
+    arena.reset();
+    EXPECT_EQ(arena.live(), 0u);
+
+    // Post-reset acquires walk the same slab slots in the same order,
+    // without heap traffic, and report not-fresh (stale contents).
+    PtPage *again = arena.acquire(fresh);
+    EXPECT_EQ(again, first);
+    EXPECT_FALSE(fresh);
+    EXPECT_EQ(arena.slabAllocs(), slabs_before);
+}
+
+/**
+ * Sustained 2M-page process churn — the snapshot-fork teardown/rebuild
+ * pattern: each iteration creates a process, THP-maps and faults a
+ * multi-huge-page region (allocating guest, shadow and host PT pages),
+ * then reaps it, returning every table page to the arena. The steady
+ * state must be served from the recycle list with a bounded slab
+ * footprint.
+ */
+TEST(PtPageArena, BoundedUnder2MProcessChurn)
+{
+    stats::StatGroup root{"t"};
+    PhysMem mem(1 << 16);
+    VmmConfig vcfg;
+    vcfg.guestPtFrames = 1 << 12;
+    vcfg.guestDataFrames = 1 << 14;
+    vcfg.hostPageSize = PageSize::Size2M;
+    Vmm vmm(&root, mem, vcfg, nullptr);
+    ShadowMgr smgr(&root, mem, vmm, ShadowConfig{}, nullptr, nullptr);
+    GuestOsConfig cfg;
+    cfg.pageSize = PageSize::Size2M;
+    GuestOs os(&root, mem, &vmm, &smgr, nullptr, nullptr, cfg);
+
+    std::uint64_t reserved_after_warm = 0;
+    std::uint64_t recycles_after_warm = 0;
+    std::uint64_t live_after_warm = 0;
+    for (int iter = 0; iter < 64; ++iter) {
+        ProcId pid = os.createProcess(VirtMode::Agile);
+        Addr base = os.mmap(pid, 4 * kLargePageBytes, true,
+                            VmaKind::Anon);
+        ASSERT_NE(base, 0u);
+        for (unsigned i = 0; i < 4; ++i)
+            os.handlePageFault(pid, base + i * kLargePageBytes, true);
+        os.reapProcess(pid);
+        if (iter == 7) {
+            reserved_after_warm = mem.arena().reservedPages();
+            recycles_after_warm = mem.arena().recycles();
+            live_after_warm = mem.arena().live();
+        }
+    }
+    // Steady state: acquires come from the recycle list, not new slabs,
+    // and nothing leaks across iterations (the residual live pages are
+    // the VMM-lifetime host tables, constant per iteration).
+    EXPECT_GT(mem.arena().recycles(), recycles_after_warm);
+    EXPECT_EQ(mem.arena().reservedPages(), reserved_after_warm);
+    EXPECT_EQ(mem.arena().live(), live_after_warm);
+    EXPECT_GE(mem.arena().highWater(), 1u);
+}
+
+/**
+ * The arena and frame-pool observability counters are exported as
+ * formulas on the machine's stats tree, so every stats dump (text and
+ * ap-stats-v1 JSON) carries them.
+ */
+TEST(PtPageArena, CountersExportedInMachineStats)
+{
+    SimConfig cfg = configFor(VirtMode::Agile, PageSize::Size4K,
+                              WorkloadParams{});
+    Machine machine(cfg);
+    std::ostringstream js;
+    machine.dumpJson(js);
+    const std::string out = js.str();
+    for (const char *name :
+         {"arena_pool_hits", "arena_recycles", "arena_high_water",
+          "arena_slab_allocs", "guest_pt_frame_recycles",
+          "guest_pt_frame_high_water", "guest_data_frame_recycles",
+          "guest_data_frame_high_water"}) {
+        EXPECT_NE(out.find(name), std::string::npos)
+            << name << " missing from stats JSON";
+    }
+}
+
+TEST(TraceBufferPool, EventBuffersKeepCapacityAcrossRecycle)
+{
+    TraceBufferPool &pool = TraceBufferPool::instance();
+    std::uint64_t reuses_before = pool.eventReuses();
+
+    std::vector<TraceEvent> v = pool.takeEvents();
+    v.reserve(10000);
+    TraceEvent *data = v.data();
+    std::size_t cap = v.capacity();
+    pool.giveEvents(std::move(v));
+
+    std::vector<TraceEvent> w = pool.takeEvents();
+    EXPECT_EQ(w.data(), data);       // same backing store came back
+    EXPECT_EQ(w.capacity(), cap);    // with its capacity intact
+    EXPECT_TRUE(w.empty());          // but cleared
+    EXPECT_EQ(pool.eventReuses(), reuses_before + 1);
+    pool.giveEvents(std::move(w));
+}
+
+TEST(TraceBufferPool, RecycleTraceReturnsEventStorage)
+{
+    TraceBufferPool &pool = TraceBufferPool::instance();
+
+    Trace t;
+    t.events = pool.takeEvents();
+    t.events.reserve(4096);
+    TraceEvent *data = t.events.data();
+    recycleTrace(std::move(t));
+
+    std::vector<TraceEvent> w = pool.takeEvents();
+    EXPECT_EQ(w.data(), data);
+    pool.giveEvents(std::move(w));
+}
+
+TEST(TraceBufferPool, PooledWordsLoanRoundTrips)
+{
+    const std::uint64_t *data = nullptr;
+    std::size_t cap = 0;
+    {
+        PooledWords loan;
+        loan->reserve(512);
+        data = loan->data();
+        cap = loan->capacity();
+    } // destructor hands the buffer back
+    {
+        PooledWords loan;
+        EXPECT_EQ(loan->data(), data);
+        EXPECT_EQ(loan->capacity(), cap);
+        EXPECT_TRUE(loan->empty());
+    }
+}
+
+} // namespace
+} // namespace ap

@@ -204,6 +204,55 @@ TEST_F(GuestOsTest, ForkedFramesSurviveParentExit)
     EXPECT_EQ(vmm->backedDataFrames(), 0u);
 }
 
+TEST_F(GuestOsTest, ReapFreesSameFramesAsExit)
+{
+    // Build the identical process twice and tear one down with
+    // exitProcess, the other with the bulk reapProcess; the allocator
+    // state they leave behind must match exactly.
+    makeVirt();
+    auto populate = [&](ProcId p) {
+        Addr base = os->mmap(p, 64 * kPageBytes, true, VmaKind::Anon);
+        for (unsigned i = 0; i < 64; ++i) {
+            os->handlePageFault(p, base + i * kPageBytes, true);
+            vmm->ensureDataBacked(
+                os->leafFrame(p, base + i * kPageBytes));
+        }
+    };
+    populate(pid);
+    os->exitProcess(pid);
+    std::uint64_t pt_free = vmm->ptAllocator().freeFrames();
+    std::uint64_t data_free = vmm->dataAllocator().freeFrames();
+    EXPECT_EQ(vmm->backedDataFrames(), 0u);
+
+    ProcId second = os->createProcess(VirtMode::Agile);
+    populate(second);
+    os->reapProcess(second);
+    EXPECT_FALSE(os->hasProcess(second));
+    EXPECT_FALSE(smgr->hasProcess(second));
+    EXPECT_EQ(vmm->backedDataFrames(), 0u);
+    EXPECT_EQ(vmm->ptAllocator().freeFrames(), pt_free);
+    EXPECT_EQ(vmm->dataAllocator().freeFrames(), data_free);
+}
+
+TEST_F(GuestOsTest, ReapKeepsForkSharedFrames)
+{
+    makeVirt();
+    Addr base = os->mmap(pid, 4 * kPageBytes, true, VmaKind::Anon);
+    for (unsigned i = 0; i < 4; ++i) {
+        os->handlePageFault(pid, base + i * kPageBytes, true);
+        vmm->ensureDataBacked(os->leafFrame(pid, base + i * kPageBytes));
+    }
+    ProcId child = os->fork(pid);
+    FrameId shared = os->leafFrame(child, base);
+    os->reapProcess(pid);
+    // The reaped parent only dropped its references; the child still
+    // maps the shared frames.
+    EXPECT_EQ(os->leafFrame(child, base), shared);
+    EXPECT_NE(vmm->backing(shared), 0u);
+    os->reapProcess(child);
+    EXPECT_EQ(vmm->backedDataFrames(), 0u);
+}
+
 TEST_F(GuestOsTest, ReclaimEvictsOnlyCold)
 {
     makeVirt();

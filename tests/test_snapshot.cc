@@ -3,7 +3,7 @@
  * Warm-state snapshot tests: the bit-identity contract (a measured
  * run forked from a restored snapshot reproduces the cold run field
  * for field, for every Table V workload, page size and shadow-capable
- * mode), the byte-identical re-capture invariant, the APSNAP1 on-disk
+ * mode), the byte-identical re-capture invariant, the APSNAP2 on-disk
  * container (round trip, corruption, truncation), and the snapshot
  * cache's first-wins memoization, sticky errors and disk persistence.
  */
@@ -143,6 +143,45 @@ TEST_P(SnapshotEquivalence, ForkedRunMatchesColdRun)
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, SnapshotEquivalence,
                          ::testing::ValuesIn(workloadNames()),
                          [](const auto &info) { return info.param; });
+
+/**
+ * The batched-walk priming pass is a host-side accelerator: with it on
+ * or off, a forked batched replay must produce the identical result
+ * (and the knob is deliberately outside the snapshot config digest,
+ * so the two sharings interoperate on one cache).
+ */
+TEST(SnapshotEquivalence, BatchedWalkPrimingDoesNotChangeResults)
+{
+    const WorkloadParams params = smallParams();
+    for (const std::string &wl : {std::string("gcc"),
+                                  std::string("graph500")}) {
+        for (PageSize ps : {PageSize::Size4K, PageSize::Size2M}) {
+            SCOPED_TRACE(wl + " " +
+                         (ps == PageSize::Size4K ? "4K" : "2M"));
+            SimConfig cfg = configFor(VirtMode::Agile, ps, params);
+            EXPECT_EQ(simConfigDigest([&] {
+                          SimConfig c = cfg;
+                          c.batchedWalks = !c.batchedWalks;
+                          return c;
+                      }()),
+                      simConfigDigest(cfg));
+
+            TraceCache traces;
+            SnapshotCache snaps;
+            cfg.batchedWalks = true;
+            RunResult recorded = runCellSnapshotted(
+                traces, snaps, wl, params, cfg, true);
+            runCellSnapshotted(traces, snaps, wl, params, cfg, true);
+            RunResult primed = runCellSnapshotted(traces, snaps, wl,
+                                                  params, cfg, true);
+            cfg.batchedWalks = false;
+            RunResult plain = runCellSnapshotted(traces, snaps, wl,
+                                                 params, cfg, true);
+            expectSameResult(recorded, primed);
+            expectSameResult(recorded, plain);
+        }
+    }
+}
 
 TEST(Snapshot, RestoredMachineRecapturesByteIdentical)
 {

@@ -77,9 +77,23 @@ def check_stats(doc):
     print(f"check_stats_json: OK ({int(total)} traps attributed)")
 
 
+def check_host(host, path="host"):
+    require(isinstance(host, dict), f"'{path}' must be an object")
+    for key in ("hardware_concurrency", "jobs", "build_type"):
+        require(key in host, f"{path}: missing key '{key}'")
+    for key in ("hardware_concurrency", "jobs"):
+        require(
+            isinstance(host[key], int) and host[key] >= 0,
+            f"{path}.{key}: must be a non-negative integer",
+        )
+    require(isinstance(host["build_type"], str) and host["build_type"],
+            f"{path}.build_type: must be a non-empty string")
+
+
 def check_runs(doc):
     require(doc.get("schema") == "ap-runs-v1",
             f"bad schema tag: {doc.get('schema')!r}")
+    check_host(doc.get("host"))
     runs = doc.get("runs")
     require(isinstance(runs, list) and runs, "missing/empty 'runs' array")
     required = (
@@ -98,7 +112,9 @@ def check_runs(doc):
             f"runs[{i}] ({run['workload']}): per-cause traps sum to "
             f"{per_cause}, aggregate is {run['traps']}",
         )
-    print(f"check_stats_json: OK ({len(runs)} runs)")
+    host = doc["host"]
+    print(f"check_stats_json: OK ({len(runs)} runs; jobs={host['jobs']}, "
+          f"build={host['build_type']})")
 
 
 def main():
