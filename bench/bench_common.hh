@@ -57,6 +57,8 @@ struct BenchOptions
     bool traceCache = true;
     bool snapshotCache = true;
     bool batchedWalks = true;
+    unsigned vcpus = 1;
+    TlbCoherence tlbCoherence = TlbCoherence::Software;
     std::string snapshotDir;
 
     /** The usage fragment for the flags consume() understands. */
@@ -64,7 +66,8 @@ struct BenchOptions
     usage()
     {
         return "[ops] [--ops N] [--jobs N] [--seed N]"
-               " [--page-size 4K|2M] [--no-trace-cache]"
+               " [--page-size 4K|2M] [--vcpus N]"
+               " [--tlb-coherence sw|hw] [--no-trace-cache]"
                " [--no-snapshot-cache] [--no-batched-walks]"
                " [--snapshot-dir DIR]";
     }
@@ -111,6 +114,26 @@ struct BenchOptions
                 std::exit(2);
             }
             pageSizeSet = true;
+        } else if (!std::strcmp(arg, "--vcpus")) {
+            std::uint64_t v = u64("--vcpus");
+            if (v < 1 || v > 64) {
+                std::cerr << argv[0] << ": bad --vcpus value '" << v
+                          << "' (want 1..64)\n";
+                std::exit(2);
+            }
+            vcpus = static_cast<unsigned>(v);
+        } else if (!std::strcmp(arg, "--tlb-coherence")) {
+            const char *s = value("--tlb-coherence");
+            if (!std::strcmp(s, "sw") || !std::strcmp(s, "software")) {
+                tlbCoherence = TlbCoherence::Software;
+            } else if (!std::strcmp(s, "hw") ||
+                       !std::strcmp(s, "hardware")) {
+                tlbCoherence = TlbCoherence::Hardware;
+            } else {
+                std::cerr << argv[0] << ": bad --tlb-coherence '" << s
+                          << "' (want sw or hw)\n";
+                std::exit(2);
+            }
         } else if (!std::strcmp(arg, "--no-trace-cache")) {
             traceCache = false;
         } else if (!std::strcmp(arg, "--no-snapshot-cache")) {

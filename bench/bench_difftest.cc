@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "base/logging.hh"
 #include "sim/oracle.hh"
 
@@ -61,4 +63,21 @@ BENCHMARK(BM_LockstepReplay)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TraceGeneration);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // benchmark::Initialize consumes the flags it understands and
+    // leaves everything else in argv; anything left is a typo, not a
+    // request — refuse it instead of silently benchmarking defaults.
+    benchmark::Initialize(&argc, argv);
+    if (argc > 1) {
+        std::cerr << "unknown argument '" << argv[1] << "'\n"
+                  << "usage: " << argv[0]
+                  << " [--benchmark_filter=REGEX] "
+                     "[--benchmark_* flags]\n";
+        return 2;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -53,6 +53,10 @@ main(int argc, char **argv)
     }
 
     std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
+    for (ap::ExperimentSpec &s : specs) {
+        s.numVcpus = opt.vcpus;
+        s.tlbCoherence = opt.tlbCoherence;
+    }
     if (!only.empty()) {
         std::erase_if(specs, [&](const ap::ExperimentSpec &s) {
             return s.workload != only;

@@ -202,9 +202,20 @@ int
 main(int argc, char **argv)
 {
     ap::setQuietLogging(true);
+    // Reject leftovers before printing anything: a typoed flag should
+    // exit 2, not produce a full (default-configured) report.
+    benchmark::Initialize(&argc, argv);
+    if (argc > 1) {
+        std::fprintf(stderr,
+                     "unknown argument '%s'\n"
+                     "usage: %s [--benchmark_filter=REGEX] "
+                     "[--benchmark_* flags]\n",
+                     argv[1], argv[0]);
+        return 2;
+    }
     printTable2();
     std::printf("\n");
-    benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
     return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "guestos/guest_os.hh"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -30,7 +31,7 @@ fileContent(std::uint64_t file_id, std::uint64_t page_offset)
 } // namespace
 
 GuestOs::GuestOs(stats::StatGroup *parent, PhysMem &host_mem, Vmm *vmm,
-                 ShadowMgr *smgr, TlbHierarchy *tlb, PageWalkCache *pwc,
+                 ShadowMgr *smgr, CoherenceDomain *coh,
                  const GuestOsConfig &cfg)
     : stats::StatGroup("guestos", parent),
       pageFaults(this, "page_faults", "guest page faults serviced"),
@@ -42,8 +43,7 @@ GuestOs::GuestOs(stats::StatGroup *parent, PhysMem &host_mem, Vmm *vmm,
       host_mem_(host_mem),
       vmm_(vmm),
       smgr_(smgr),
-      tlb_(tlb),
-      pwc_(pwc),
+      coh_(coh),
       cfg_(cfg)
 {
 }
@@ -122,10 +122,8 @@ GuestOs::exitProcess(ProcId pid)
     p.pt.reset();
     if (smgr_ && smgr_->hasProcess(pid))
         smgr_->unregisterProcess(pid);
-    if (tlb_)
-        tlb_->flushAsid(pid);
-    if (pwc_)
-        pwc_->flushAsid(pid);
+    if (coh_)
+        coh_->flushAsid(pid, CoherenceCause::Exit);
     p.alive = false;
 }
 
@@ -154,10 +152,8 @@ GuestOs::reapProcess(ProcId pid)
     p.as.clear();
     if (smgr_ && smgr_->hasProcess(pid))
         smgr_->unregisterProcess(pid);
-    if (tlb_)
-        tlb_->flushAsid(pid);
-    if (pwc_)
-        pwc_->flushAsid(pid);
+    if (coh_)
+        coh_->flushAsidUncharged(pid);
     p.alive = false;
 }
 
@@ -292,12 +288,11 @@ GuestOs::notifyPtWrite(GuestProcess &p, Addr va, unsigned depth,
 }
 
 void
-GuestOs::shootdown(GuestProcess &p, Addr base, Addr len)
+GuestOs::shootdown(GuestProcess &p, Addr base, Addr len,
+                   CoherenceCause cause)
 {
-    if (tlb_)
-        tlb_->flushRange(base, len, p.pid);
-    if (pwc_)
-        pwc_->flushRange(base, len, p.pid);
+    if (coh_)
+        coh_->flushRange(base, len, p.pid, cause);
     if (smgr_ && smgr_->hasProcess(p.pid)) {
         if (len <= kLargePageBytes) {
             // INVLPG-style targeted invalidation: only the affected
@@ -408,6 +403,14 @@ GuestOs::munmap(ProcId pid, Addr base, Addr length)
     guest_cycles_ += cfg_.syscallCost;
     Addr end = base + length;
 
+    // The shootdown must cover every translation actually torn down,
+    // not just [base, base+length): a large mapping straddling either
+    // boundary is evicted whole, and finer-granule (4K) TLB/PWC
+    // entries under it would otherwise survive outside the requested
+    // window as stale translations.
+    Addr flush_base = base;
+    Addr flush_end = end;
+
     for (Addr va = base; va < end;) {
         auto m = p.pt->lookup(va);
         if (!m) {
@@ -422,6 +425,8 @@ GuestOs::munmap(ProcId pid, Addr base, Addr length)
         notifyPtWrite(p, map_base, m->depth);
         freeMapping(map_base, *m);
         guest_cycles_ += cfg_.perPageCost;
+        flush_base = std::min(flush_base, map_base);
+        flush_end = std::max(flush_end, map_base + span);
         va = map_base + span;
     }
 
@@ -445,11 +450,16 @@ GuestOs::munmap(ProcId pid, Addr base, Addr length)
         if (empty) {
             p.pt->invalidateEntry(r, kPtLevels - 2);
             notifyPtWrite(p, r, kPtLevels - 2);
+            // Partial translations through the pruned leaf table cover
+            // its whole 2 MB region.
+            flush_base = std::min(flush_base, r);
+            flush_end = std::max(flush_end, r + kLargePageBytes);
         }
     }
 
     p.as.remove(base, length);
-    shootdown(p, base, length);
+    shootdown(p, flush_base, flush_end - flush_base,
+              CoherenceCause::Munmap);
 }
 
 void
@@ -554,7 +564,8 @@ GuestOs::handleCowWrite(ProcId pid, Addr va)
         Pte *pte = p.pt->entry(map_base, m->depth);
         pte->writable = true;
         notifyPtWrite(p, map_base, m->depth);
-        shootdown(p, map_base, pageBytes(m->size));
+        shootdown(p, map_base, pageBytes(m->size),
+                  CoherenceCause::Cow);
         return true;
     }
 
@@ -576,7 +587,7 @@ GuestOs::handleCowWrite(ProcId pid, Addr va)
     refDecAndMaybeFree(m->pfn, frames);
     p.pt->map(map_base, fresh, m->size, true);
     notifyPtWrite(p, map_base, m->depth);
-    shootdown(p, map_base, pageBytes(m->size));
+    shootdown(p, map_base, pageBytes(m->size), CoherenceCause::Cow);
     return true;
 }
 
@@ -623,11 +634,11 @@ GuestOs::fork(ProcId parent_pid)
         refInc(it.pte.pfn);
     }
 
-    // The parent's mappings changed permission: full flush.
-    if (tlb_)
-        tlb_->flushAsid(parent_pid);
-    if (pwc_)
-        pwc_->flushAsid(parent_pid);
+    // The parent's mappings changed permission: full flush, and every
+    // vCPU the parent may have run on must drop its cached writable
+    // translations before the child can observe the shared frames.
+    if (coh_)
+        coh_->flushAsid(parent_pid, CoherenceCause::Fork);
     if (smgr_ && smgr_->hasProcess(parent_pid))
         smgr_->onGuestTlbFlush(parent_pid, true);
     return child_pid;
@@ -697,7 +708,7 @@ GuestOs::reclaimScan(ProcId pid, std::uint64_t max_pages)
         }
     }
     if (!items.empty())
-        shootdown(p, 0, Addr{1} << 47);
+        shootdown(p, 0, Addr{1} << 47, CoherenceCause::Reclaim);
     evictions += evicted;
     return evicted;
 }

@@ -31,8 +31,7 @@
 #include "guestos/vma.hh"
 #include "mem/page_table.hh"
 #include "mem/phys_mem.hh"
-#include "tlb/pwc.hh"
-#include "tlb/tlb_hierarchy.hh"
+#include "tlb/coherence.hh"
 #include "vmm/shadow_mgr.hh"
 #include "vmm/vmm.hh"
 #include "walker/walker.hh"
@@ -80,10 +79,11 @@ class GuestOs : public stats::StatGroup
     /**
      * @param vmm  null for the unvirtualized (native) configuration
      * @param smgr null unless shadow-based modes are in use
-     * @param tlb,pwc structures to shoot down on PT updates (nullable)
+     * @param coh  coherence domain to shoot down through on PT updates
+     *             (nullable; reaches every vCPU's TLB/PWC stack)
      */
     GuestOs(stats::StatGroup *parent, PhysMem &host_mem, Vmm *vmm,
-            ShadowMgr *smgr, TlbHierarchy *tlb, PageWalkCache *pwc,
+            ShadowMgr *smgr, CoherenceDomain *coh,
             const GuestOsConfig &cfg);
     ~GuestOs();
 
@@ -232,8 +232,10 @@ class GuestOs : public stats::StatGroup
     void notifyPtWrite(GuestProcess &p, Addr va, unsigned depth,
                        bool ad_only = false);
 
-    /** Guest-visible TLB shootdown of a range (with resync trap). */
-    void shootdown(GuestProcess &p, Addr base, Addr len);
+    /** Guest-visible TLB shootdown of a range (with resync trap),
+     *  broadcast to every vCPU and attributed to @p cause. */
+    void shootdown(GuestProcess &p, Addr base, Addr len,
+                   CoherenceCause cause);
 
     void refInc(FrameId base);
     /** @return true if the last reference died and frames were freed. */
@@ -245,8 +247,7 @@ class GuestOs : public stats::StatGroup
     PhysMem &host_mem_;
     Vmm *vmm_;
     ShadowMgr *smgr_;
-    TlbHierarchy *tlb_;
-    PageWalkCache *pwc_;
+    CoherenceDomain *coh_;
     GuestOsConfig cfg_;
 
     ProcId next_pid_ = 1;

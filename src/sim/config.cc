@@ -167,6 +167,31 @@ SimConfig::applyOption(const std::string &option)
             enableHwOpts();
         return true;
     }
+    if (key == "num_vcpus") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0 || n > 64)
+            return false;
+        numVcpus = static_cast<unsigned>(n);
+        return true;
+    }
+    if (key == "tlb_coherence") {
+        std::string v = lower(value);
+        if (v == "sw" || v == "software") {
+            tlbCoherence = TlbCoherence::Software;
+        } else if (v == "hw" || v == "hardware") {
+            tlbCoherence = TlbCoherence::Hardware;
+        } else {
+            return false;
+        }
+        return true;
+    }
+    if (key == "vcpu_quantum") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0)
+            return false;
+        vcpuQuantumOps = n;
+        return true;
+    }
     if (key == "back_policy") {
         std::string v = lower(value);
         if (v == "none") {

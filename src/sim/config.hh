@@ -13,6 +13,7 @@
 #include "base/types.hh"
 #include "core/agile_policy.hh"
 #include "guestos/guest_os.hh"
+#include "tlb/coherence.hh"
 #include "tlb/tlb_hierarchy.hh"
 #include "vmm/shsp.hh"
 #include "vmm/trap_costs.hh"
@@ -86,6 +87,27 @@ struct SimConfig
     /** Cross-check every translation against the functional tables
      *  (slow; on in tests, off in benchmarks). */
     bool verifyTranslations = false;
+
+    // ------------------------------------------------------------------
+    // Multi-vCPU guests and translation coherence.
+    // ------------------------------------------------------------------
+
+    /** vCPUs per guest. Each vCPU owns a private L1/L2 TLB, PWC and
+     *  last-translation filter over the shared guest/shadow/nested
+     *  tables; accesses interleave deterministically in round-robin
+     *  quanta of vcpuQuantumOps. 1 reproduces the single-walker
+     *  machine bit-for-bit. */
+    unsigned numVcpus = 1;
+    /** How invalidations reach remote vCPU TLBs (ignored at 1 vCPU). */
+    TlbCoherence tlbCoherence = TlbCoherence::Software;
+    /** Accesses each vCPU executes before the schedule rotates. */
+    std::uint64_t vcpuQuantumOps = 64;
+    /** Software mode: cycles charged per remote vCPU per shootdown
+     *  (IPI send, remote handler, acknowledgement wait). */
+    Cycles ipiShootdownCycles = 1600;
+    /** Hardware mode: cycles charged per remote vCPU per shootdown
+     *  (coherence message, no interrupt, no trap). */
+    Cycles hwInvalidateCycles = 40;
 
     // ------------------------------------------------------------------
     // Host-side engine knobs. These change how fast the simulator runs,

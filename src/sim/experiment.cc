@@ -34,6 +34,12 @@ defaultParamsFor(const std::string &workload)
         p.footprintBytes = 224ull << 20; // 73 GB
     } else if (workload == "memcached") {
         p.footprintBytes = 224ull << 20; // 75 GB
+    } else if (workload == "shootdown_storm") {
+        p.footprintBytes = 96ull << 20;
+    } else if (workload == "reclaim_scan") {
+        p.footprintBytes = 128ull << 20;
+    } else if (workload == "page_migration") {
+        p.footprintBytes = 96ull << 20;
     } else {
         ap_fatal("unknown workload: ", workload);
     }
@@ -78,6 +84,8 @@ runExperiment(const ExperimentSpec &spec)
         params.operations = spec.operations;
     SimConfig cfg =
         configFor(spec.mode, spec.pageSize, params, spec.hwOpts);
+    cfg.numVcpus = spec.numVcpus;
+    cfg.tlbCoherence = spec.tlbCoherence;
     Machine machine(cfg);
     auto workload = makeWorkload(spec.workload, params);
     ap_assert(workload != nullptr, "unknown workload ", spec.workload);

@@ -29,6 +29,10 @@ struct ExperimentSpec
     /** Apply the paper's optional hardware optimizations to
      *  shadow-based techniques (the evaluated agile configuration). */
     bool hwOpts = true;
+    /** vCPUs in the simulated guest (1 = the classic matrix). */
+    unsigned numVcpus = 1;
+    /** Shootdown cost model when numVcpus > 1. */
+    TlbCoherence tlbCoherence = TlbCoherence::Software;
 };
 
 /**

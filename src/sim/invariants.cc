@@ -291,6 +291,37 @@ checkCounterInvariants(Machine &m, RunResult &prev,
         return v;
     if (auto v = mono(cur.trapCycles, prev.trapCycles, "trap cycles"))
         return v;
+    if (auto v = mono(cur.shootdowns, prev.shootdowns, "shootdowns"))
+        return v;
+    if (auto v = mono(cur.remoteInvalidations, prev.remoteInvalidations,
+                      "remote invalidations")) {
+        return v;
+    }
+    std::uint64_t by_cause = 0;
+    for (std::size_t k = 0; k < kNumCoherenceCauses; ++k)
+        by_cause += cur.shootdownsByCause[k];
+    if (by_cause != cur.shootdowns) {
+        return violation("coherence-counters",
+                         std::string(mode) +
+                             " per-cause shootdowns sum to " +
+                             std::to_string(by_cause) + " but the "
+                             "aggregate counter is " +
+                             std::to_string(cur.shootdowns),
+                         event_index, 0);
+    }
+    // Every shootdown reaches all other vCPUs, so the remote-
+    // invalidation count is exactly shootdowns x (vcpus - 1).
+    std::uint64_t remotes = m.numVcpus() > 1 ? m.numVcpus() - 1 : 0;
+    if (cur.remoteInvalidations != cur.shootdowns * remotes) {
+        return violation("coherence-counters",
+                         std::string(mode) + " counted " +
+                             std::to_string(cur.remoteInvalidations) +
+                             " remote invalidations for " +
+                             std::to_string(cur.shootdowns) +
+                             " shootdowns across " +
+                             std::to_string(m.numVcpus()) + " vcpus",
+                         event_index, 0);
+    }
     for (int i = 0; i < 6; ++i) {
         // Mode-convert traps redirect *future* walks to a different
         // coverage class; they must never rewrite history.
@@ -316,6 +347,70 @@ checkCounterInvariants(Machine &m, RunResult &prev,
     }
     prev = cur;
     return std::nullopt;
+}
+
+std::optional<InvariantViolation>
+checkTlbResidency(Machine &m, std::uint64_t event_index)
+{
+    GuestOs &gos = m.guestOs();
+    Vmm *vmm = m.vmm();
+
+    std::optional<InvariantViolation> found;
+    for (unsigned v = 0; v < m.numVcpus() && !found; ++v) {
+        m.tlbOf(v).forEachEntry([&](Addr va, ProcId asid,
+                                    const TlbEntry &e, PageSize) {
+            if (found)
+                return;
+            std::string who = "vcpu" + std::to_string(v);
+            if (!gos.hasProcess(asid) || !gos.process(asid).alive) {
+                found = violation(
+                    "stale-tlb",
+                    who + " caches " + hex(va) + " for dead asid " +
+                        std::to_string(asid) +
+                        " (exit shootdown missed)",
+                    event_index, va);
+                return;
+            }
+            auto gm = gos.process(asid).pt->lookup(va);
+            if (!gm) {
+                found = violation(
+                    "stale-tlb",
+                    who + " caches " + hex(va) + " for asid " +
+                        std::to_string(asid) +
+                        " but the guest no longer maps it "
+                        "(shootdown missed)",
+                    event_index, va);
+                return;
+            }
+            if (!e.writable)
+                return;
+            // Rule 2: a writable entry lets stores retire with no
+            // fault, so it must match the *current* guest permission
+            // and host backing exactly.
+            if (!gm->pte.writable) {
+                found = violation(
+                    "stale-tlb",
+                    who + " caches a writable entry at " + hex(va) +
+                        " but the guest PTE is read-only "
+                        "(write-protect shootdown missed)",
+                    event_index, va);
+                return;
+            }
+            std::uint64_t gframes = pageBytes(gm->size) / kPageBytes;
+            FrameId gf = gm->pfn + (frameOf(va) % gframes);
+            FrameId expected = gos.isNative() ? gf : vmm->backing(gf);
+            if (e.pfn != expected) {
+                found = violation(
+                    "stale-tlb",
+                    who + " caches a writable entry at " + hex(va) +
+                        " mapping host frame " + hex(e.pfn) +
+                        " but the current backing is " + hex(expected) +
+                        " (remap shootdown missed)",
+                    event_index, va);
+            }
+        });
+    }
+    return found;
 }
 
 std::optional<InvariantViolation>

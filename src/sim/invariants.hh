@@ -97,6 +97,23 @@ checkCounterInvariants(Machine &m, RunResult &prev,
                        std::uint64_t event_index);
 
 /**
+ * Translation-residency sweep over every vCPU's TLB hierarchy: no
+ * cached translation may survive the shootdown that its invalidating
+ * event (munmap, COW break, fork, exit, reclaim eviction, host remap)
+ * must have broadcast. Three rules per entry:
+ *  1. the entry's ASID must belong to a live process and its VA must
+ *     still be mapped by that process (a dead-ASID or unmapped-VA
+ *     entry is a missed shootdown);
+ *  2. a writable entry must agree with the current state — the guest
+ *     mapping grants write and the entry's host frame is the current
+ *     backing of the guest frame;
+ *  3. read-only entries may disagree on the host frame (they fault on
+ *     the next write, which is how COW is designed to resolve).
+ */
+std::optional<InvariantViolation>
+checkTlbResidency(Machine &m, std::uint64_t event_index);
+
+/**
  * Shadow-coherence sweep (invariant c): for every shadowed process,
  * every terminal shadow entry agrees bit-for-bit with the guest page
  * table — switching entries point at the backing of the next-level

@@ -70,6 +70,33 @@ Machine::Machine(const SimConfig &cfg)
                                         cfg_.ntlbWays, cfg_.ntlbEnabled);
     walker_ = std::make_unique<Walker>(this, mem_, *pwc_, *ntlb_);
 
+    // Translation coherence: every vCPU's private stack registers with
+    // the shared domain; the guest OS and shadow manager invalidate
+    // through it. The nested TLB caches gPA->hPA and is per-VM, so the
+    // extra vCPUs share ntlb_ (and the walker serializes through it
+    // deterministically under the round-robin schedule).
+    coh_ = std::make_unique<CoherenceDomain>(this, cfg_.tlbCoherence,
+                                             cfg_.ipiShootdownCycles,
+                                             cfg_.hwInvalidateCycles);
+    coh_->addVcpu(tlb_.get(), pwc_.get());
+    for (unsigned v = 1; v < cfg_.numVcpus; ++v) {
+        auto stack = std::make_unique<VcpuStack>();
+        stack->group = std::make_unique<stats::StatGroup>(
+            "vcpu" + std::to_string(v), this);
+        stack->tlb = std::make_unique<TlbHierarchy>(stack->group.get(),
+                                                    cfg_.tlb);
+        stack->pwc = std::make_unique<PageWalkCache>(
+            stack->group.get(), cfg_.pwcEntries, cfg_.pwcWays,
+            cfg_.pwcEnabled);
+        stack->walker = std::make_unique<Walker>(stack->group.get(),
+                                                 mem_, *stack->pwc,
+                                                 *ntlb_);
+        coh_->addVcpu(stack->tlb.get(), stack->pwc.get());
+        extra_vcpus_.push_back(std::move(stack));
+    }
+    setActiveVcpu(0);
+    vcpu_quantum_left_ = cfg_.vcpuQuantumOps;
+
     if (cfg_.mode != VirtMode::Native) {
         VmmConfig vcfg;
         vcfg.guestPtFrames = cfg_.guestPtFrames;
@@ -83,7 +110,7 @@ Machine::Machine(const SimConfig &cfg)
             scfg.unsyncEnabled = cfg_.unsyncEnabled;
             scfg.hwOptAd = cfg_.hwOptAd;
             smgr_ = std::make_unique<ShadowMgr>(this, mem_, *vmm_, scfg,
-                                                tlb_.get(), pwc_.get());
+                                                coh_.get());
             if (cfg_.mode == VirtMode::Agile) {
                 policy_ = std::make_unique<AgilePolicy>(this, *smgr_,
                                                         cfg_.policy);
@@ -101,8 +128,7 @@ Machine::Machine(const SimConfig &cfg)
     if (gcfg.pageSize == PageSize::Size4K)
         gcfg.pageSize = cfg_.pageSize;
     guest_os_ = std::make_unique<GuestOs>(this, mem_, vmm_.get(),
-                                          smgr_.get(), tlb_.get(),
-                                          pwc_.get(), gcfg);
+                                          smgr_.get(), coh_.get(), gcfg);
     guest_os_->onMediatedGptWrite = [this](ProcId pid, Addr va,
                                            unsigned depth,
                                            const GptWriteOutcome &out) {
@@ -117,6 +143,36 @@ Machine::Machine(const SimConfig &cfg)
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::setActiveVcpu(unsigned vcpu)
+{
+    active_vcpu_ = vcpu;
+    if (vcpu == 0) {
+        atlb_ = tlb_.get();
+        apwc_ = pwc_.get();
+        awalker_ = walker_.get();
+        al0_ = l0_;
+    } else {
+        VcpuStack &s = *extra_vcpus_[vcpu - 1];
+        atlb_ = s.tlb.get();
+        apwc_ = s.pwc.get();
+        awalker_ = s.walker.get();
+        al0_ = s.l0;
+    }
+}
+
+TlbHierarchy &
+Machine::tlbOf(unsigned vcpu)
+{
+    return vcpu == 0 ? *tlb_ : *extra_vcpus_[vcpu - 1]->tlb;
+}
+
+PageWalkCache &
+Machine::pwcOf(unsigned vcpu)
+{
+    return vcpu == 0 ? *pwc_ : *extra_vcpus_[vcpu - 1]->pwc;
+}
 
 bool
 Machine::shadowed(ProcId pid) const
@@ -158,7 +214,7 @@ Machine::translate(ProcId pid, Addr va, bool write)
         // The walker hands back its reused scratch result; no handler
         // below re-enters the walker, so the reference stays valid
         // until the retry.
-        const WalkResult &r = walker_->walk(ctx, va, write);
+        const WalkResult &r = awalker_->walk(ctx, va, write);
         walk_cycles_ += r.coldRefs * cfg_.walkRefCycles +
                         (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles;
         if (r.ok()) {
@@ -242,7 +298,8 @@ Machine::resolveProtection(ProcId pid, Addr va)
                 ap_fatal("host memory exhausted during COW break");
             if (shadowed(pid) && !guest_os_->context(pid).fullNested)
                 smgr_->refreshLeaf(pid, va);
-            tlb_->flushPage(va, pid);
+            else
+                coh_->flushPage(va, pid, CoherenceCause::HostRemap);
             return;
         }
     }
@@ -251,8 +308,9 @@ Machine::resolveProtection(ProcId pid, Addr va)
         smgr_->emulateDirtyWrite(pid, va);
         return;
     }
-    // Stale cached translation: drop it and rewalk.
-    tlb_->flushPage(va, pid);
+    // Stale cached translation: drop it and rewalk (local vCPU only —
+    // the entry was just probed here).
+    atlb_->flushPage(va, pid);
 }
 
 void
@@ -270,6 +328,14 @@ Machine::verifyAgainstFunctional(ProcId pid, Addr va, FrameId got)
 void
 Machine::doAccess(Addr va, bool write, bool instr)
 {
+    if (!extra_vcpus_.empty()) {
+        if (vcpu_quantum_left_ == 0) {
+            vcpu_quantum_left_ = cfg_.vcpuQuantumOps;
+            unsigned next = active_vcpu_ + 1;
+            setActiveVcpu(next == cfg_.numVcpus ? 0 : next);
+        }
+        --vcpu_quantum_left_;
+    }
     instructions_ += cfg_.cyclesPerOp;
     maybeInterval();
     accessSlow(va, write, instr);
@@ -281,7 +347,7 @@ Machine::accessSlow(Addr va, bool write, bool instr)
     ProcId pid = current_;
 
     for (int attempt = 0; attempt < 8; ++attempt) {
-        TlbProbeResult hit = tlb_->probe(va, pid, instr);
+        TlbProbeResult hit = atlb_->probe(va, pid, instr);
         if (hit.level != TlbHitLevel::Miss) {
             if (hit.level == TlbHitLevel::L2) {
                 // L2 TLB hit latency is identical in every mode and so
@@ -300,7 +366,7 @@ Machine::accessSlow(Addr va, bool write, bool instr)
                 // hardware can set the in-memory dirty bit. Without
                 // this, a write hitting an entry filled by a read
                 // would never dirty the page.
-                tlb_->flushPage(va, pid);
+                atlb_->flushPage(va, pid);
                 continue;
             }
             if (cfg_.verifyTranslations) {
@@ -308,9 +374,9 @@ Machine::accessSlow(Addr va, bool write, bool instr)
                 verifyAgainstFunctional(
                     pid, va, hit.entry.pfn + (frameOf(va) % frames));
             }
-            l0_[instr] = {va, ~(pageBytes(hit.size) - 1), pid, hit.size,
-                          hit.entry.writable, hit.entry.dirty,
-                          tlb_->flushGeneration()};
+            al0_[instr] = {va, ~(pageBytes(hit.size) - 1), pid,
+                           hit.size, hit.entry.writable, hit.entry.dirty,
+                           atlb_->flushGeneration(pid)};
             return;
         }
         ++tlb_misses_;
@@ -331,14 +397,14 @@ Machine::accessSlow(Addr va, bool write, bool instr)
         entry.writable = r.writable;
         entry.dirty = r.dirty;
         entry.asid = pid;
-        tlb_->fill(va, pid, instr, r.size, entry);
+        atlb_->fill(va, pid, instr, r.size, entry);
         if (cfg_.verifyTranslations) {
             std::uint64_t frames = pageBytes(r.size) / kPageBytes;
             verifyAgainstFunctional(pid, va,
                                     r.hframe + (frameOf(va) % frames));
         }
-        l0_[instr] = {va, ~(pageBytes(r.size) - 1), pid, r.size,
-                      r.writable, r.dirty, tlb_->flushGeneration()};
+        al0_[instr] = {va, ~(pageBytes(r.size) - 1), pid, r.size,
+                       r.writable, r.dirty, atlb_->flushGeneration(pid)};
         return;
     }
     ap_panic("access did not converge at 0x", std::hex, va);
@@ -350,6 +416,16 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
                         std::size_t begin, std::size_t count)
 {
     const Cycles op_cycles = cfg_.cyclesPerOp;
+    // Multi-vCPU: the deterministic round-robin schedule lives in
+    // doAccess, and the single-stack filter/priming assumptions below
+    // do not hold across rotations — take the per-event path.
+    if (!extra_vcpus_.empty()) {
+        for (std::size_t i = begin; i < begin + count; ++i) {
+            doAccess(vas[i], (write_bits[i >> 6] >> (i & 63)) & 1,
+                     (instr_bits[i >> 6] >> (i & 63)) & 1);
+        }
+        return;
+    }
     // Verification re-checks every access against the functional
     // mappings; the filter would skip those checks, so turn it off.
     const bool filter_ok = !cfg_.verifyTranslations;
@@ -359,7 +435,7 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
     // The flush generation only moves inside maybeInterval() or
     // accessSlow(), so cache it in a register and re-load after
     // either call instead of chasing the pointer every iteration.
-    std::uint64_t gen = tlb_->flushGeneration();
+    std::uint64_t gen = tlb_->flushGeneration(current_);
     for (std::size_t i = begin; i < begin + count; ++i) {
         const Addr va = vas[i];
         const bool write = (write_bits[i >> 6] >> (i & 63)) & 1;
@@ -367,7 +443,7 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
         instructions_ += op_cycles;
         if (instructions_ >= next_interval_) {
             maybeInterval();
-            gen = tlb_->flushGeneration();
+            gen = tlb_->flushGeneration(current_);
         }
         const LastXlat &l0 = l0_[instr];
         if (filter_ok && l0.mask != 0 &&
@@ -381,7 +457,7 @@ Machine::runAccessBatch(const Addr *vas, const std::uint64_t *write_bits,
             continue;
         }
         accessSlow(va, write, instr);
-        gen = tlb_->flushGeneration();
+        gen = tlb_->flushGeneration(current_);
     }
     // Re-arm priming only at walk densities where the sorted pre-touch
     // pays for the sort (roughly one miss per 16 accesses — cold or
@@ -403,7 +479,7 @@ Machine::primeBatch(const Addr *vas, std::size_t begin, std::size_t count)
     const TranslationContext &ctx = guest_os_->context(current_);
     Walker::PrimeMemo memo;
     for (Addr vpn : prime_vpns_)
-        walker_->primeWalk(ctx, vpn << kPageShift, memo);
+        awalker_->primeWalk(ctx, vpn << kPageShift, memo);
 }
 
 void
@@ -627,10 +703,9 @@ Machine::sharePagesScan()
         return;
     if (smgr_)
         smgr_->invalidateByGuestFrames(remapped);
-    // Cached translations may hold the retired host frames.
-    tlb_->flushAll();
-    if (pwc_)
-        pwc_->flushAll();
+    // Cached translations may hold the retired host frames — on every
+    // vCPU.
+    coh_->flushAll(CoherenceCause::HostRemap);
 }
 
 // ---------------------------------------------------------------------
@@ -649,23 +724,58 @@ Machine::snapshot(const std::string &workload_name) const
     r.walkCycles = walk_cycles_;
     r.trapCycles = vmm_ ? vmm_->trapCycles() : 0;
     r.tlbMisses = tlb_misses_;
-    r.walks = static_cast<std::uint64_t>(walker_->walks.value());
     r.traps = vmm_ ? vmm_->trapCountTotal() : 0;
     r.guestPageFaults =
         static_cast<std::uint64_t>(guest_os_->pageFaults.value());
-    r.avgWalkRefs = walker_->refsDist.mean();
-    r.rawRefsTotal = walker_->refsOkTotal.value();
-    double total_walks = 0;
-    for (const auto &c : walker_->coverage)
-        total_walks += c.value();
-    for (int i = 0; i < 6; ++i) {
-        r.rawCoverage[i] = walker_->coverage[i].value();
-        r.coverage[i] =
-            total_walks ? walker_->coverage[i].value() / total_walks : 0.0;
+    if (extra_vcpus_.empty()) {
+        // Classic single-walker expressions, kept verbatim so a 1-vCPU
+        // machine reports bit-identical numbers.
+        r.walks = static_cast<std::uint64_t>(walker_->walks.value());
+        r.avgWalkRefs = walker_->refsDist.mean();
+        r.rawRefsTotal = walker_->refsOkTotal.value();
+        double total_walks = 0;
+        for (const auto &c : walker_->coverage)
+            total_walks += c.value();
+        for (int i = 0; i < 6; ++i) {
+            r.rawCoverage[i] = walker_->coverage[i].value();
+            r.coverage[i] = total_walks
+                                ? walker_->coverage[i].value() / total_walks
+                                : 0.0;
+        }
+    } else {
+        // Aggregate every vCPU's walker.
+        double walks_total = 0, refs_total = 0, total_walks = 0;
+        double cov[6] = {0, 0, 0, 0, 0, 0};
+        auto accumulate = [&](const Walker &w) {
+            walks_total += w.walks.value();
+            refs_total += w.refsOkTotal.value();
+            for (int i = 0; i < 6; ++i) {
+                cov[i] += w.coverage[i].value();
+                total_walks += w.coverage[i].value();
+            }
+        };
+        accumulate(*walker_);
+        for (const auto &vs : extra_vcpus_)
+            accumulate(*vs->walker);
+        r.walks = static_cast<std::uint64_t>(walks_total);
+        r.rawRefsTotal = refs_total;
+        for (int i = 0; i < 6; ++i) {
+            r.rawCoverage[i] = cov[i];
+            r.coverage[i] = total_walks ? cov[i] / total_walks : 0.0;
+        }
+        r.avgWalkRefs = total_walks ? refs_total / total_walks : 0.0;
     }
     if (vmm_) {
         for (std::size_t k = 0; k < kNumTrapKinds; ++k)
             r.trapByKind[k] = vmm_->trapCount(static_cast<TrapKind>(k));
+    }
+    r.numVcpus = cfg_.numVcpus;
+    r.coherenceCycles = coh_->cycles();
+    r.shootdowns = coh_->shootdownCount();
+    r.remoteInvalidations = coh_->remoteInvalidationCount();
+    for (std::size_t c = 0; c < kNumCoherenceCauses; ++c) {
+        r.shootdownsByCause[c] =
+            coh_->shootdownsByCause(static_cast<CoherenceCause>(c));
     }
     return r;
 }
@@ -684,6 +794,11 @@ Machine::delta(const RunResult &end, const RunResult &start)
     d.guestPageFaults -= start.guestPageFaults;
     for (std::size_t k = 0; k < kNumTrapKinds; ++k)
         d.trapByKind[k] -= start.trapByKind[k];
+    d.coherenceCycles -= start.coherenceCycles;
+    d.shootdowns -= start.shootdowns;
+    d.remoteInvalidations -= start.remoteInvalidations;
+    for (std::size_t c = 0; c < kNumCoherenceCauses; ++c)
+        d.shootdownsByCause[c] -= start.shootdownsByCause[c];
     double walks = 0;
     for (int i = 0; i < 6; ++i) {
         d.rawCoverage[i] = end.rawCoverage[i] - start.rawCoverage[i];
@@ -777,6 +892,18 @@ Machine::saveState(Serializer &s) const
     mem_.saveState(s);
     tlb_->saveState(s);
     pwc_->saveState(s);
+    // Extra vCPU stacks and the schedule position; the config digest
+    // pins numVcpus, so reader and writer agree on the count.
+    if (!extra_vcpus_.empty()) {
+        s.putU32(active_vcpu_);
+        s.putU64(vcpu_quantum_left_);
+        for (const auto &vs : extra_vcpus_) {
+            vs->tlb->saveState(s);
+            vs->pwc->saveState(s);
+            s.putRaw(&vs->l0[0], sizeof(vs->l0));
+        }
+    }
+    coh_->saveState(s);
     ntlb_->saveState(s);
     s.putBool(vmm_ != nullptr);
     if (vmm_)
@@ -826,6 +953,19 @@ Machine::restoreState(Deserializer &d)
     mem_.restoreState(d);
     tlb_->restoreState(d);
     pwc_->restoreState(d);
+    if (!extra_vcpus_.empty()) {
+        unsigned active = d.getU32();
+        if (active >= cfg_.numVcpus)
+            return false;
+        vcpu_quantum_left_ = d.getU64();
+        for (auto &vs : extra_vcpus_) {
+            vs->tlb->restoreState(d);
+            vs->pwc->restoreState(d);
+            d.getRaw(&vs->l0[0], sizeof(vs->l0));
+        }
+        setActiveVcpu(active);
+    }
+    coh_->restoreState(d);
     ntlb_->restoreState(d);
     if (d.getBool() != (vmm_ != nullptr))
         return false;

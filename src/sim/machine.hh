@@ -60,6 +60,17 @@ struct RunResult
     /** Per-kind trap counts (indexed by TrapKind). */
     std::uint64_t trapByKind[kNumTrapKinds] = {};
 
+    /** vCPUs the run executed on (1 = the classic machine). */
+    std::uint32_t numVcpus = 1;
+    /** Cycles added by translation-coherence traffic (0 at 1 vCPU). */
+    Cycles coherenceCycles = 0;
+    /** Shootdowns broadcast to remote vCPUs. */
+    std::uint64_t shootdowns = 0;
+    /** Per-remote-vCPU invalidations delivered. */
+    std::uint64_t remoteInvalidations = 0;
+    /** Shootdowns by cause (indexed by CoherenceCause). */
+    std::uint64_t shootdownsByCause[kNumCoherenceCauses] = {};
+
     /** Raw counters used to compute deltas between snapshots. */
     double rawRefsTotal = 0;
     double rawCoverage[6] = {0, 0, 0, 0, 0, 0};
@@ -76,7 +87,17 @@ struct RunResult
         return idealCycles ? double(trapCycles) / idealCycles : 0.0;
     }
 
-    double totalOverhead() const { return walkOverhead() + vmmOverhead(); }
+    double
+    coherenceOverhead() const
+    {
+        return idealCycles ? double(coherenceCycles) / idealCycles : 0.0;
+    }
+
+    double
+    totalOverhead() const
+    {
+        return walkOverhead() + vmmOverhead() + coherenceOverhead();
+    }
 
     /** Execution time relative to overhead-free execution. */
     double slowdown() const { return 1.0 + totalOverhead(); }
@@ -162,6 +183,17 @@ class Machine : public stats::StatGroup, public WorkloadHost
     Walker &walker() { return *walker_; }
     TlbHierarchy &tlb() { return *tlb_; }
     const SimConfig &config() const { return cfg_; }
+
+    /** vCPU count (== config().numVcpus). */
+    unsigned numVcpus() const { return cfg_.numVcpus; }
+    /** vCPU currently holding the deterministic schedule. */
+    unsigned activeVcpu() const { return active_vcpu_; }
+    /** Per-vCPU translation stacks (0 = the classic members). */
+    TlbHierarchy &tlbOf(unsigned vcpu);
+    PageWalkCache &pwcOf(unsigned vcpu);
+    /** The shared shootdown fabric. */
+    CoherenceDomain &coherence() { return *coh_; }
+    const CoherenceDomain &coherence() const { return *coh_; }
 
     /**
      * Start recording one WalkTraceRecord per serviced TLB miss into a
@@ -284,11 +316,32 @@ class Machine : public stats::StatGroup, public WorkloadHost
         std::uint64_t gen = 0;
     };
 
+    /**
+     * One extra vCPU's private translation stack (vCPU 0 uses the
+     * machine's classic tlb_/pwc_/walker_/l0_ members, so its stat
+     * names — and therefore a 1-vCPU machine's output — are unchanged).
+     * Extra stacks group their stats under "vcpu1", "vcpu2", ...
+     */
+    struct VcpuStack
+    {
+        std::unique_ptr<stats::StatGroup> group;
+        std::unique_ptr<TlbHierarchy> tlb;
+        std::unique_ptr<PageWalkCache> pwc;
+        std::unique_ptr<Walker> walker;
+        LastXlat l0[2];
+    };
+
+    /** Re-point the active-stack aliases at @p vcpu's structures. */
+    void setActiveVcpu(unsigned vcpu);
+
     PhysMem mem_;
     std::unique_ptr<TlbHierarchy> tlb_;
     std::unique_ptr<PageWalkCache> pwc_;
     std::unique_ptr<NestedTlb> ntlb_;
     std::unique_ptr<Walker> walker_;
+    std::unique_ptr<CoherenceDomain> coh_;
+    /** vCPUs 1..N-1; empty on the classic 1-vCPU machine. */
+    std::vector<std::unique_ptr<VcpuStack>> extra_vcpus_;
     std::unique_ptr<Vmm> vmm_;
     std::unique_ptr<ShadowMgr> smgr_;
     std::unique_ptr<AgilePolicy> policy_;
@@ -305,6 +358,21 @@ class Machine : public stats::StatGroup, public WorkloadHost
 
     /** [0] = data stream, [1] = instruction stream. */
     LastXlat l0_[2];
+
+    /**
+     * Active-vCPU aliases: the access path reads these instead of the
+     * owning pointers so vCPU rotation is a four-pointer swap. They
+     * always point at vCPU active_vcpu_'s stack (vCPU 0 = the classic
+     * members above/below).
+     */
+    TlbHierarchy *atlb_ = nullptr;
+    PageWalkCache *apwc_ = nullptr;
+    Walker *awalker_ = nullptr;
+    LastXlat *al0_ = nullptr;
+
+    unsigned active_vcpu_ = 0;
+    /** Accesses left before the round-robin schedule rotates. */
+    std::uint64_t vcpu_quantum_left_ = 0;
 
     /** Per-miss event trace (allocated by enableWalkTrace). */
     std::unique_ptr<WalkTraceBuffer> walk_trace_;

@@ -41,6 +41,8 @@ oracleConfig(VirtMode mode, const OracleOptions &opts)
     // The oracle is the independent checker; the machine's built-in
     // verification would panic before the oracle could report.
     cfg.verifyTranslations = false;
+    cfg.numVcpus = opts.numVcpus;
+    cfg.tlbCoherence = opts.tlbCoherence;
     return cfg;
 }
 
@@ -90,6 +92,25 @@ injectShadowBug(Machine &m)
     Pte *spte = st.spt->entry(target_va, target_depth);
     spte->pfn += 1;
     return true;
+}
+
+/**
+ * Plant a writable TLB entry for a VA the guest never maps into the
+ * last vCPU of @p m — exactly what a missed shootdown leaves behind.
+ * The residency sweep must flag it as stale.
+ */
+void
+injectStaleTlbEntry(Machine &m)
+{
+    // Far above the oracle's region slots (which start at 1<<32 and
+    // grow in 4 MB steps), so no trace can legitimately map it.
+    constexpr Addr kNeverMapped = Addr{1} << 45;
+    TlbEntry e;
+    e.pfn = 0xdead;
+    e.writable = true;
+    e.dirty = true;
+    e.asid = m.currentProcess();
+    m.tlbOf(m.numVcpus() - 1).l1d4k.insert(kNeverMapped, e.asid, e);
 }
 
 } // namespace
@@ -230,10 +251,17 @@ runDifferential(const Trace &trace, const OracleOptions &opts)
             fail(*v);
         else if (auto v2 = checkShadowCoherence(agile, idx))
             fail(*v2);
+        for (auto &m : machines) {
+            if (!rep.passed)
+                break;
+            if (auto v = checkTlbResidency(*m, idx))
+                fail(*v);
+        }
     };
 
     std::uint64_t access_no = 0;
     bool injected = false;
+    bool stale_injected = false;
     for (std::size_t idx = 0;
          idx < trace.events.size() && rep.passed; ++idx) {
         const TraceEvent &e = trace.events[idx];
@@ -255,6 +283,14 @@ runDifferential(const Trace &trace, const OracleOptions &opts)
             injected = injectShadowBug(agile) || injectShadowBug(shadow);
             if (injected)
                 sweep(idx);
+        }
+        if (opts.injectStaleTlbAtAccess && !stale_injected &&
+            access_no >= opts.injectStaleTlbAtAccess) {
+            // Sweep immediately: a later flush event would repair the
+            // plant and mask a broken sweep.
+            injectStaleTlbEntry(agile);
+            stale_injected = true;
+            sweep(idx);
         }
 
         if (is_access && rep.passed) {

@@ -48,6 +48,16 @@ struct OracleOptions
      *  after the Nth Access event (1-based) — a deliberate coherence
      *  bug the oracle must catch. */
     std::uint64_t injectAtAccess = 0;
+    /** vCPUs per machine; >1 interleaves the trace across per-vCPU
+     *  TLB/PWC stacks and models shootdown traffic. */
+    unsigned numVcpus = 1;
+    /** Shootdown cost model used when numVcpus > 1. */
+    TlbCoherence tlbCoherence = TlbCoherence::Software;
+    /** When nonzero, fabricate a stale writable TLB entry (at a VA the
+     *  guest never maps) in the last vCPU of the agile machine after
+     *  the Nth Access event — a missed-shootdown bug the residency
+     *  sweep must catch. */
+    std::uint64_t injectStaleTlbAtAccess = 0;
 };
 
 /** Outcome of one differential replay. */

@@ -198,6 +198,24 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
                << "\": " << r.trapByKind[k];
         }
         os << "}";
+        if (r.numVcpus > 1) {
+            // Coherence block only exists for multi-vCPU runs so
+            // single-vCPU reports stay byte-identical to earlier
+            // producers of ap-runs-v1.
+            os << ", \"num_vcpus\": " << r.numVcpus
+               << ", \"coherence_cycles\": " << r.coherenceCycles
+               << ", \"shootdowns\": " << r.shootdowns
+               << ", \"remote_invalidations\": " << r.remoteInvalidations
+               << ", \"shootdowns_by_cause\": {";
+            for (std::size_t k = 0; k < kNumCoherenceCauses; ++k) {
+                os << (k ? ", " : "") << "\""
+                   << coherenceCauseName(static_cast<CoherenceCause>(k))
+                   << "\": " << r.shootdownsByCause[k];
+            }
+            os << "}";
+            os << ", \"coherence_overhead\": " << std::setprecision(17)
+               << r.coherenceOverhead();
+        }
         os << ", \"walk_overhead\": " << std::setprecision(17)
            << r.walkOverhead()
            << ", \"vmm_overhead\": " << std::setprecision(17)

@@ -21,7 +21,7 @@ namespace ap
 namespace
 {
 
-constexpr char kMagic[8] = {'A', 'P', 'S', 'N', 'A', 'P', '2', '\0'};
+constexpr char kMagic[8] = {'A', 'P', 'S', 'N', 'A', 'P', '3', '\0'};
 
 /** FNV-1a, the integrity hash of the container and the key digest. */
 std::uint64_t
@@ -117,6 +117,11 @@ simConfigDigest(const SimConfig &cfg)
     s.putBool(cfg.shsp.startNested);
     s.putU64(cfg.policyIntervalOps);
     s.putBool(cfg.verifyTranslations);
+    s.putU32(cfg.numVcpus);
+    s.putU8(static_cast<std::uint8_t>(cfg.tlbCoherence));
+    s.putU64(cfg.vcpuQuantumOps);
+    s.putU64(cfg.ipiShootdownCycles);
+    s.putU64(cfg.hwInvalidateCycles);
     return fnv1a(s.data().data(), s.size());
 }
 

@@ -12,7 +12,7 @@
  * run it replaces. The SnapshotCache memoizes snapshots per
  * (workload, params, config-digest) with the same first-wins
  * promise/shared_future discipline as the TraceCache, and can
- * optionally persist them as versioned "APSNAP2\0" files (v2: machine
+ * optionally persist them as versioned "APSNAP3\0" files (v2: machine
  * payload carries arena/allocator pool counters).
  */
 
@@ -68,7 +68,7 @@ SnapshotPtr captureSnapshot(const Machine &machine);
  */
 bool restoreSnapshot(const MachineSnapshot &snap, Machine &machine);
 
-/** Write/read the on-disk container ("APSNAP2\0" + digest + payload
+/** Write/read the on-disk container ("APSNAP3\0" + digest + payload
  *  + checksum). read rejects bad magic, truncation and corruption. */
 bool writeSnapshot(const MachineSnapshot &snap, std::ostream &os);
 bool writeSnapshotFile(const MachineSnapshot &snap,

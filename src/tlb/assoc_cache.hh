@@ -146,6 +146,18 @@ class AssocCache
         ++gen_;
     }
 
+    /** Visit every live entry as @p fn(key, value) without disturbing
+     *  LRU state (invariant sweeps, debugging). */
+    template <typename Fn>
+    void
+    forEach(const Fn &fn) const
+    {
+        for (std::size_t i = 0; i < entries_; ++i) {
+            if (gens_[i] == gen_)
+                fn(keys_[i], values_[i]);
+        }
+    }
+
     /** Number of valid entries. */
     std::size_t
     size() const

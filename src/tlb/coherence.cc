@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CoherenceDomain implementation.
+ */
+
+#include "tlb/coherence.hh"
+
+namespace ap
+{
+
+const char *
+tlbCoherenceName(TlbCoherence c)
+{
+    return c == TlbCoherence::Hardware ? "hw" : "sw";
+}
+
+const char *
+coherenceCauseName(CoherenceCause c)
+{
+    switch (c) {
+      case CoherenceCause::Munmap:
+        return "munmap";
+      case CoherenceCause::Cow:
+        return "cow";
+      case CoherenceCause::Fork:
+        return "fork";
+      case CoherenceCause::Exit:
+        return "exit";
+      case CoherenceCause::Reclaim:
+        return "reclaim";
+      case CoherenceCause::ModeSwitch:
+        return "mode_switch";
+      case CoherenceCause::Resync:
+        return "resync";
+      case CoherenceCause::HostRemap:
+        return "host_remap";
+    }
+    return "unknown";
+}
+
+CoherenceDomain::CoherenceDomain(stats::StatGroup *parent,
+                                 TlbCoherence kind, Cycles ipi_cycles,
+                                 Cycles hw_cycles)
+    : stats::StatGroup("coherence", parent),
+      kind_(kind),
+      ipi_cycles_(ipi_cycles),
+      hw_cycles_(hw_cycles),
+      shootdowns_(this, "shootdowns",
+                  "translation shootdowns broadcast to remote vCPUs"),
+      remote_invals_(this, "remote_invalidations",
+                     "per-remote-vCPU invalidations delivered"),
+      coherence_cycles_(this, "coherence_cycles",
+                        "guest cycles spent on translation coherence")
+{
+    by_cause_.reserve(kNumCoherenceCauses);
+    for (std::size_t i = 0; i < kNumCoherenceCauses; ++i) {
+        auto cause = static_cast<CoherenceCause>(i);
+        by_cause_.push_back(std::make_unique<stats::Scalar>(
+            this, std::string("shootdown_") + coherenceCauseName(cause),
+            std::string("shootdowns caused by ") +
+                coherenceCauseName(cause)));
+    }
+}
+
+void
+CoherenceDomain::addVcpu(TlbHierarchy *tlb, PageWalkCache *pwc)
+{
+    tlbs_.push_back(tlb);
+    pwcs_.push_back(pwc);
+}
+
+void
+CoherenceDomain::charge(CoherenceCause cause)
+{
+    // With no remote vCPUs there is nobody to notify: no shootdown,
+    // no cycles. This is what keeps a 1-vCPU machine bit-identical to
+    // the pre-coherence simulator.
+    if (tlbs_.size() <= 1)
+        return;
+    std::size_t remotes = tlbs_.size() - 1;
+    ++shootdowns_;
+    ++*by_cause_[static_cast<std::size_t>(cause)];
+    remote_invals_ += static_cast<double>(remotes);
+    Cycles per_remote =
+        kind_ == TlbCoherence::Software ? ipi_cycles_ : hw_cycles_;
+    Cycles c = per_remote * static_cast<Cycles>(remotes);
+    total_cycles_ += c;
+    coherence_cycles_ += static_cast<double>(c);
+}
+
+void
+CoherenceDomain::flushPage(Addr va, ProcId asid, CoherenceCause cause)
+{
+    for (TlbHierarchy *tlb : tlbs_)
+        tlb->flushPage(va, asid);
+    charge(cause);
+}
+
+void
+CoherenceDomain::flushRange(Addr base, Addr len, ProcId asid,
+                            CoherenceCause cause)
+{
+    for (std::size_t v = 0; v < tlbs_.size(); ++v) {
+        tlbs_[v]->flushRange(base, len, asid);
+        if (pwcs_[v])
+            pwcs_[v]->flushRange(base, len, asid);
+    }
+    charge(cause);
+}
+
+void
+CoherenceDomain::flushAsid(ProcId asid, CoherenceCause cause)
+{
+    for (std::size_t v = 0; v < tlbs_.size(); ++v) {
+        tlbs_[v]->flushAsid(asid);
+        if (pwcs_[v])
+            pwcs_[v]->flushAsid(asid);
+    }
+    charge(cause);
+}
+
+void
+CoherenceDomain::flushAsidUncharged(ProcId asid)
+{
+    for (std::size_t v = 0; v < tlbs_.size(); ++v) {
+        tlbs_[v]->flushAsid(asid);
+        if (pwcs_[v])
+            pwcs_[v]->flushAsid(asid);
+    }
+}
+
+void
+CoherenceDomain::flushAll(CoherenceCause cause)
+{
+    for (std::size_t v = 0; v < tlbs_.size(); ++v) {
+        tlbs_[v]->flushAll();
+        if (pwcs_[v])
+            pwcs_[v]->flushAll();
+    }
+    charge(cause);
+}
+
+} // namespace ap

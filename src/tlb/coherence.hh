@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Translation-coherence domain: the broadcast fabric that keeps every
+ * vCPU's private TLB/PWC stack consistent with the shared guest,
+ * shadow, and nested page tables.
+ *
+ * Real guests pay for this either with software shootdowns (the
+ * initiating vCPU IPIs every sibling and spins for acknowledgements)
+ * or with HATRIC-style hardware translation coherence, where the
+ * fabric invalidates remote entries without interrupting the remote
+ * cores. The domain models both as a per-remote-vCPU cycle charge and
+ * counts every shootdown by cause so the evaluation can attribute
+ * coherence traffic to munmap, COW, reclaim, mode switches, and shadow
+ * resyncs separately.
+ *
+ * With a single registered vCPU the domain degenerates to plain local
+ * flushes with no counters and no cycles — a 1-vCPU machine is
+ * bit-identical to one built before this subsystem existed.
+ */
+
+#ifndef AGILEPAGING_TLB_COHERENCE_HH
+#define AGILEPAGING_TLB_COHERENCE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "tlb/pwc.hh"
+#include "tlb/tlb_hierarchy.hh"
+
+namespace ap
+{
+
+/** How remote vCPU TLBs learn about translation invalidations. */
+enum class TlbCoherence
+{
+    /** Software shootdowns: the initiating vCPU sends an IPI to every
+     *  remote vCPU and waits for acknowledgement. */
+    Software,
+    /** HATRIC-style hardware translation coherence: remote entries are
+     *  invalidated by the coherence fabric without interrupting the
+     *  remote cores (Yan et al.). */
+    Hardware,
+};
+
+const char *tlbCoherenceName(TlbCoherence c);
+
+/** Why a shootdown was issued (one counter per cause). */
+enum class CoherenceCause
+{
+    /** Guest munmap / mapping teardown. */
+    Munmap,
+    /** Guest copy-on-write break. */
+    Cow,
+    /** Guest fork dropping write permission on the parent. */
+    Fork,
+    /** Guest process exit tearing down the address space. */
+    Exit,
+    /** Guest reclaim scan revoking mappings. */
+    Reclaim,
+    /** Agile mode switch re-homing part of the translation path. */
+    ModeSwitch,
+    /** Shadow-table resync / invlpg emulation. */
+    Resync,
+    /** Host-side remap (host COW break, page sharing). */
+    HostRemap,
+};
+
+constexpr std::size_t kNumCoherenceCauses = 8;
+
+const char *coherenceCauseName(CoherenceCause c);
+
+/**
+ * The coherence domain shared by every vCPU of a guest.
+ *
+ * Each vCPU registers its private TLB hierarchy and page-walk cache;
+ * every invalidation then reaches all registered stacks. Invalidation
+ * scope mirrors what the single-vCPU call sites did (page-scoped calls
+ * touch only the TLBs; range/asid/all-scoped calls touch TLBs and
+ * PWCs), so a domain with one vCPU is a drop-in replacement.
+ */
+class CoherenceDomain : public stats::StatGroup
+{
+  public:
+    /**
+     * @param parent      stat parent (the machine)
+     * @param kind        software IPIs or hardware invalidations
+     * @param ipi_cycles  per-remote-vCPU cost in software mode
+     * @param hw_cycles   per-remote-vCPU cost in hardware mode
+     */
+    CoherenceDomain(stats::StatGroup *parent, TlbCoherence kind,
+                    Cycles ipi_cycles, Cycles hw_cycles);
+
+    /** Register one vCPU's private translation stack. Registration
+     *  order is vCPU id order. @p pwc may be null (TLB-only stack). */
+    void addVcpu(TlbHierarchy *tlb, PageWalkCache *pwc);
+
+    std::size_t numVcpus() const { return tlbs_.size(); }
+
+    /** Invalidate one page's translation in every vCPU's TLBs (the
+     *  existing page-scoped sites never touched the PWC). */
+    void flushPage(Addr va, ProcId asid, CoherenceCause cause);
+
+    /** Invalidate [base, base+len) for @p asid in every vCPU's TLBs
+     *  and PWCs. */
+    void flushRange(Addr base, Addr len, ProcId asid,
+                    CoherenceCause cause);
+
+    /** Invalidate an address space in every vCPU's TLBs and PWCs. */
+    void flushAsid(ProcId asid, CoherenceCause cause);
+
+    /**
+     * flushAsid without any shootdown accounting: reaping a process
+     * whose address space was already torn down (and shot down) at
+     * exit. Nothing live can be cached, so no guest-visible IPI is
+     * modelled — this is bookkeeping hygiene, not coherence traffic.
+     */
+    void flushAsidUncharged(ProcId asid);
+
+    /** Invalidate everything in every vCPU's TLBs and PWCs. */
+    void flushAll(CoherenceCause cause);
+
+    /** Guest-visible cycles spent on remote invalidations so far. */
+    Cycles cycles() const { return total_cycles_; }
+
+    std::uint64_t shootdownCount() const
+    { return static_cast<std::uint64_t>(shootdowns_.value()); }
+
+    std::uint64_t remoteInvalidationCount() const
+    { return static_cast<std::uint64_t>(remote_invals_.value()); }
+
+    std::uint64_t
+    shootdownsByCause(CoherenceCause c) const
+    {
+        return static_cast<std::uint64_t>(
+            by_cause_[static_cast<std::size_t>(c)]->value());
+    }
+
+    TlbCoherence kind() const { return kind_; }
+
+    /** The cycle total travels with the stats tree (it backs a Scalar);
+     *  nothing else needs explicit snapshot state. */
+    void saveState(Serializer &s) const { s.putU64(total_cycles_); }
+    void restoreState(Deserializer &d) { total_cycles_ = d.getU64(); }
+
+  private:
+    /** Charge one broadcast: counters plus per-remote cycles. A domain
+     *  with no remotes charges nothing. */
+    void charge(CoherenceCause cause);
+
+    TlbCoherence kind_;
+    Cycles ipi_cycles_;
+    Cycles hw_cycles_;
+    Cycles total_cycles_ = 0;
+
+    std::vector<TlbHierarchy *> tlbs_;
+    std::vector<PageWalkCache *> pwcs_;
+
+    stats::Scalar shootdowns_;
+    stats::Scalar remote_invals_;
+    stats::Scalar coherence_cycles_;
+    std::vector<std::unique_ptr<stats::Scalar>> by_cause_;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_TLB_COHERENCE_HH

@@ -84,6 +84,9 @@ PageWalkCache::flushAsid(ProcId asid)
 void
 PageWalkCache::flushRange(Addr base, Addr len, ProcId asid)
 {
+    // Same guard as Tlb::flushRange: base + len - 1 must not wrap.
+    if (len == 0)
+        return;
     for (unsigned depth = 1; depth < kPtLevels; ++depth) {
         unsigned shift = kPageShift + (kPtLevels - depth) * kLevelBits;
         std::uint64_t lo = base >> shift;

@@ -63,6 +63,11 @@ Tlb::flushAsid(ProcId asid)
 void
 Tlb::flushRange(Addr base, Addr len, ProcId asid)
 {
+    // An empty range must not underflow base + len - 1 below: with
+    // base == 0 that wraps to the top of the address space and turns
+    // a no-op into a full-ASID flush.
+    if (len == 0)
+        return;
     std::uint64_t lo = vpnOf(base, ps_);
     std::uint64_t hi = vpnOf(base + len - 1, ps_);
     cache_.eraseIf([=](std::uint64_t k, const TlbEntry &) {

@@ -101,6 +101,19 @@ class Tlb : public stats::StatGroup
     PageSize pageSize() const { return ps_; }
     std::size_t size() const { return cache_.size(); }
 
+    /** Visit every live entry as @p fn(va, asid, entry), va decoded to
+     *  the entry's page base. LRU state is untouched (invariant
+     *  sweeps). */
+    template <typename Fn>
+    void
+    forEach(const Fn &fn) const
+    {
+        cache_.forEach([&](std::uint64_t k, const TlbEntry &e) {
+            Addr va = (k & ((std::uint64_t{1} << 40) - 1)) << shift_;
+            fn(va, static_cast<ProcId>(k >> 40), e);
+        });
+    }
+
     /** Snapshot support (stat counters travel via the stats tree). */
     void saveState(Serializer &s) const { cache_.saveState(s); }
     void restoreState(Deserializer &d) { cache_.restoreState(d); }

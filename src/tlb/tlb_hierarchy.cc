@@ -37,7 +37,7 @@ TlbHierarchy::TlbHierarchy(stats::StatGroup *parent,
 void
 TlbHierarchy::flushPage(Addr va, ProcId asid)
 {
-    ++flush_gen_;
+    ++asid_flush_gens_[asidGenSlot(asid)];
     l1d4k.flushPage(va, asid);
     l1d2m.flushPage(va, asid);
     l1d1g.flushPage(va, asid);
@@ -49,7 +49,7 @@ TlbHierarchy::flushPage(Addr va, ProcId asid)
 void
 TlbHierarchy::flushAsid(ProcId asid)
 {
-    ++flush_gen_;
+    ++asid_flush_gens_[asidGenSlot(asid)];
     l1d4k.flushAsid(asid);
     l1d2m.flushAsid(asid);
     l1d1g.flushAsid(asid);
@@ -61,7 +61,7 @@ TlbHierarchy::flushAsid(ProcId asid)
 void
 TlbHierarchy::flushRange(Addr base, Addr len, ProcId asid)
 {
-    ++flush_gen_;
+    ++asid_flush_gens_[asidGenSlot(asid)];
     l1d4k.flushRange(base, len, asid);
     l1d2m.flushRange(base, len, asid);
     l1d1g.flushRange(base, len, asid);
@@ -73,7 +73,7 @@ TlbHierarchy::flushRange(Addr base, Addr len, ProcId asid)
 void
 TlbHierarchy::flushAll()
 {
-    ++flush_gen_;
+    ++global_flush_gen_;
     l1d4k.flushAll();
     l1d2m.flushAll();
     l1d1g.flushAll();

@@ -154,12 +154,25 @@ class TlbHierarchy : public stats::StatGroup
     void flushAll();
 
     /**
-     * Monotonic count of invalidation operations of any scope. The
-     * machine's last-translation filter caches the previous probe's
-     * result and must revalidate it whenever anything may have been
-     * flushed; comparing this counter is that check.
+     * Monotonic invalidation count as seen by @p asid. The machine's
+     * last-translation filter caches the previous probe's result and
+     * must revalidate it whenever anything that could affect this
+     * address space may have been flushed; comparing this counter is
+     * that check.
+     *
+     * Scoped flushes (flushPage/flushAsid/flushRange) bump only the
+     * target ASID's generation slot, so one process's flush no longer
+     * invalidates every other process's filter; flushAll() bumps the
+     * global generation all ASIDs observe. The per-ASID slots are a
+     * small direct-mapped array, so two ASIDs that collide modulo
+     * kAsidGenSlots conservatively invalidate each other — never the
+     * reverse.
      */
-    std::uint64_t flushGeneration() const { return flush_gen_; }
+    std::uint64_t
+    flushGeneration(ProcId asid) const
+    {
+        return global_flush_gen_ + asid_flush_gens_[asidGenSlot(asid)];
+    }
 
     /**
      * Account a probe that an external last-translation filter proved
@@ -214,6 +227,20 @@ class TlbHierarchy : public stats::StatGroup
     Tlb l1i4k, l1i2m;
     Tlb l2u4k;
 
+    /** Visit every live entry of every structure as
+     *  @p fn(va, asid, entry, granule) (invariant sweeps). */
+    template <typename Fn>
+    void
+    forEachEntry(const Fn &fn) const
+    {
+        for (const Tlb *t :
+             {&l1d4k, &l1d2m, &l1d1g, &l1i4k, &l1i2m, &l2u4k}) {
+            t->forEach([&](Addr va, ProcId asid, const TlbEntry &e) {
+                fn(va, asid, e, t->pageSize());
+            });
+        }
+    }
+
     /** Snapshot support: every cache plus the aggregate counters the
      *  Formula stats read. */
     void
@@ -226,7 +253,9 @@ class TlbHierarchy : public stats::StatGroup
         s.putU64(l1_hit_count_);
         s.putU64(l2_hit_count_);
         s.putU64(miss_count_);
-        s.putU64(flush_gen_);
+        s.putU64(global_flush_gen_);
+        for (std::uint64_t g : asid_flush_gens_)
+            s.putU64(g);
     }
 
     void
@@ -238,7 +267,18 @@ class TlbHierarchy : public stats::StatGroup
         l1_hit_count_ = d.getU64();
         l2_hit_count_ = d.getU64();
         miss_count_ = d.getU64();
-        flush_gen_ = d.getU64();
+        global_flush_gen_ = d.getU64();
+        for (std::uint64_t &g : asid_flush_gens_)
+            g = d.getU64();
+    }
+
+    /** Direct-mapped per-ASID flush-generation slots. */
+    static constexpr std::size_t kAsidGenSlots = 64;
+
+    static std::size_t
+    asidGenSlot(ProcId asid)
+    {
+        return static_cast<std::size_t>(asid) & (kAsidGenSlots - 1);
     }
 
   private:
@@ -246,7 +286,12 @@ class TlbHierarchy : public stats::StatGroup
     std::uint64_t l1_hit_count_ = 0;
     std::uint64_t l2_hit_count_ = 0;
     std::uint64_t miss_count_ = 0;
-    std::uint64_t flush_gen_ = 1;
+    /** Bumped by flushAll(): every address space observes it. */
+    std::uint64_t global_flush_gen_ = 1;
+    /** Bumped by ASID-scoped flushes; observed generation is the sum
+     *  of the global counter and the ASID's slot, so both kinds of
+     *  flush strictly advance what flushGeneration(asid) returns. */
+    std::uint64_t asid_flush_gens_[kAsidGenSlots] = {};
 };
 
 } // namespace ap

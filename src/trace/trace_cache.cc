@@ -110,6 +110,8 @@ runExperimentCached(TraceCache &cache, const ExperimentSpec &spec,
         params.operations = spec.operations;
     SimConfig cfg =
         configFor(spec.mode, spec.pageSize, params, spec.hwOpts);
+    cfg.numVcpus = spec.numVcpus;
+    cfg.tlbCoherence = spec.tlbCoherence;
     return runCellCached(cache, spec.workload, params, cfg, batched);
 }
 
@@ -291,6 +293,8 @@ runExperimentSnapshotted(TraceCache &traces, SnapshotCache &snaps,
         params.operations = spec.operations;
     SimConfig cfg =
         configFor(spec.mode, spec.pageSize, params, spec.hwOpts);
+    cfg.numVcpus = spec.numVcpus;
+    cfg.tlbCoherence = spec.tlbCoherence;
     return runCellSnapshotted(traces, snaps, spec.workload, params, cfg,
                               batched);
 }

@@ -41,8 +41,7 @@ nodeSpan(unsigned depth)
 } // namespace
 
 ShadowMgr::ShadowMgr(stats::StatGroup *parent, PhysMem &mem, Vmm &vmm,
-                     const ShadowConfig &cfg, TlbHierarchy *tlb,
-                     PageWalkCache *pwc)
+                     const ShadowConfig &cfg, CoherenceDomain *coh)
     : stats::StatGroup("shadow", parent),
       fills(this, "fills", "shadow entries filled on demand"),
       syncWrites(this, "sync_writes", "mediated gPT writes synced"),
@@ -54,8 +53,7 @@ ShadowMgr::ShadowMgr(stats::StatGroup *parent, PhysMem &mem, Vmm &vmm,
       mem_(mem),
       vmm_(vmm),
       cfg_(cfg),
-      tlb_(tlb),
-      pwc_(pwc)
+      coh_(coh)
 {
 }
 
@@ -180,10 +178,10 @@ ShadowMgr::state(ProcId proc)
 void
 ShadowMgr::flushRegion(ProcState &p, Addr base, Addr span)
 {
-    if (tlb_)
-        tlb_->flushRange(base, span, p.ctx.asid);
-    if (pwc_)
-        pwc_->flushRange(base, span, p.ctx.asid);
+    if (coh_) {
+        coh_->flushRange(base, span, p.ctx.asid,
+                         CoherenceCause::Resync);
+    }
 }
 
 bool
@@ -496,8 +494,8 @@ ShadowMgr::refreshLeaf(ProcId proc, Addr va)
     auto sm = p.spt->lookup(va);
     if (sm && !sm->pte.switching)
         fillLeaf(p, va, gm->depth, *gpte);
-    if (tlb_)
-        tlb_->flushPage(va, p.ctx.asid);
+    if (coh_)
+        coh_->flushPage(va, p.ctx.asid, CoherenceCause::Resync);
 }
 
 void
@@ -535,8 +533,8 @@ ShadowMgr::emulateDirtyWrite(ProcId proc, Addr va)
         }
     }
     // The stale read-only translation may be cached.
-    if (tlb_)
-        tlb_->flushPage(va, p.ctx.asid);
+    if (coh_)
+        coh_->flushPage(va, p.ctx.asid, CoherenceCause::Resync);
 }
 
 void
@@ -586,10 +584,8 @@ ShadowMgr::convertToNested(ProcId proc, Addr va, unsigned depth)
         p.ctx.rootSwitch = true;
         p.ctx.gptRootBacking = vmm_.ensurePtBacked(p.gptRootGframe);
         p.spt->clear();
-        if (tlb_)
-            tlb_->flushAsid(p.ctx.asid);
-        if (pwc_)
-            pwc_->flushAsid(p.ctx.asid);
+        if (coh_)
+            coh_->flushAsid(p.ctx.asid, CoherenceCause::ModeSwitch);
     } else {
         // Replace the parent shadow entry with a switching entry.
         p.spt->invalidateEntry(va, depth - 1);
@@ -626,10 +622,8 @@ ShadowMgr::convertToShadow(ProcId proc, Addr va, unsigned depth)
     std::uint64_t merged = 0;
     if (depth == 0) {
         p.ctx.rootSwitch = false;
-        if (tlb_)
-            tlb_->flushAsid(p.ctx.asid);
-        if (pwc_)
-            pwc_->flushAsid(p.ctx.asid);
+        if (coh_)
+            coh_->flushAsid(p.ctx.asid, CoherenceCause::ModeSwitch);
     } else {
         // Clear the switching entry and eagerly re-merge the region's
         // leaves inside the same VM exit — the VMM has everything it
@@ -694,10 +688,8 @@ void
 ShadowMgr::onModeRegisterWrite(ProcId proc)
 {
     ProcState &p = state(proc);
-    if (tlb_)
-        tlb_->flushAsid(p.ctx.asid);
-    if (pwc_)
-        pwc_->flushAsid(p.ctx.asid);
+    if (coh_)
+        coh_->flushAsid(p.ctx.asid, CoherenceCause::ModeSwitch);
 }
 
 bool
@@ -806,10 +798,8 @@ ShadowMgr::zapProcess(ProcId proc)
     p.unsynced.clear();
     p.nodes[p.gptRootGframe] = GptNode{0, 0, false, false, 0};
     p.ctx.rootSwitch = false;
-    if (tlb_)
-        tlb_->flushAsid(p.ctx.asid);
-    if (pwc_)
-        pwc_->flushAsid(p.ctx.asid);
+    if (coh_)
+        coh_->flushAsid(p.ctx.asid, CoherenceCause::ModeSwitch);
 }
 
 } // namespace ap

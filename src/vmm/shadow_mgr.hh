@@ -27,8 +27,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "mem/page_table.hh"
-#include "tlb/pwc.hh"
-#include "tlb/tlb_hierarchy.hh"
+#include "tlb/coherence.hh"
 #include "vmm/vmm.hh"
 #include "walker/walker.hh"
 
@@ -94,11 +93,11 @@ class ShadowMgr : public stats::StatGroup
 {
   public:
     /**
-     * @param tlb,pwc caches to invalidate on shadow changes (nullable)
+     * @param coh coherence domain to invalidate through on shadow
+     *            changes (nullable; every vCPU's caches are reached)
      */
     ShadowMgr(stats::StatGroup *parent, PhysMem &mem, Vmm &vmm,
-              const ShadowConfig &cfg, TlbHierarchy *tlb,
-              PageWalkCache *pwc);
+              const ShadowConfig &cfg, CoherenceDomain *coh);
     ~ShadowMgr();
 
     /** Per-process bookkeeping (exposed to the agile policy). */
@@ -308,8 +307,7 @@ class ShadowMgr : public stats::StatGroup
     PhysMem &mem_;
     Vmm &vmm_;
     ShadowConfig cfg_;
-    TlbHierarchy *tlb_;
-    PageWalkCache *pwc_;
+    CoherenceDomain *coh_;
 
     /** Ordered for the same reason as ProcState::nodes. */
     std::map<ProcId, ProcState> procs_;

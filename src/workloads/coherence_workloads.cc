@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Coherence-stress workload implementations.
+ */
+
+#include "workloads/coherence_workloads.hh"
+
+namespace ap
+{
+
+// ---------------------------------------------------------------------
+// shootdown_storm
+// ---------------------------------------------------------------------
+
+ShootdownStormWorkload::ShootdownStormWorkload(
+    const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+ShootdownStormWorkload::init(WorkloadHost &host)
+{
+    heap_bytes_ = params_.footprintBytes / 2;
+    heap_ = host.mmap(heap_bytes_, true, false, 0);
+    hot_ = std::make_unique<ZipfRegion>(heap_, 1u << 20, 0.8,
+                                        params_.seed);
+    std::uint64_t nbufs = (params_.footprintBytes / 2) / kBufBytes;
+    for (std::uint64_t i = 0; i < nbufs; ++i) {
+        Addr base = host.mmap(kBufBytes, true, false, 0);
+        if (base)
+            bufs_.push_back(base);
+    }
+}
+
+void
+ShootdownStormWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, heap_, heap_bytes_, true);
+    for (Addr buf : bufs_)
+        touchAll(host, buf, kBufBytes, true);
+}
+
+bool
+ShootdownStormWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    if (fill_remaining_ > 0) {
+        // Repopulate the freshly recycled buffer page by page.
+        host.access(fill_base_ + (kBufBytes - fill_remaining_), true);
+        fill_remaining_ = fill_remaining_ > kPageBytes
+                              ? fill_remaining_ - kPageBytes
+                              : 0;
+        return ops_done_ < params_.operations;
+    }
+    if (!bufs_.empty() && rng.chance(1.0 / 48)) {
+        // Free + reallocate one buffer: the munmap broadcasts a range
+        // shootdown to every other vCPU still streaming the heap.
+        Addr base = bufs_[rng.nextBelow(bufs_.size())];
+        host.munmap(base, kBufBytes);
+        host.mmapAt(base, kBufBytes, true, false, 0);
+        fill_base_ = base;
+        fill_remaining_ = kBufBytes;
+        return ops_done_ < params_.operations;
+    }
+    host.access(hot_->pick(rng), rng.chance(0.3));
+    return ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// reclaim_scan
+// ---------------------------------------------------------------------
+
+ReclaimScanWorkload::ReclaimScanWorkload(const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+ReclaimScanWorkload::init(WorkloadHost &host)
+{
+    arena_ = host.mmap(params_.footprintBytes, true, false, 0);
+}
+
+void
+ReclaimScanWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, arena_, params_.footprintBytes, true);
+}
+
+bool
+ReclaimScanWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    if (rng.chance(1.0 / 900)) {
+        // Memory-pressure tick: accessed-bit sweep plus evictions,
+        // each eviction a broadcast shootdown.
+        host.reclaimTick(24);
+        return ops_done_ < params_.operations;
+    }
+    // Stream sequentially so the clock hand keeps finding cold pages
+    // behind the cursor (evictions actually happen), with a sprinkle
+    // of random re-reference to fault some evicted pages back in.
+    if (rng.chance(0.15)) {
+        host.access(arena_ + rng.nextBelow(params_.footprintBytes),
+                    false);
+    } else {
+        host.access(arena_ + cursor_, true);
+        cursor_ = (cursor_ + kPageBytes) % params_.footprintBytes;
+    }
+    return ops_done_ < params_.operations;
+}
+
+// ---------------------------------------------------------------------
+// page_migration
+// ---------------------------------------------------------------------
+
+PageMigrationWorkload::PageMigrationWorkload(
+    const WorkloadParams &params)
+    : Workload(params)
+{
+}
+
+void
+PageMigrationWorkload::init(WorkloadHost &host)
+{
+    arena_bytes_ = params_.footprintBytes;
+    arena_ = host.mmap(arena_bytes_, true, false, 0);
+}
+
+void
+PageMigrationWorkload::warmup(WorkloadHost &host)
+{
+    touchAll(host, arena_, arena_bytes_, true);
+}
+
+bool
+PageMigrationWorkload::step(WorkloadHost &host)
+{
+    Rng &rng = host.rng();
+    ++ops_done_;
+
+    if (rewrite_left_ > 0) {
+        // Re-establish the migrated page's content; the first of
+        // these accesses takes the fault that refills the mapping.
+        host.access(migrating_, true);
+        --rewrite_left_;
+        if (rewrite_left_ == 0)
+            migrating_ = 0;
+        return ops_done_ < params_.operations;
+    }
+    if (rng.chance(1.0 / 64)) {
+        // Migrate one page: remapping it invalidates the translation
+        // every other vCPU still holds from the streaming below.
+        Addr page = arena_ +
+                    rng.nextBelow(arena_bytes_ / kPageBytes) *
+                        kPageBytes;
+        host.munmap(page, kPageBytes);
+        host.mmapAt(page, kPageBytes, true, false, 0);
+        migrating_ = page;
+        rewrite_left_ = 4;
+        return ops_done_ < params_.operations;
+    }
+    host.access(arena_ + rng.nextBelow(arena_bytes_),
+                rng.chance(0.25));
+    return ops_done_ < params_.operations;
+}
+
+} // namespace ap

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Coherence-stress workloads for the multi-vCPU evaluation.
+ *
+ * These are not Table V benchmarks (they never appear in the Figure 5
+ * matrix); they exist to exercise the translation-coherence machinery:
+ * shootdown broadcast cost, per-vCPU TLB/PWC invalidation, and the
+ * sw-IPI versus HATRIC-style hardware cost gap.
+ */
+
+#ifndef AGILEPAGING_WORKLOADS_COHERENCE_WORKLOADS_HH
+#define AGILEPAGING_WORKLOADS_COHERENCE_WORKLOADS_HH
+
+#include <vector>
+
+#include "workloads/access_pattern.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+
+/**
+ * shootdown_storm: an allocator-churn loop. A pool of small buffers is
+ * recycled aggressively (munmap + mmapAt of the same slot), so nearly
+ * every recycle broadcasts a range shootdown while the other vCPUs
+ * stream over a shared heap — the unmap-heavy multithreaded pattern
+ * that makes IPI-based coherence a first-order cost.
+ */
+class ShootdownStormWorkload : public Workload
+{
+  public:
+    explicit ShootdownStormWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "shootdown_storm"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    /** Recycled buffer size (4 pages). */
+    static constexpr Addr kBufBytes = 16u << 10;
+
+    std::uint64_t ops_done_ = 0;
+    Addr heap_ = 0;
+    Addr heap_bytes_ = 0;
+    std::unique_ptr<ZipfRegion> hot_;
+    std::vector<Addr> bufs_;
+    Addr fill_base_ = 0;
+    Addr fill_remaining_ = 0;
+};
+
+/**
+ * reclaim_scan: steady streaming over a footprint larger than the
+ * guest's comfort zone, with periodic clock-scan pressure ticks. Every
+ * eviction clears a live PTE and must shoot down every vCPU; every
+ * accessed-bit sweep rewrites PT pages (the unsync/resync path under
+ * shadow-based modes).
+ */
+class ReclaimScanWorkload : public Workload
+{
+  public:
+    explicit ReclaimScanWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "reclaim_scan"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr arena_ = 0;
+    Addr cursor_ = 0;
+};
+
+/**
+ * page_migration: a worker migrates pages between two arenas —
+ * read from the old slot, remap it (munmap + mmapAt), rewrite the
+ * content — while the interleaved vCPUs keep touching both arenas.
+ * Each migration invalidates a translation the *other* vCPUs hold, so
+ * correctness depends on the shootdown reaching every stack (the
+ * cross-vCPU migration pattern of NUMA balancing / compaction).
+ */
+class PageMigrationWorkload : public Workload
+{
+  public:
+    explicit PageMigrationWorkload(const WorkloadParams &params);
+
+    std::string name() const override { return "page_migration"; }
+    void init(WorkloadHost &host) override;
+    void warmup(WorkloadHost &host) override;
+    bool step(WorkloadHost &host) override;
+
+  private:
+    std::uint64_t ops_done_ = 0;
+    Addr arena_ = 0;
+    Addr arena_bytes_ = 0;
+    /** Page currently mid-migration (0 = none). */
+    Addr migrating_ = 0;
+    /** Migration phases left for migrating_ (rewrite accesses). */
+    std::uint64_t rewrite_left_ = 0;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_WORKLOADS_COHERENCE_WORKLOADS_HH

@@ -6,6 +6,7 @@
 #include "workloads/workload.hh"
 
 #include "workloads/bigmem_workloads.hh"
+#include "workloads/coherence_workloads.hh"
 #include "workloads/parsec_workloads.hh"
 #include "workloads/spec_workloads.hh"
 
@@ -39,6 +40,15 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return std::make_unique<MemcachedWorkload>(params);
     if (name == "tigr")
         return std::make_unique<TigrWorkload>(params);
+    // Coherence-stress workloads: constructible by name for the
+    // multi-vCPU benches/tests, deliberately NOT in workloadNames()
+    // so the Figure 5 matrix (and its golden hashes) is unchanged.
+    if (name == "shootdown_storm")
+        return std::make_unique<ShootdownStormWorkload>(params);
+    if (name == "reclaim_scan")
+        return std::make_unique<ReclaimScanWorkload>(params);
+    if (name == "page_migration")
+        return std::make_unique<PageMigrationWorkload>(params);
     return nullptr;
 }
 

@@ -112,10 +112,10 @@ TEST(PtPageArena, BoundedUnder2MProcessChurn)
     vcfg.guestDataFrames = 1 << 14;
     vcfg.hostPageSize = PageSize::Size2M;
     Vmm vmm(&root, mem, vcfg, nullptr);
-    ShadowMgr smgr(&root, mem, vmm, ShadowConfig{}, nullptr, nullptr);
+    ShadowMgr smgr(&root, mem, vmm, ShadowConfig{}, nullptr);
     GuestOsConfig cfg;
     cfg.pageSize = PageSize::Size2M;
-    GuestOs os(&root, mem, &vmm, &smgr, nullptr, nullptr, cfg);
+    GuestOs os(&root, mem, &vmm, &smgr, nullptr, cfg);
 
     std::uint64_t reserved_after_warm = 0;
     std::uint64_t recycles_after_warm = 0;

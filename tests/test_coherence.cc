@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Multi-vCPU translation coherence tests: the CoherenceDomain cost
+ * model, per-ASID flush generations, munmap shootdown extents, fork
+ * COW isolation across vCPUs, counter consistency, snapshot roundtrip
+ * and the multi-vCPU oracle (including the stale-TLB self-test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/invariants.hh"
+#include "sim/machine.hh"
+#include "sim/oracle.hh"
+#include "sim/report.hh"
+#include "sim/snapshot.hh"
+#include "tlb/coherence.hh"
+#include "workloads/workload.hh"
+
+namespace ap
+{
+namespace
+{
+
+SimConfig
+vcpuConfig(VirtMode mode, unsigned vcpus,
+           TlbCoherence coh = TlbCoherence::Software,
+           PageSize ps = PageSize::Size4K)
+{
+    SimConfig cfg;
+    cfg.mode = mode;
+    cfg.pageSize = ps;
+    cfg.guestOs.pageSize = ps;
+    cfg.hostMemFrames = 1 << 16;
+    cfg.guestPtFrames = 1 << 13;
+    cfg.guestDataFrames = 1 << 15;
+    cfg.verifyTranslations = true;
+    cfg.policyIntervalOps = 5'000;
+    cfg.numVcpus = vcpus;
+    cfg.tlbCoherence = coh;
+    return cfg;
+}
+
+WorkloadParams
+smallParams(std::uint64_t ops = 30'000)
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = ops;
+    p.seed = 7;
+    return p;
+}
+
+/** Count TLB entries of @p asid inside [base, base+len) on any vCPU. */
+std::uint64_t
+entriesInRange(Machine &m, ProcId asid, Addr base, Addr len)
+{
+    std::uint64_t found = 0;
+    for (unsigned v = 0; v < m.numVcpus(); ++v) {
+        m.tlbOf(v).forEachEntry(
+            [&](Addr va, ProcId a, const TlbEntry &, PageSize) {
+                if (a == asid && va >= base && va < base + len)
+                    ++found;
+            });
+    }
+    return found;
+}
+
+// ---------------------------------------------------------------------
+// CoherenceDomain cost model
+// ---------------------------------------------------------------------
+
+TEST(CoherenceDomain, SingleVcpuChargesNothing)
+{
+    stats::StatGroup root("t");
+    CoherenceDomain coh(&root, TlbCoherence::Software, 1600, 40);
+    TlbHierarchy tlb(&root, TlbHierarchyConfig{});
+    PageWalkCache pwc(&root, 32, 4, true);
+    coh.addVcpu(&tlb, &pwc);
+
+    coh.flushPage(0x1000, 1, CoherenceCause::Munmap);
+    coh.flushAll(CoherenceCause::HostRemap);
+    EXPECT_EQ(coh.shootdownCount(), 0u);
+    EXPECT_EQ(coh.remoteInvalidationCount(), 0u);
+    EXPECT_EQ(coh.cycles(), 0u);
+}
+
+TEST(CoherenceDomain, BroadcastReachesEveryVcpuAndCharges)
+{
+    stats::StatGroup root("t");
+    CoherenceDomain coh(&root, TlbCoherence::Software, 1600, 40);
+    TlbHierarchy t0(&root, TlbHierarchyConfig{});
+    TlbHierarchy t1(&root, TlbHierarchyConfig{});
+    TlbHierarchy t2(&root, TlbHierarchyConfig{});
+    PageWalkCache p0(&root, 32, 4, true);
+    PageWalkCache p1(&root, 32, 4, true);
+    PageWalkCache p2(&root, 32, 4, true);
+    coh.addVcpu(&t0, &p0);
+    coh.addVcpu(&t1, &p1);
+    coh.addVcpu(&t2, &p2);
+
+    TlbEntry e{.pfn = 7, .writable = true, .asid = 1};
+    t0.l1d4k.insert(0x1000, 1, e);
+    t1.l1d4k.insert(0x1000, 1, e);
+    t2.l1d4k.insert(0x1000, 1, e);
+
+    coh.flushPage(0x1000, 1, CoherenceCause::Cow);
+    EXPECT_FALSE(t0.l1d4k.contains(0x1000, 1));
+    EXPECT_FALSE(t1.l1d4k.contains(0x1000, 1));
+    EXPECT_FALSE(t2.l1d4k.contains(0x1000, 1));
+    EXPECT_EQ(coh.shootdownCount(), 1u);
+    EXPECT_EQ(coh.remoteInvalidationCount(), 2u);
+    EXPECT_EQ(coh.cycles(), 2u * 1600u);
+    EXPECT_EQ(coh.shootdownsByCause(CoherenceCause::Cow), 1u);
+    EXPECT_EQ(coh.shootdownsByCause(CoherenceCause::Munmap), 0u);
+}
+
+TEST(CoherenceDomain, HardwareKindIsCheaperPerShootdown)
+{
+    stats::StatGroup root("t");
+    CoherenceDomain sw(&root, TlbCoherence::Software, 1600, 40);
+    CoherenceDomain hw(&root, TlbCoherence::Hardware, 1600, 40);
+    TlbHierarchy ts0(&root, TlbHierarchyConfig{});
+    TlbHierarchy ts1(&root, TlbHierarchyConfig{});
+    TlbHierarchy th0(&root, TlbHierarchyConfig{});
+    TlbHierarchy th1(&root, TlbHierarchyConfig{});
+    sw.addVcpu(&ts0, nullptr);
+    sw.addVcpu(&ts1, nullptr);
+    hw.addVcpu(&th0, nullptr);
+    hw.addVcpu(&th1, nullptr);
+
+    sw.flushAsid(1, CoherenceCause::Exit);
+    hw.flushAsid(1, CoherenceCause::Exit);
+    EXPECT_EQ(sw.cycles(), 1600u);
+    EXPECT_EQ(hw.cycles(), 40u);
+}
+
+TEST(CoherenceDomain, UnchargedAsidFlushInvalidatesSilently)
+{
+    stats::StatGroup root("t");
+    CoherenceDomain coh(&root, TlbCoherence::Software, 1600, 40);
+    TlbHierarchy t0(&root, TlbHierarchyConfig{});
+    TlbHierarchy t1(&root, TlbHierarchyConfig{});
+    coh.addVcpu(&t0, nullptr);
+    coh.addVcpu(&t1, nullptr);
+    t1.l1d4k.insert(0x2000, 3, TlbEntry{.pfn = 9, .asid = 3});
+
+    coh.flushAsidUncharged(3);
+    EXPECT_FALSE(t1.l1d4k.contains(0x2000, 3));
+    EXPECT_EQ(coh.shootdownCount(), 0u);
+    EXPECT_EQ(coh.cycles(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Per-ASID flush generations (L0 filter invalidation)
+// ---------------------------------------------------------------------
+
+TEST(TlbHierarchyGenerations, ScopedFlushOnlyBumpsThatAsid)
+{
+    stats::StatGroup root("t");
+    TlbHierarchy tlb(&root, TlbHierarchyConfig{});
+    std::uint64_t g1 = tlb.flushGeneration(1);
+    std::uint64_t g2 = tlb.flushGeneration(2);
+
+    tlb.flushPage(0x1000, 1);
+    EXPECT_GT(tlb.flushGeneration(1), g1);
+    EXPECT_EQ(tlb.flushGeneration(2), g2);
+
+    g1 = tlb.flushGeneration(1);
+    tlb.flushRange(0x0, 0x10000, 2);
+    EXPECT_EQ(tlb.flushGeneration(1), g1);
+    EXPECT_GT(tlb.flushGeneration(2), g2);
+
+    g2 = tlb.flushGeneration(2);
+    tlb.flushAsid(2);
+    EXPECT_GT(tlb.flushGeneration(2), g2);
+    EXPECT_EQ(tlb.flushGeneration(1), g1);
+}
+
+TEST(TlbHierarchyGenerations, FlushAllBumpsEveryAsid)
+{
+    stats::StatGroup root("t");
+    TlbHierarchy tlb(&root, TlbHierarchyConfig{});
+    std::uint64_t g1 = tlb.flushGeneration(1);
+    std::uint64_t g2 = tlb.flushGeneration(2);
+    tlb.flushAll();
+    EXPECT_GT(tlb.flushGeneration(1), g1);
+    EXPECT_GT(tlb.flushGeneration(2), g2);
+}
+
+TEST(TlbHierarchyGenerations, SlotCollisionsInvalidateConservatively)
+{
+    // ASIDs 64 slots apart share a direct-mapped generation slot; a
+    // flush of one must advance the other's generation (conservative:
+    // a false filter invalidation, never a false hit).
+    stats::StatGroup root("t");
+    TlbHierarchy tlb(&root, TlbHierarchyConfig{});
+    ProcId a = 3, b = 3 + 64;
+    std::uint64_t gb = tlb.flushGeneration(b);
+    tlb.flushPage(0x1000, a);
+    EXPECT_GT(tlb.flushGeneration(b), gb);
+}
+
+// ---------------------------------------------------------------------
+// munmap shootdown extents (2M leaf straddling the range end)
+// ---------------------------------------------------------------------
+
+TEST(MunmapBoundary, StraddledLargePageDoesNotSurviveStale)
+{
+    Machine m(vcpuConfig(VirtMode::Nested, 2, TlbCoherence::Software,
+                         PageSize::Size2M));
+    ProcId pid = m.spawnProcess();
+    Addr base = m.mmap(4 << 20, true, false, 0); // two 2M pages
+    ASSERT_NE(base, 0u);
+    // Touch both halves from both vCPUs so 2M entries are resident.
+    for (int i = 0; i < 4; ++i) {
+        m.touch(base + 0x3000, true);
+        m.touch(base + (2 << 20) + 0x3000, true);
+    }
+    ASSERT_GT(entriesInRange(m, pid, base, 4 << 20), 0u);
+
+    // Unmap a range whose end falls 4K into the second 2M page: the
+    // whole straddled mapping is evicted, so the shootdown must cover
+    // it even beyond the requested end.
+    m.munmap(base, (2 << 20) + 0x1000);
+    EXPECT_EQ(entriesInRange(m, pid, base, 4 << 20), 0u);
+    EXPECT_FALSE(m.guestOs().process(pid).pt->lookup(base + (3 << 20))
+                     .has_value());
+    // And the residency sweep agrees nothing stale survived anywhere.
+    auto v = checkTlbResidency(m, 0);
+    EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+}
+
+TEST(MunmapBoundary, StraddledLargePageAtRangeStart)
+{
+    Machine m(vcpuConfig(VirtMode::Nested, 2, TlbCoherence::Software,
+                         PageSize::Size2M));
+    ProcId pid = m.spawnProcess();
+    Addr base = m.mmap(4 << 20, true, false, 0);
+    ASSERT_NE(base, 0u);
+    for (int i = 0; i < 4; ++i) {
+        m.touch(base + 0x3000, true);
+        m.touch(base + (2 << 20) + 0x3000, true);
+    }
+
+    // Range starts 4K before the second 2M page ends... i.e. begins
+    // inside the FIRST large page: that mapping is evicted whole, so
+    // translations below the requested base must be gone too.
+    m.munmap(base + (2 << 20) - 0x1000, (2 << 20) + 0x1000);
+    EXPECT_EQ(entriesInRange(m, pid, base, 4 << 20), 0u);
+    auto v = checkTlbResidency(m, 0);
+    EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+}
+
+// ---------------------------------------------------------------------
+// Fork-time COW coherence across vCPUs
+// ---------------------------------------------------------------------
+
+class ForkCowTest : public ::testing::TestWithParam<VirtMode>
+{
+};
+
+TEST_P(ForkCowTest, ChildStoreCannotReuseParentWritableEntry)
+{
+    Machine m(vcpuConfig(GetParam(), 2));
+    ProcId parent = m.spawnProcess();
+    Addr base = m.mmap(64 * kPageBytes, true, false, 0);
+    ASSERT_NE(base, 0u);
+    // Dirty every page from both vCPUs: writable translations now sit
+    // in both stacks.
+    for (Addr va = base; va < base + 64 * kPageBytes; va += kPageBytes)
+        m.touch(va, true);
+
+    ProcId child = m.guestOs().fork(parent);
+    ASSERT_NE(child, 0u);
+    // Fork write-protects the parent's mappings and broadcasts the
+    // shootdown: no vCPU may retain a writable parent entry.
+    for (unsigned v = 0; v < m.numVcpus(); ++v) {
+        m.tlbOf(v).forEachEntry(
+            [&](Addr va, ProcId asid, const TlbEntry &e, PageSize) {
+                if (asid == parent && va >= base &&
+                    va < base + 64 * kPageBytes) {
+                    EXPECT_FALSE(e.writable)
+                        << "vcpu" << v << " kept a writable parent "
+                        << "entry at " << std::hex << va;
+                }
+            });
+    }
+
+    // Child stores break COW; the machine's access path (rotating
+    // across both vCPUs) must never satisfy one from a stale shared
+    // translation — verifyTranslations would panic if it did.
+    m.switchTo(child);
+    Addr target = base + 5 * kPageBytes;
+    m.touch(target, true);
+    FrameId child_f = m.guestOs().leafFrame(child, target);
+    FrameId parent_f = m.guestOs().leafFrame(parent, target);
+    EXPECT_NE(child_f, 0u);
+    EXPECT_NE(child_f, parent_f) << "COW break did not copy";
+
+    // Parent's view is untouched and the sweep stays clean.
+    m.switchTo(parent);
+    m.touch(target, true); // parent's own COW break
+    EXPECT_NE(m.guestOs().leafFrame(parent, target), child_f);
+    auto v = checkTlbResidency(m, 0);
+    EXPECT_FALSE(v.has_value()) << (v ? v->detail : "");
+    EXPECT_GT(m.coherence().shootdownsByCause(CoherenceCause::Fork), 0u);
+    EXPECT_GT(m.coherence().shootdownsByCause(CoherenceCause::Cow), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShadowAndAgile, ForkCowTest,
+                         ::testing::Values(VirtMode::Shadow,
+                                           VirtMode::Agile),
+                         [](const auto &info) {
+                             return std::string(
+                                 virtModeName(info.param));
+                         });
+
+// ---------------------------------------------------------------------
+// End-to-end multi-vCPU runs
+// ---------------------------------------------------------------------
+
+TEST(MultiVcpu, CounterConsistencyAndCostModel)
+{
+    auto run = [&](TlbCoherence kind) {
+        Machine m(vcpuConfig(VirtMode::Agile, 4, kind));
+        auto w = makeWorkload("shootdown_storm", smallParams());
+        return m.run(*w);
+    };
+    RunResult sw = run(TlbCoherence::Software);
+    RunResult hw = run(TlbCoherence::Hardware);
+
+    EXPECT_EQ(sw.numVcpus, 4u);
+    EXPECT_GT(sw.shootdowns, 0u);
+    EXPECT_EQ(sw.remoteInvalidations, sw.shootdowns * 3);
+    std::uint64_t by_cause = 0;
+    for (std::size_t k = 0; k < kNumCoherenceCauses; ++k)
+        by_cause += sw.shootdownsByCause[k];
+    EXPECT_EQ(by_cause, sw.shootdowns);
+    EXPECT_GT(sw.shootdownsByCause[static_cast<std::size_t>(
+                  CoherenceCause::Munmap)],
+              0u);
+
+    // Same trace, same shootdowns — only the per-shootdown cost moves.
+    EXPECT_EQ(hw.shootdowns, sw.shootdowns);
+    EXPECT_GT(sw.coherenceCycles, hw.coherenceCycles);
+    EXPECT_EQ(sw.coherenceCycles, sw.remoteInvalidations * 1600);
+    EXPECT_EQ(hw.coherenceCycles, hw.remoteInvalidations * 40);
+    EXPECT_GT(sw.slowdown(), hw.slowdown());
+}
+
+TEST(MultiVcpu, SingleVcpuHasNoCoherenceTraffic)
+{
+    Machine m(vcpuConfig(VirtMode::Agile, 1));
+    auto w = makeWorkload("shootdown_storm", smallParams());
+    RunResult r = m.run(*w);
+    EXPECT_EQ(r.numVcpus, 1u);
+    EXPECT_EQ(r.shootdowns, 0u);
+    EXPECT_EQ(r.remoteInvalidations, 0u);
+    EXPECT_EQ(r.coherenceCycles, 0u);
+}
+
+TEST(MultiVcpu, DeterministicInterleaving)
+{
+    auto run = [&] {
+        Machine m(vcpuConfig(VirtMode::Shadow, 4));
+        auto w = makeWorkload("page_migration", smallParams());
+        return m.run(*w);
+    };
+    RunResult a = run();
+    RunResult b = run();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.walkCycles, b.walkCycles);
+    EXPECT_EQ(a.trapCycles, b.trapCycles);
+    EXPECT_EQ(a.shootdowns, b.shootdowns);
+    EXPECT_EQ(a.coherenceCycles, b.coherenceCycles);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+}
+
+TEST(MultiVcpu, TableVWorkloadsRunVerifiedAcrossModes)
+{
+    for (VirtMode mode : {VirtMode::Nested, VirtMode::Shadow,
+                          VirtMode::Agile}) {
+        Machine m(vcpuConfig(mode, 2));
+        auto w = makeWorkload("mcf", smallParams(20'000));
+        RunResult r = m.run(*w);
+        EXPECT_GT(r.walks, 0u) << virtModeName(mode);
+    }
+}
+
+TEST(MultiVcpu, SnapshotRoundtripMatchesColdRun)
+{
+    SimConfig cfg = vcpuConfig(VirtMode::Agile, 2);
+    auto w1 = makeWorkload("reclaim_scan", smallParams(20'000));
+    Machine cold(cfg);
+    RunResult want = cold.run(*w1);
+
+    auto w2 = makeWorkload("reclaim_scan", smallParams(20'000));
+    Machine warm(cfg);
+    warm.runWarmup(*w2);
+    SnapshotPtr snap = captureSnapshot(warm);
+    Machine restored(cfg);
+    ASSERT_TRUE(restoreSnapshot(*snap, restored));
+    RunResult got = restored.runMeasured(*w2);
+
+    EXPECT_EQ(want.instructions, got.instructions);
+    EXPECT_EQ(want.walkCycles, got.walkCycles);
+    EXPECT_EQ(want.trapCycles, got.trapCycles);
+    EXPECT_EQ(want.shootdowns, got.shootdowns);
+    EXPECT_EQ(want.remoteInvalidations, got.remoteInvalidations);
+    EXPECT_EQ(want.coherenceCycles, got.coherenceCycles);
+    EXPECT_EQ(want.tlbMisses, got.tlbMisses);
+}
+
+TEST(MultiVcpu, SnapshotRejectsVcpuCountMismatch)
+{
+    Machine two(vcpuConfig(VirtMode::Agile, 2));
+    auto w = makeWorkload("mcf", smallParams(10'000));
+    two.runWarmup(*w);
+    SnapshotPtr snap = captureSnapshot(two);
+    Machine four(vcpuConfig(VirtMode::Agile, 4));
+    EXPECT_FALSE(restoreSnapshot(*snap, four));
+}
+
+// ---------------------------------------------------------------------
+// Report gating
+// ---------------------------------------------------------------------
+
+TEST(Report, CoherenceJsonOnlyForMultiVcpu)
+{
+    RunResult r;
+    r.workload = "w";
+    r.instructions = 100;
+    r.idealCycles = 100;
+
+    std::ostringstream single;
+    writeRunResultsJson(single, {r}, 1);
+    EXPECT_EQ(single.str().find("coherence_cycles"), std::string::npos);
+    EXPECT_EQ(single.str().find("num_vcpus"), std::string::npos);
+
+    r.numVcpus = 4;
+    r.shootdowns = 5;
+    r.remoteInvalidations = 15;
+    r.coherenceCycles = 24000;
+    r.shootdownsByCause[0] = 5;
+    std::ostringstream multi;
+    writeRunResultsJson(multi, {r}, 1);
+    EXPECT_NE(multi.str().find("\"num_vcpus\": 4"), std::string::npos);
+    EXPECT_NE(multi.str().find("\"coherence_cycles\": 24000"),
+              std::string::npos);
+    EXPECT_NE(multi.str().find("\"shootdowns_by_cause\""),
+              std::string::npos);
+    EXPECT_NE(multi.str().find("\"munmap\": 5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Multi-vCPU oracle
+// ---------------------------------------------------------------------
+
+TEST(OracleMultiVcpu, CleanRunTwoAndFourVcpus)
+{
+    for (unsigned vcpus : {2u, 4u}) {
+        OracleOptions opts;
+        opts.seed = 11;
+        opts.operations = 1200;
+        opts.numVcpus = vcpus;
+        OracleReport rep =
+            runDifferential(makeRandomTrace(opts), opts);
+        EXPECT_TRUE(rep.passed)
+            << vcpus << " vcpus: "
+            << (rep.violations.empty() ? ""
+                                       : rep.violations.front().detail);
+    }
+}
+
+TEST(OracleMultiVcpu, StaleTlbInjectionIsCaughtAndShrinks)
+{
+    OracleOptions opts;
+    opts.seed = 5;
+    opts.operations = 1200;
+    opts.numVcpus = 2;
+    opts.injectStaleTlbAtAccess = 30;
+    Trace trace = makeRandomTrace(opts);
+    OracleReport rep = runDifferential(trace, opts);
+    ASSERT_FALSE(rep.passed);
+    EXPECT_EQ(rep.violations.front().invariant, "stale-tlb");
+
+    Trace minimal = shrinkTrace(trace, opts);
+    EXPECT_LT(minimal.events.size(), trace.events.size());
+    EXPECT_FALSE(runDifferential(minimal, opts).passed);
+}
+
+TEST(OracleMultiVcpu, HardwareCoherenceRunsClean)
+{
+    OracleOptions opts;
+    opts.seed = 3;
+    opts.operations = 1000;
+    opts.numVcpus = 2;
+    opts.tlbCoherence = TlbCoherence::Hardware;
+    OracleReport rep = runDifferential(makeRandomTrace(opts), opts);
+    EXPECT_TRUE(rep.passed)
+        << (rep.violations.empty() ? ""
+                                   : rep.violations.front().detail);
+}
+
+} // namespace
+} // namespace ap

@@ -29,12 +29,11 @@ class GuestOsTest : public ::testing::Test
         vcfg.hostPageSize = ps;
         vmm = std::make_unique<Vmm>(&root, mem, vcfg, nullptr);
         smgr = std::make_unique<ShadowMgr>(&root, mem, *vmm,
-                                           ShadowConfig{}, nullptr,
-                                           nullptr);
+                                           ShadowConfig{}, nullptr);
         GuestOsConfig cfg;
         cfg.pageSize = ps;
         os = std::make_unique<GuestOs>(&root, mem, vmm.get(), smgr.get(),
-                                       nullptr, nullptr, cfg);
+                                       nullptr, cfg);
         pid = os->createProcess(agile ? VirtMode::Agile
                                       : VirtMode::Nested);
     }
@@ -43,8 +42,7 @@ class GuestOsTest : public ::testing::Test
     makeNative()
     {
         os = std::make_unique<GuestOs>(&root, mem, nullptr, nullptr,
-                                       nullptr, nullptr,
-                                       GuestOsConfig{});
+                                       nullptr, GuestOsConfig{});
         pid = os->createProcess(VirtMode::Native);
     }
 

@@ -26,7 +26,7 @@ class PolicyTest : public ::testing::Test
               VmmConfig{1 << 12, 1 << 14, PageSize::Size4K, TrapCosts{},
                         0},
               nullptr),
-          mgr(&root, mem, vmm, ShadowConfig{}, nullptr, nullptr),
+          mgr(&root, mem, vmm, ShadowConfig{}, nullptr),
           gspace(vmm),
           gpt(gspace, "gPT")
     {

@@ -27,15 +27,17 @@ class ShadowTest : public ::testing::Test
           pwc(&root, 32, 4, false),
           ntlb(&root, 64, 4, false),
           tlb(&root, TlbHierarchyConfig{}),
+          coh(&root, TlbCoherence::Software, 1600, 40),
           vmm(&root, mem,
               VmmConfig{4096, 1 << 15, PageSize::Size4K, TrapCosts{},
                         0},
               &ntlb),
-          mgr(&root, mem, vmm, ShadowConfig{}, &tlb, &pwc),
+          mgr(&root, mem, vmm, ShadowConfig{}, &coh),
           walker(&root, mem, pwc, ntlb),
           gspace(vmm),
           gpt(gspace, "gPT")
     {
+        coh.addVcpu(&tlb, &pwc);
         gspace.onFree = [this](FrameId g) { mgr.onGptPageFree(kProc, g); };
         mgr.registerProcess(kProc, &gpt, gpt.root(), /*agile=*/true);
         ctx_ = &mgr.context(kProc);
@@ -82,6 +84,7 @@ class ShadowTest : public ::testing::Test
     PageWalkCache pwc;
     NestedTlb ntlb;
     TlbHierarchy tlb;
+    CoherenceDomain coh;
     Vmm vmm;
     ShadowMgr mgr;
     Walker walker;
@@ -132,7 +135,7 @@ TEST_F(ShadowTest, HwOptAdSkipsDirtyTrick)
 {
     ShadowConfig cfg;
     cfg.hwOptAd = true;
-    ShadowMgr mgr2(&root, mem, vmm, cfg, &tlb, &pwc);
+    ShadowMgr mgr2(&root, mem, vmm, cfg, &coh);
     GuestPtSpace gs2(vmm);
     RadixPageTable gpt2(gs2, "gPT2");
     mgr2.registerProcess(2, &gpt2, gpt2.root(), true);
@@ -325,7 +328,7 @@ TEST_F(ShadowTest, SptrCacheSuppressesRepeatCtxSwitchTraps)
     Vmm vmm2(&root, mem2,
              VmmConfig{512, 1 << 12, PageSize::Size4K, TrapCosts{}, 8},
              nullptr);
-    ShadowMgr mgr2(&root, mem2, vmm2, ShadowConfig{}, nullptr, nullptr);
+    ShadowMgr mgr2(&root, mem2, vmm2, ShadowConfig{}, nullptr);
     GuestPtSpace gs2(vmm2);
     RadixPageTable gpt2(gs2, "gPT");
     mgr2.registerProcess(7, &gpt2, gpt2.root(), false);

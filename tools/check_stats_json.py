@@ -52,14 +52,40 @@ def find_group(group, name):
     return None
 
 
+def check_coherence_group(doc):
+    """sum(shootdown_<cause>) must equal the aggregate shootdown count."""
+    coh = find_group(doc, "coherence")
+    if coh is None:
+        return None
+    stats = coh["stats"]
+    require("shootdowns" in stats,
+            "coherence group missing aggregate 'shootdowns'")
+    total = stats["shootdowns"]["value"]
+    per_cause = sum(
+        stat["value"]
+        for name, stat in stats.items()
+        if name.startswith("shootdown_") and stat["type"] == "scalar"
+    )
+    require(
+        per_cause == total,
+        f"per-cause shootdowns sum to {per_cause}, aggregate is {total}",
+    )
+    return int(total)
+
+
 def check_stats(doc):
     require(doc.get("schema") == "ap-stats-v1",
             f"bad schema tag: {doc.get('schema')!r}")
     check_group(doc, doc.get("name", "<root>"))
 
+    shootdowns = check_coherence_group(doc)
+    coh_note = ("" if shootdowns is None
+                else f", {shootdowns} shootdowns attributed")
+
     vmm = find_group(doc, "vmm")
     if vmm is None:
-        print("check_stats_json: no vmm group (native run); structure OK")
+        print("check_stats_json: no vmm group (native run); "
+              f"structure OK{coh_note}")
         return
     stats = vmm["stats"]
     require("traps" in stats, "vmm group missing aggregate 'traps'")
@@ -74,7 +100,7 @@ def check_stats(doc):
         per_cause == total,
         f"per-cause trap counts sum to {per_cause}, aggregate is {total}",
     )
-    print(f"check_stats_json: OK ({int(total)} traps attributed)")
+    print(f"check_stats_json: OK ({int(total)} traps attributed{coh_note})")
 
 
 def check_host(host, path="host"):
@@ -101,6 +127,7 @@ def check_runs(doc):
         "walk_cycles", "trap_cycles", "tlb_misses", "walks", "traps",
         "avg_walk_refs", "coverage", "traps_by_cause",
     )
+    coherence_runs = 0
     for i, run in enumerate(runs):
         for key in required:
             require(key in run, f"runs[{i}]: missing key '{key}'")
@@ -112,9 +139,41 @@ def check_runs(doc):
             f"runs[{i}] ({run['workload']}): per-cause traps sum to "
             f"{per_cause}, aggregate is {run['traps']}",
         )
+        # Coherence block: emitted only for multi-vCPU runs, and then
+        # always complete and internally consistent.
+        if "num_vcpus" in run:
+            coherence_runs += 1
+            require(run["num_vcpus"] > 1,
+                    f"runs[{i}]: num_vcpus present but not > 1")
+            for key in ("coherence_cycles", "shootdowns",
+                        "remote_invalidations", "shootdowns_by_cause",
+                        "coherence_overhead"):
+                require(key in run, f"runs[{i}]: has num_vcpus but "
+                                    f"missing '{key}'")
+            by_cause = sum(run["shootdowns_by_cause"].values())
+            require(
+                by_cause == run["shootdowns"],
+                f"runs[{i}] ({run['workload']}): per-cause shootdowns "
+                f"sum to {by_cause}, aggregate is {run['shootdowns']}",
+            )
+            remotes = run["num_vcpus"] - 1
+            require(
+                run["remote_invalidations"]
+                == run["shootdowns"] * remotes,
+                f"runs[{i}] ({run['workload']}): remote_invalidations "
+                f"{run['remote_invalidations']} != shootdowns x "
+                f"{remotes}",
+            )
+        else:
+            for key in ("coherence_cycles", "shootdowns",
+                        "shootdowns_by_cause"):
+                require(key not in run,
+                        f"runs[{i}]: single-vCPU run carries '{key}'")
+    coh_note = (f"; {coherence_runs} multi-vCPU" if coherence_runs
+                else "")
     host = doc["host"]
-    print(f"check_stats_json: OK ({len(runs)} runs; jobs={host['jobs']}, "
-          f"build={host['build_type']})")
+    print(f"check_stats_json: OK ({len(runs)} runs{coh_note}; "
+          f"jobs={host['jobs']}, build={host['build_type']})")
 
 
 def main():

@@ -45,9 +45,10 @@ namespace
 
 const char kUsage[] =
     "usage: difftest [--seeds N] [--seed-base S] [--ops N] [--jobs N]\n"
-    "                [--page 4k|2m|both] [--reclaim] [--no-hw-opts]\n"
-    "                [--sweep N] [--inject K] [--replay FILE] [--out DIR]\n"
-    "                [--snapshot]\n";
+    "                [--page 4k|2m|both] [--vcpus N[,N...]]\n"
+    "                [--coherence sw|hw] [--reclaim] [--no-hw-opts]\n"
+    "                [--sweep N] [--inject K] [--inject-stale K]\n"
+    "                [--replay FILE] [--out DIR] [--snapshot]\n";
 
 struct Cli
 {
@@ -61,6 +62,9 @@ struct Cli
     bool hwOpts = true;
     std::uint64_t sweep = 256;
     std::uint64_t inject = 0;
+    std::uint64_t injectStale = 0;
+    std::vector<unsigned> vcpus = {1};
+    ap::TlbCoherence coherence = ap::TlbCoherence::Software;
     bool snapshot = false;
     std::string replayPath;
     std::string outDir = ".";
@@ -83,7 +87,8 @@ printViolation(const ap::InvariantViolation &v)
 }
 
 ap::OracleOptions
-optionsFor(const Cli &cli, ap::PageSize page, std::uint64_t seed)
+optionsFor(const Cli &cli, ap::PageSize page, std::uint64_t seed,
+           unsigned vcpus)
 {
     ap::OracleOptions opts;
     opts.pageSize = page;
@@ -93,7 +98,20 @@ optionsFor(const Cli &cli, ap::PageSize page, std::uint64_t seed)
     opts.includeReclaim = cli.reclaim;
     opts.sweepInterval = cli.sweep;
     opts.injectAtAccess = cli.inject;
+    opts.injectStaleTlbAtAccess = cli.injectStale;
+    opts.numVcpus = vcpus;
+    opts.tlbCoherence = cli.coherence;
     return opts;
+}
+
+/** "4K" for the classic single-vCPU matrix, "4K/4vcpu" beyond it. */
+std::string
+cellLabel(ap::PageSize page, unsigned vcpus)
+{
+    std::string label = ap::pageSizeName(page);
+    if (vcpus > 1)
+        label += "/" + std::to_string(vcpus) + "vcpu";
+    return label;
 }
 
 /**
@@ -122,6 +140,12 @@ shrinkAndSave(const Cli &cli, const ap::OracleOptions &opts,
               << (cli.inject
                       ? " --inject " + std::to_string(cli.inject)
                       : std::string())
+              << (cli.injectStale
+                      ? " --inject-stale " + std::to_string(cli.injectStale)
+                      : std::string())
+              << (opts.numVcpus > 1
+                      ? " --vcpus " + std::to_string(opts.numVcpus)
+                      : std::string())
               << (cli.hwOpts ? "" : " --no-hw-opts") << "\n";
     return !again.passed;
 }
@@ -131,11 +155,14 @@ runMatrix(const Cli &cli)
 {
     bool all_ok = true;
     for (ap::PageSize page : cli.pages) {
+    for (unsigned vcpus : cli.vcpus) {
+        std::string label = cellLabel(page, vcpus);
         std::vector<SeedOutcome> outcomes = ap::parallelMap(
             cli.seeds, cli.jobs, [&](std::uint64_t i) {
                 SeedOutcome out;
                 out.seed = cli.seedBase + i;
-                ap::OracleOptions opts = optionsFor(cli, page, out.seed);
+                ap::OracleOptions opts =
+                    optionsFor(cli, page, out.seed, vcpus);
                 out.report =
                     ap::runDifferential(ap::makeRandomTrace(opts), opts);
                 return out;
@@ -149,10 +176,10 @@ runMatrix(const Cli &cli)
                 ++caught;
         }
 
-        if (cli.inject) {
+        if (cli.inject || cli.injectStale) {
             // Self-test: every seed must be caught, and the failure
             // must survive shrinking.
-            std::cout << ap::pageSizeName(page) << ": injected bug "
+            std::cout << label << ": injected bug "
                       << "caught in " << caught << "/" << cli.seeds
                       << " seeds\n";
             if (caught != cli.seeds) {
@@ -161,7 +188,7 @@ runMatrix(const Cli &cli)
             }
             for (const SeedOutcome &out : outcomes) {
                 ap::OracleOptions opts =
-                    optionsFor(cli, page, out.seed);
+                    optionsFor(cli, page, out.seed, vcpus);
                 printViolation(out.report.violations.front());
                 if (!shrinkAndSave(cli, opts,
                                    ap::makeRandomTrace(opts), page,
@@ -173,7 +200,7 @@ runMatrix(const Cli &cli)
             continue;
         }
 
-        std::cout << ap::pageSizeName(page) << ": " << cli.seeds
+        std::cout << label << ": " << cli.seeds
                   << " seeds, " << events << " events, " << accesses
                   << " accesses checked";
         if (caught == 0) {
@@ -186,13 +213,14 @@ runMatrix(const Cli &cli)
         for (const SeedOutcome &out : outcomes) {
             if (out.report.passed)
                 continue;
-            std::cout << "seed " << out.seed << " ("
-                      << ap::pageSizeName(page) << "):\n";
+            std::cout << "seed " << out.seed << " (" << label << "):\n";
             printViolation(out.report.violations.front());
-            ap::OracleOptions opts = optionsFor(cli, page, out.seed);
+            ap::OracleOptions opts =
+                optionsFor(cli, page, out.seed, vcpus);
             shrinkAndSave(cli, opts, ap::makeRandomTrace(opts), page,
                           out.seed);
         }
+    }
     }
     return all_ok ? 0 : 1;
 }
@@ -247,9 +275,12 @@ runSnapshotDiff(const Cli &cli)
             ap::WorkloadParams params = ap::defaultParamsFor(wl);
             params.operations = cli.ops;
             params.seed = seed;
+            unsigned vcpus = cli.vcpus[i % cli.vcpus.size()];
             for (ap::VirtMode mode : modes) {
                 ap::SimConfig cfg =
                     configFor(mode, page, params, cli.hwOpts);
+                cfg.numVcpus = vcpus;
+                cfg.tlbCoherence = cli.coherence;
                 auto w1 = ap::makeWorkload(wl, params);
                 ap::Machine cold_machine(cfg);
                 ap::RunResult cold = cold_machine.run(*w1);
@@ -300,7 +331,8 @@ runReplay(const Cli &cli)
     }
     int status = 0;
     for (ap::PageSize page : cli.pages) {
-        ap::OracleOptions opts = optionsFor(cli, page, trace.seed);
+        ap::OracleOptions opts =
+            optionsFor(cli, page, trace.seed, cli.vcpus.front());
         ap::OracleReport rep = ap::runDifferential(trace, opts);
         std::cout << cli.replayPath << " (" << ap::pageSizeName(page)
                   << "): " << rep.eventsReplayed << " events, "
@@ -369,6 +401,41 @@ main(int argc, char **argv)
             cli.sweep = nextU64();
         } else if (a == "--inject") {
             cli.inject = nextU64();
+        } else if (a == "--inject-stale") {
+            cli.injectStale = nextU64();
+        } else if (a == "--vcpus") {
+            cli.vcpus.clear();
+            std::string v = next();
+            std::size_t pos = 0;
+            while (pos <= v.size()) {
+                std::size_t comma = v.find(',', pos);
+                std::string item = v.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos);
+                std::uint64_t n = 0;
+                if (!ap::parseU64(item, n) || n < 1 || n > 64) {
+                    std::cerr << "bad value for --vcpus: '" << item
+                              << "' (expected 1..64)\n"
+                              << kUsage;
+                    return 2;
+                }
+                cli.vcpus.push_back(static_cast<unsigned>(n));
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else if (a == "--coherence") {
+            std::string c = next();
+            if (c == "sw" || c == "software") {
+                cli.coherence = ap::TlbCoherence::Software;
+            } else if (c == "hw" || c == "hardware") {
+                cli.coherence = ap::TlbCoherence::Hardware;
+            } else {
+                std::cerr << "bad value for --coherence: '" << c
+                          << "' (expected sw or hw)\n"
+                          << kUsage;
+                return 2;
+            }
         } else if (a == "--replay") {
             cli.replayPath = next();
         } else if (a == "--snapshot") {
