@@ -7,7 +7,10 @@
  *
  * Usage: bench_figure5_overheads [common bench flags] [--csv]
  *                                [--workload NAME]
- *                                [--stats-json PATH]
+ *                                [--stats-json PATH] [--range]
+ *
+ * --range adds the range/segment-translation backend (R) as a fifth
+ * column of the sweep; the default matrix is unchanged without it.
  *
  * By default cells that share an operation stream (same workload,
  * page size, ops, seed) record it once and replay it through the
@@ -36,6 +39,7 @@ main(int argc, char **argv)
     ap::setQuietLogging(true);
     ap::BenchOptions opt(0);
     bool csv = false;
+    bool with_range = false;
     std::string only;
     std::string stats_json;
     for (int i = 1; i < argc; ++i) {
@@ -43,16 +47,20 @@ main(int argc, char **argv)
             continue;
         if (!std::strcmp(argv[i], "--csv"))
             csv = true;
+        else if (!std::strcmp(argv[i], "--range"))
+            with_range = true;
         else if (!std::strcmp(argv[i], "--workload") && i + 1 < argc)
             only = argv[++i];
         else if (!std::strcmp(argv[i], "--stats-json") && i + 1 < argc)
             stats_json = argv[++i];
         else
             opt.reject(argv, i,
-                       "[--csv] [--workload NAME] [--stats-json PATH]");
+                       "[--csv] [--workload NAME] [--stats-json PATH] "
+                       "[--range]");
     }
 
-    std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
+    std::vector<ap::ExperimentSpec> specs =
+        ap::figure5Specs(opt.ops, with_range);
     for (ap::ExperimentSpec &s : specs) {
         s.numVcpus = opt.vcpus;
         s.tlbCoherence = opt.tlbCoherence;
@@ -96,8 +104,10 @@ main(int argc, char **argv)
     // assumes the full 8-cell-per-workload layout.)
     if (opt.pageSizeSet)
         return 0;
+    // Per-workload stride: modes x {4K, 2M}.
+    const std::size_t stride = with_range ? 10 : 8;
     std::cout << "\nSummary (4K): agile vs best(N,S)\n";
-    for (std::size_t i = 0; i + 3 < runs.size(); i += 8) {
+    for (std::size_t i = 0; i + 3 < runs.size(); i += stride) {
         const ap::RunResult &nested = runs[i + 1];
         const ap::RunResult &shadow = runs[i + 2];
         const ap::RunResult &agile = runs[i + 3];
@@ -107,6 +117,20 @@ main(int argc, char **argv)
         std::snprintf(buf, sizeof(buf), "  %-10s agile %+5.1f%% vs best",
                       agile.workload.c_str(), gain);
         std::cout << buf << "\n";
+        if (with_range && i + 4 < runs.size()) {
+            const ap::RunResult &range = runs[i + 4];
+            double rgain =
+                (best - range.slowdown()) / range.slowdown() * 100;
+            std::snprintf(buf, sizeof(buf),
+                          "  %-10s range %+5.1f%% vs best "
+                          "(seg hits %llu, spills %llu)",
+                          range.workload.c_str(), rgain,
+                          static_cast<unsigned long long>(
+                              range.segmentHits),
+                          static_cast<unsigned long long>(
+                              range.segmentSpills));
+            std::cout << buf << "\n";
+        }
     }
     return 0;
 }

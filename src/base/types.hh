@@ -146,6 +146,9 @@ enum class VirtMode : std::uint8_t
     Agile,
     /** SHSP baseline: whole-process dynamic switching (Wang et al.). */
     Shsp,
+    /** Range/segment translation: base+limit segment registers over
+     *  contiguous guest VMAs, nested-walk fallback (Teabe et al.). */
+    Range,
 };
 
 /** @return a short printable name for a virtualization mode. */
@@ -163,6 +166,8 @@ virtModeName(VirtMode m)
         return "Agile";
       case VirtMode::Shsp:
         return "SHSP";
+      case VirtMode::Range:
+        return "Range";
     }
     return "?";
 }

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Backend registry implementation and default wiring.
+ */
+
+#include "core/backend_registry.hh"
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+BackendRegistry::BackendRegistry()
+{
+    // The classic paging families stay on the shared singletons (no
+    // factory); range translation is the one stock stateful backend.
+    registerFactory(VirtMode::Range, [](const BackendArgs &args) {
+        return std::make_unique<RangeBackend>(args.statParent,
+                                              args.numVcpus, args.range);
+    });
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::registerFactory(VirtMode mode, BackendFactory factory)
+{
+    auto idx = static_cast<std::size_t>(mode);
+    ap_assert(idx < std::size(factories_), "VirtMode out of range");
+    factories_[idx] = std::move(factory);
+}
+
+bool
+BackendRegistry::hasFactory(VirtMode mode) const
+{
+    auto idx = static_cast<std::size_t>(mode);
+    ap_assert(idx < std::size(factories_), "VirtMode out of range");
+    return static_cast<bool>(factories_[idx]);
+}
+
+std::unique_ptr<TranslationBackend>
+BackendRegistry::create(VirtMode mode, const BackendArgs &args) const
+{
+    auto idx = static_cast<std::size_t>(mode);
+    ap_assert(idx < std::size(factories_), "VirtMode out of range");
+    if (!factories_[idx])
+        return nullptr;
+    auto backend = factories_[idx](args);
+    ap_assert(backend != nullptr, "backend factory returned null");
+    return backend;
+}
+
+std::unique_ptr<TranslationBackend>
+makeTranslationBackend(VirtMode mode, const BackendArgs &args)
+{
+    return BackendRegistry::instance().create(mode, args);
+}
+
+} // namespace ap

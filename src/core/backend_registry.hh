@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Registry mapping VirtMode to a translation-backend factory.
+ *
+ * The three classic paging families are stateless and served by the
+ * shared singletons in walker/backend.hh; stateful backends (range
+ * translation today, anything a fork adds tomorrow) are created per
+ * machine through this registry so they can carry per-vCPU state and
+ * register stats under the owning machine.
+ */
+
+#ifndef AGILEPAGING_CORE_BACKEND_REGISTRY_HH
+#define AGILEPAGING_CORE_BACKEND_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+
+#include "base/stats.hh"
+#include "core/range_backend.hh"
+#include "walker/backend.hh"
+
+namespace ap
+{
+
+/** Everything a backend factory may need at machine-construction
+ *  time. */
+struct BackendArgs
+{
+    /** Stat parent (the machine) for backends that register stats. */
+    stats::StatGroup *statParent = nullptr;
+    /** vCPUs in the machine (per-vCPU backend state). */
+    unsigned numVcpus = 1;
+    /** Range-backend geometry/cost knobs. */
+    RangeBackendConfig range{};
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<TranslationBackend>(const BackendArgs &)>;
+
+/**
+ * Process-wide factory table. Thread-safe for concurrent create()
+ * calls as long as registration happens before machines are built
+ * (registration is a start-up activity; the parallel matrix runner
+ * only ever creates).
+ */
+class BackendRegistry
+{
+  public:
+    static BackendRegistry &instance();
+
+    /** Override or extend the factory for @p mode. */
+    void registerFactory(VirtMode mode, BackendFactory factory);
+
+    /** True when @p mode needs a per-machine backend instance. */
+    bool hasFactory(VirtMode mode) const;
+
+    /**
+     * Create the backend instance for @p mode, or nullptr for modes
+     * served by the shared stateless singletons (the caller falls back
+     * to builtinBackend()).
+     */
+    std::unique_ptr<TranslationBackend>
+    create(VirtMode mode, const BackendArgs &args) const;
+
+  private:
+    BackendRegistry();
+
+    std::function<std::unique_ptr<TranslationBackend>(
+        const BackendArgs &)> factories_[6];
+};
+
+/** Shorthand for BackendRegistry::instance().create(). */
+std::unique_ptr<TranslationBackend>
+makeTranslationBackend(VirtMode mode, const BackendArgs &args);
+
+} // namespace ap
+
+#endif // AGILEPAGING_CORE_BACKEND_REGISTRY_HH

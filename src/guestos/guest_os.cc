@@ -12,6 +12,7 @@
 #include "base/bitfield.hh"
 #include "base/logging.hh"
 #include "vmm/guest_pt_space.hh"
+#include "walker/backend.hh"
 
 namespace ap
 {
@@ -92,9 +93,7 @@ GuestOs::createProcess(VirtMode mode)
         p->ctx.gptRoot = p->pt->root();
         p->ctx.gptRootBacking = vmm_->ensurePtBacked(p->pt->root());
         p->ctx.hptRoot = vmm_->hostPtRoot();
-        bool shadowed = mode == VirtMode::Shadow ||
-                        mode == VirtMode::Agile || mode == VirtMode::Shsp;
-        if (shadowed) {
+        if (backendTraits(mode).usesShadowMgr) {
             ap_assert(smgr_, "shadow modes need a shadow manager");
             smgr_->registerProcess(pid, p->pt.get(), p->pt->root(),
                                    mode == VirtMode::Agile);

@@ -50,6 +50,8 @@ parseVirtMode(const std::string &s, VirtMode &out)
         out = VirtMode::Agile;
     } else if (v == "shsp") {
         out = VirtMode::Shsp;
+    } else if (v == "range" || v == "r") {
+        out = VirtMode::Range;
     } else {
         return false;
     }
@@ -192,6 +194,29 @@ SimConfig::applyOption(const std::string &option)
         vcpuQuantumOps = n;
         return true;
     }
+    if (key == "segment_regs") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0 || n > 1024)
+            return false;
+        range.segmentRegs = static_cast<std::uint32_t>(n);
+        return true;
+    }
+    if (key == "segment_min_pages") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0)
+            return false;
+        range.segmentMinPages = n;
+        return true;
+    }
+    if (key == "segment_max_pages") {
+        std::uint64_t n;
+        if (!as_u64(n) || n == 0)
+            return false;
+        range.segmentMaxPages = n;
+        return true;
+    }
+    if (key == "segment_fill_cycles")
+        return as_u64(range.segmentFillCycles);
     if (key == "back_policy") {
         std::string v = lower(value);
         if (v == "none") {

@@ -12,6 +12,7 @@
 
 #include "base/types.hh"
 #include "core/agile_policy.hh"
+#include "core/range_backend.hh"
 #include "guestos/guest_os.hh"
 #include "tlb/coherence.hh"
 #include "tlb/tlb_hierarchy.hh"
@@ -81,6 +82,8 @@ struct SimConfig
 
     AgilePolicyConfig policy{};
     ShspConfig shsp{};
+    /** Range-backend segment-register file (mode == Range only). */
+    RangeBackendConfig range{};
     /** Policy interval in instructions (the paper's "1 second"). */
     Tick policyIntervalOps = 200'000;
 
@@ -149,7 +152,8 @@ struct SimConfig
 void setBatchedWalksDefault(bool on);
 bool batchedWalksDefault();
 
-/** Parse a mode name ("native", "nested", "shadow", "agile", "shsp").*/
+/** Parse a mode name ("native", "nested", "shadow", "agile", "shsp",
+ *  "range"). Accepts every name virtModeName() emits. */
 bool parseVirtMode(const std::string &s, VirtMode &out);
 
 /** Parse a page size ("4k" or "2m"). */

@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "sim/parallel_runner.hh"
+#include "walker/backend.hh"
 
 namespace ap
 {
@@ -63,8 +64,7 @@ configFor(VirtMode mode, PageSize page_size, const WorkloadParams &params,
     cfg.guestPtFrames = footprint_frames / 8 + (1u << 12);
     cfg.hostMemFrames = footprint_frames * 3 + (1u << 16);
 
-    if (hw_opts && (mode == VirtMode::Agile || mode == VirtMode::Shsp ||
-                    mode == VirtMode::Shadow)) {
+    if (hw_opts && backendTraits(mode).usesShadowMgr) {
         // The paper's evaluated agile configuration "includes the
         // benefit of hardware optimizations" (Section VII-A); shadow
         // gets the sptr cache too when comparing optimizations, but
@@ -93,11 +93,15 @@ runExperiment(const ExperimentSpec &spec)
 }
 
 std::vector<ExperimentSpec>
-figure5Specs(std::uint64_t operations)
+figure5Specs(std::uint64_t operations, bool include_range)
 {
     std::vector<ExperimentSpec> specs;
-    const VirtMode modes[] = {VirtMode::Native, VirtMode::Nested,
-                              VirtMode::Shadow, VirtMode::Agile};
+    // Keep the default matrix (and its runs hash) byte-identical:
+    // the range column is strictly opt-in.
+    std::vector<VirtMode> modes = {VirtMode::Native, VirtMode::Nested,
+                                   VirtMode::Shadow, VirtMode::Agile};
+    if (include_range)
+        modes.push_back(VirtMode::Range);
     const PageSize sizes[] = {PageSize::Size4K, PageSize::Size2M};
     for (const std::string &wl : workloadNames()) {
         for (PageSize ps : sizes) {

@@ -65,8 +65,11 @@ using CellFn = std::function<RunResult(const ExperimentSpec &)>;
  * The cells of the Figure 5 matrix: every Table V workload under
  * {Native, Nested, Shadow, Agile} x {4K, 2M}, in Figure 5 order.
  * @param operations 0 = workload defaults
+ * @param include_range also sweep VirtMode::Range as a fifth column
+ *        (opt-in so the classic matrix stays bit-identical)
  */
-std::vector<ExperimentSpec> figure5Specs(std::uint64_t operations = 0);
+std::vector<ExperimentSpec> figure5Specs(std::uint64_t operations = 0,
+                                         bool include_range = false);
 
 /**
  * Run the full Figure 5 matrix.

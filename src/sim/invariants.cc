@@ -126,7 +126,10 @@ resolveArch(Machine &m, ProcId pid, Addr va)
         return std::nullopt;
     }
 
-    if (ctx.mode == VirtMode::Nested || ctx.fullNested) {
+    // Range mode translates through the same two-stage tables as
+    // nested; segments are a cached view validated against them.
+    if (ctx.mode == VirtMode::Nested || ctx.mode == VirtMode::Range ||
+        ctx.fullNested) {
         auto root = archHostWalk(mem, ctx.hptRoot, ctx.gptRoot);
         if (!root)
             return std::nullopt;
@@ -407,6 +410,64 @@ checkTlbResidency(Machine &m, std::uint64_t event_index)
                         " but the current backing is " + hex(expected) +
                         " (remap shootdown missed)",
                     event_index, va);
+            }
+        });
+    }
+    return found;
+}
+
+std::optional<InvariantViolation>
+checkSegmentResidency(Machine &m, std::uint64_t event_index)
+{
+    RangeBackend *rb = m.rangeBackend();
+    if (!rb)
+        return std::nullopt;
+    GuestOs &gos = m.guestOs();
+    Vmm *vmm = m.vmm();
+
+    std::optional<InvariantViolation> found;
+    for (unsigned v = 0; v < rb->numVcpus() && !found; ++v) {
+        rb->forEachSegment(v, [&](const RangeBackend::SegmentReg &seg) {
+            if (found)
+                return;
+            std::string who = "vcpu" + std::to_string(v) +
+                              " segment [" + hex(seg.vaBase) + " +" +
+                              std::to_string(seg.pages) + "p]";
+            if (!gos.hasProcess(seg.asid)) {
+                found = violation(
+                    "stale-segment",
+                    who + " survives for dead asid " +
+                        std::to_string(seg.asid) +
+                        " (exit invalidation missed)",
+                    event_index, seg.vaBase);
+                return;
+            }
+            GuestProcess &p = gos.process(seg.asid);
+            for (std::uint64_t i = 0; i < seg.pages; ++i) {
+                Addr va = seg.vaBase + i * kPageBytes;
+                auto gm = p.pt->lookup(va);
+                if (!gm) {
+                    found = violation(
+                        "stale-segment",
+                        who + " covers " + hex(va) +
+                            " but the guest no longer maps it "
+                            "(munmap invalidation missed)",
+                        event_index, va);
+                    return;
+                }
+                std::uint64_t gframes = pageBytes(gm->size) / kPageBytes;
+                FrameId gf = gm->pfn + (frameOf(va) % gframes);
+                FrameId hb = vmm->backing(gf);
+                if (hb != seg.hbase + i) {
+                    found = violation(
+                        "stale-segment",
+                        who + " translates " + hex(va) +
+                            " to host frame " + hex(seg.hbase + i) +
+                            " but the current backing is " + hex(hb) +
+                            " (remap invalidation missed)",
+                        event_index, va);
+                    return;
+                }
             }
         });
     }

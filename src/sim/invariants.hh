@@ -114,6 +114,18 @@ std::optional<InvariantViolation>
 checkTlbResidency(Machine &m, std::uint64_t event_index);
 
 /**
+ * Segment-residency sweep over every vCPU's segment-register file
+ * (range backend only; a no-op for the classic modes): a live segment
+ * must belong to a live process, and every 4 KB page it covers must
+ * still be guest-mapped with its current host backing at exactly
+ * hbase + page offset. A segment that survives the munmap/COW/exit
+ * broadcast that should have dropped it is a missed invalidation —
+ * the segment-file analogue of a stale TLB entry.
+ */
+std::optional<InvariantViolation>
+checkSegmentResidency(Machine &m, std::uint64_t event_index);
+
+/**
  * Shadow-coherence sweep (invariant c): for every shadowed process,
  * every terminal shadow entry agrees bit-for-bit with the guest page
  * table — switching entries point at the backing of the next-level

@@ -97,7 +97,25 @@ Machine::Machine(const SimConfig &cfg)
     setActiveVcpu(0);
     vcpu_quantum_left_ = cfg_.vcpuQuantumOps;
 
-    if (cfg_.mode != VirtMode::Native) {
+    // Resolve the translation backend: stateful modes get a per-machine
+    // instance from the registry (stats registered under this machine),
+    // the classic paging families share the stateless singletons.
+    BackendArgs bargs;
+    bargs.statParent = this;
+    bargs.numVcpus = cfg_.numVcpus;
+    bargs.range = cfg_.range;
+    backend_owned_ = makeTranslationBackend(cfg_.mode, bargs);
+    backend_ = backend_owned_ ? backend_owned_.get()
+                              : &builtinBackend(cfg_.mode);
+    range_backend_ = dynamic_cast<RangeBackend *>(backend_);
+    walker_->setBackend(backend_, 0);
+    for (unsigned v = 1; v < cfg_.numVcpus; ++v)
+        extra_vcpus_[v - 1]->walker->setBackend(backend_, v);
+    if (CoherenceListener *listener = backend_->coherenceListener())
+        coh_->addListener(listener);
+
+    const BackendTraits &traits = backendTraits(cfg_.mode);
+    if (traits.usesVmm) {
         VmmConfig vcfg;
         vcfg.guestPtFrames = cfg_.guestPtFrames;
         vcfg.guestDataFrames = cfg_.guestDataFrames;
@@ -105,16 +123,16 @@ Machine::Machine(const SimConfig &cfg)
         vcfg.costs = cfg_.trapCosts;
         vcfg.sptrCacheEntries = cfg_.sptrCacheEntries;
         vmm_ = std::make_unique<Vmm>(this, mem_, vcfg, ntlb_.get());
-        if (cfg_.mode != VirtMode::Nested) {
+        if (traits.usesShadowMgr) {
             ShadowConfig scfg;
             scfg.unsyncEnabled = cfg_.unsyncEnabled;
             scfg.hwOptAd = cfg_.hwOptAd;
             smgr_ = std::make_unique<ShadowMgr>(this, mem_, *vmm_, scfg,
                                                 coh_.get());
-            if (cfg_.mode == VirtMode::Agile) {
+            if (traits.usesAgilePolicy) {
                 policy_ = std::make_unique<AgilePolicy>(this, *smgr_,
                                                         cfg_.policy);
-            } else if (cfg_.mode == VirtMode::Shsp) {
+            } else if (traits.usesShsp) {
                 shsp_ = std::make_unique<ShspController>(this, *smgr_,
                                                          cfg_.shsp);
             }
@@ -216,7 +234,8 @@ Machine::translate(ProcId pid, Addr va, bool write)
         // until the retry.
         const WalkResult &r = awalker_->walk(ctx, va, write);
         walk_cycles_ += r.coldRefs * cfg_.walkRefCycles +
-                        (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles;
+                        (r.refs - r.coldRefs) * cfg_.walkRefWarmCycles +
+                        r.extraCycles;
         if (r.ok()) {
             last_translate_faults_ = attempt;
             if (r.dirtyTransition && cfg_.hwOptAd && shadowed(pid) &&
@@ -769,6 +788,11 @@ Machine::snapshot(const std::string &workload_name) const
         for (std::size_t k = 0; k < kNumTrapKinds; ++k)
             r.trapByKind[k] = vmm_->trapCount(static_cast<TrapKind>(k));
     }
+    if (range_backend_) {
+        r.segmentHits = range_backend_->hitCount();
+        r.segmentSpills = range_backend_->spillCount();
+        r.segmentInvalidations = range_backend_->invalidationCount();
+    }
     r.numVcpus = cfg_.numVcpus;
     r.coherenceCycles = coh_->cycles();
     r.shootdowns = coh_->shootdownCount();
@@ -799,6 +823,9 @@ Machine::delta(const RunResult &end, const RunResult &start)
     d.remoteInvalidations -= start.remoteInvalidations;
     for (std::size_t c = 0; c < kNumCoherenceCauses; ++c)
         d.shootdownsByCause[c] -= start.shootdownsByCause[c];
+    d.segmentHits -= start.segmentHits;
+    d.segmentSpills -= start.segmentSpills;
+    d.segmentInvalidations -= start.segmentInvalidations;
     double walks = 0;
     for (int i = 0; i < 6; ++i) {
         d.rawCoverage[i] = end.rawCoverage[i] - start.rawCoverage[i];
@@ -915,6 +942,9 @@ Machine::saveState(Serializer &s) const
     s.putBool(shsp_ != nullptr);
     if (shsp_)
         shsp_->saveState(s);
+    // Backend-private state (segment-register files). The stateless
+    // built-in backends write nothing, preserving the classic layout.
+    backend_->saveState(s);
     // Stats last: every component above is pure state, the stats tree
     // carries the accumulated counters of all of them.
     saveStatsTree(s);
@@ -985,6 +1015,7 @@ Machine::restoreState(Deserializer &d)
         return false;
     if (shsp_)
         shsp_->restoreState(d);
+    backend_->restoreState(d);
     restoreStatsTree(d);
     d.checkMarker(0x444e4546);
     return d.ok();

@@ -18,6 +18,7 @@
 #include "base/serialize.hh"
 #include "base/stats.hh"
 #include "core/agile_policy.hh"
+#include "core/backend_registry.hh"
 #include "guestos/guest_os.hh"
 #include "sim/config.hh"
 #include "tlb/nested_tlb.hh"
@@ -70,6 +71,14 @@ struct RunResult
     std::uint64_t remoteInvalidations = 0;
     /** Shootdowns by cause (indexed by CoherenceCause). */
     std::uint64_t shootdownsByCause[kNumCoherenceCauses] = {};
+
+    /** Range backend: walks translated by a segment register. Always
+     *  0 for the paging backends. */
+    std::uint64_t segmentHits = 0;
+    /** Range backend: segment installs that evicted a live register. */
+    std::uint64_t segmentSpills = 0;
+    /** Range backend: segments dropped by coherence/validation. */
+    std::uint64_t segmentInvalidations = 0;
 
     /** Raw counters used to compute deltas between snapshots. */
     double rawRefsTotal = 0;
@@ -180,6 +189,12 @@ class Machine : public stats::StatGroup, public WorkloadHost
     PhysMem &physMem() { return mem_; }
     Vmm *vmm() { return vmm_.get(); }
     ShadowMgr *shadowMgr() { return smgr_.get(); }
+    /** The translation backend every walker dispatches through. */
+    TranslationBackend &backend() { return *backend_; }
+    /** The range backend, or nullptr unless mode == Range (the
+     *  invariant checker sweeps its segment files directly). */
+    RangeBackend *rangeBackend() { return range_backend_; }
+    const RangeBackend *rangeBackend() const { return range_backend_; }
     Walker &walker() { return *walker_; }
     TlbHierarchy &tlb() { return *tlb_; }
     const SimConfig &config() const { return cfg_; }
@@ -342,6 +357,13 @@ class Machine : public stats::StatGroup, public WorkloadHost
     std::unique_ptr<CoherenceDomain> coh_;
     /** vCPUs 1..N-1; empty on the classic 1-vCPU machine. */
     std::vector<std::unique_ptr<VcpuStack>> extra_vcpus_;
+    /** Owned backend instance for stateful modes (null for the modes
+     *  served by the shared builtinBackend singletons). */
+    std::unique_ptr<TranslationBackend> backend_owned_;
+    /** The backend in use (owned instance or shared singleton). */
+    TranslationBackend *backend_ = nullptr;
+    /** Typed view of backend_ when it is the range backend. */
+    RangeBackend *range_backend_ = nullptr;
     std::unique_ptr<Vmm> vmm_;
     std::unique_ptr<ShadowMgr> smgr_;
     std::unique_ptr<AgilePolicy> policy_;

@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "base/rng.hh"
+#include "walker/backend.hh"
 
 namespace ap
 {
@@ -32,7 +33,7 @@ oracleConfig(VirtMode mode, const OracleOptions &opts)
     cfg.hostMemFrames = std::uint64_t{1} << 17;
     cfg.guestPtFrames = std::uint64_t{1} << 13;
     cfg.guestDataFrames = std::uint64_t{1} << 16;
-    if (opts.hwOpts && mode != VirtMode::Nested)
+    if (opts.hwOpts && backendTraits(mode).usesShadowMgr)
         cfg.enableHwOpts();
     // The default interval is sized for million-op runs; shrink it so
     // the agile policy actually converts modes within a short trace
@@ -111,6 +112,28 @@ injectStaleTlbEntry(Machine &m)
     e.dirty = true;
     e.asid = m.currentProcess();
     m.tlbOf(m.numVcpus() - 1).l1d4k.insert(kNeverMapped, e.asid, e);
+}
+
+/**
+ * Plant a segment register covering VAs the guest never maps into the
+ * last vCPU of @p m's range backend — what a missed segment
+ * invalidation leaves behind. The segment-residency sweep must flag
+ * it. No-op (returns false) when @p m is not a range machine.
+ */
+bool
+injectStaleSegment(Machine &m)
+{
+    RangeBackend *rb = m.rangeBackend();
+    if (!rb)
+        return false;
+    RangeBackend::SegmentReg seg;
+    seg.asid = m.currentProcess();
+    seg.vaBase = Addr{1} << 45; // above every oracle region slot
+    seg.pages = 4;
+    seg.hbase = 0xdead;
+    seg.lastUse = 1;
+    rb->plantSegment(rb->numVcpus() - 1, seg);
+    return true;
 }
 
 } // namespace
@@ -225,17 +248,19 @@ OracleReport
 runDifferential(const Trace &trace, const OracleOptions &opts)
 {
     OracleReport rep;
-    const VirtMode modes[3] = {VirtMode::Shadow, VirtMode::Nested,
-                               VirtMode::Agile};
-    std::unique_ptr<Machine> machines[3];
-    RunResult prev[3];
-    for (int i = 0; i < 3; ++i) {
+    constexpr int kMachines = 4;
+    const VirtMode modes[kMachines] = {VirtMode::Shadow, VirtMode::Nested,
+                                       VirtMode::Agile, VirtMode::Range};
+    std::unique_ptr<Machine> machines[kMachines];
+    RunResult prev[kMachines];
+    for (int i = 0; i < kMachines; ++i) {
         machines[i] =
             std::make_unique<Machine>(oracleConfig(modes[i], opts));
         machines[i]->spawnProcess();
     }
     Machine &shadow = *machines[0];
     Machine &agile = *machines[2];
+    Machine &range = *machines[3];
 
     bool lockstep = std::none_of(
         trace.events.begin(), trace.events.end(), [](const TraceEvent &e) {
@@ -256,12 +281,15 @@ runDifferential(const Trace &trace, const OracleOptions &opts)
                 break;
             if (auto v = checkTlbResidency(*m, idx))
                 fail(*v);
+            else if (auto v2 = checkSegmentResidency(*m, idx))
+                fail(*v2);
         }
     };
 
     std::uint64_t access_no = 0;
     bool injected = false;
     bool stale_injected = false;
+    bool stale_seg_injected = false;
     for (std::size_t idx = 0;
          idx < trace.events.size() && rep.passed; ++idx) {
         const TraceEvent &e = trace.events[idx];
@@ -292,6 +320,14 @@ runDifferential(const Trace &trace, const OracleOptions &opts)
             stale_injected = true;
             sweep(idx);
         }
+        if (opts.injectStaleSegmentAtAccess && !stale_seg_injected &&
+            access_no >= opts.injectStaleSegmentAtAccess) {
+            // Sweep immediately: a later broadcast would drop the
+            // planted segment and mask a broken sweep.
+            stale_seg_injected = injectStaleSegment(range);
+            if (stale_seg_injected)
+                sweep(idx);
+        }
 
         if (is_access && rep.passed) {
             ++rep.accessesChecked;
@@ -310,11 +346,14 @@ runDifferential(const Trace &trace, const OracleOptions &opts)
                 } else if (auto v2 = checkCrossMachine(shadow, agile,
                                                        e.addr, idx)) {
                     fail(*v2);
+                } else if (auto v3 = checkCrossMachine(shadow, range,
+                                                       e.addr, idx)) {
+                    fail(*v3);
                 }
             }
         }
         if (rep.passed) {
-            for (int i = 0; i < 3; ++i) {
+            for (int i = 0; i < kMachines; ++i) {
                 if (auto v = checkCounterInvariants(*machines[i],
                                                     prev[i], idx)) {
                     fail(*v);

@@ -2,8 +2,8 @@
  * @file
  * Cross-mode differential oracle.
  *
- * Replays one deterministic randomized trace through three lock-
- * stepped Machine instances — shadow, nested, agile — and runs the
+ * Replays one deterministic randomized trace through four lock-
+ * stepped Machine instances — shadow, nested, agile, range — and runs the
  * invariant checks from sim/invariants.hh after every event: per-
  * machine architectural-walk agreement, guest-level lock-step
  * agreement across machines, counter/coverage sanity, and periodic
@@ -58,6 +58,11 @@ struct OracleOptions
      *  the Nth Access event — a missed-shootdown bug the residency
      *  sweep must catch. */
     std::uint64_t injectStaleTlbAtAccess = 0;
+    /** When nonzero, plant a stale segment register (covering VAs the
+     *  guest never maps) in the last vCPU of the range machine after
+     *  the Nth Access event — a missed segment invalidation the
+     *  residency sweep must catch. */
+    std::uint64_t injectStaleSegmentAtAccess = 0;
 };
 
 /** Outcome of one differential replay. */
@@ -82,9 +87,9 @@ struct OracleReport
 Trace makeRandomTrace(const OracleOptions &opts);
 
 /**
- * Replay @p trace through lock-stepped shadow, nested, and agile
- * machines, checking invariants after every event. Stops at the first
- * violation.
+ * Replay @p trace through lock-stepped shadow, nested, agile, and
+ * range machines, checking invariants after every event. Stops at the
+ * first violation.
  */
 OracleReport runDifferential(const Trace &trace,
                              const OracleOptions &opts);

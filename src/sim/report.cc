@@ -34,6 +34,9 @@ configLabel(const RunResult &r)
       case VirtMode::Shsp:
         mode = "SHSP";
         break;
+      case VirtMode::Range:
+        mode = "R";
+        break;
     }
     return ps + ":" + mode;
 }
@@ -215,6 +218,15 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
             os << "}";
             os << ", \"coherence_overhead\": " << std::setprecision(17)
                << r.coherenceOverhead();
+        }
+        if (r.mode == VirtMode::Range) {
+            // Segment counters only exist for the range backend so
+            // classic-mode reports stay byte-identical to earlier
+            // producers of ap-runs-v1.
+            os << ", \"segment_hits\": " << r.segmentHits
+               << ", \"segment_spills\": " << r.segmentSpills
+               << ", \"segment_invalidations\": "
+               << r.segmentInvalidations;
         }
         os << ", \"walk_overhead\": " << std::setprecision(17)
            << r.walkOverhead()

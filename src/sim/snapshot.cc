@@ -60,7 +60,7 @@ simConfigDigest(const SimConfig &cfg)
     // hash the bytes. New knobs MUST be appended here: a forgotten
     // field would let a snapshot restore into a machine that diverges.
     Serializer s;
-    s.putU32(1); // digest schema version
+    s.putU32(2); // digest schema version (v2: range-backend knobs)
     s.putU8(static_cast<std::uint8_t>(cfg.mode));
     s.putU8(static_cast<std::uint8_t>(cfg.pageSize));
     s.putU64(cfg.hostMemFrames);
@@ -122,6 +122,10 @@ simConfigDigest(const SimConfig &cfg)
     s.putU64(cfg.vcpuQuantumOps);
     s.putU64(cfg.ipiShootdownCycles);
     s.putU64(cfg.hwInvalidateCycles);
+    s.putU32(cfg.range.segmentRegs);
+    s.putU64(cfg.range.segmentMinPages);
+    s.putU64(cfg.range.segmentMaxPages);
+    s.putU64(cfg.range.segmentFillCycles);
     return fnv1a(s.data().data(), s.size());
 }
 

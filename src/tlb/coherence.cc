@@ -93,6 +93,8 @@ CoherenceDomain::flushPage(Addr va, ProcId asid, CoherenceCause cause)
 {
     for (TlbHierarchy *tlb : tlbs_)
         tlb->flushPage(va, asid);
+    for (CoherenceListener *l : listeners_)
+        l->onFlushPage(va, asid);
     charge(cause);
 }
 
@@ -105,6 +107,8 @@ CoherenceDomain::flushRange(Addr base, Addr len, ProcId asid,
         if (pwcs_[v])
             pwcs_[v]->flushRange(base, len, asid);
     }
+    for (CoherenceListener *l : listeners_)
+        l->onFlushRange(base, len, asid);
     charge(cause);
 }
 
@@ -116,6 +120,8 @@ CoherenceDomain::flushAsid(ProcId asid, CoherenceCause cause)
         if (pwcs_[v])
             pwcs_[v]->flushAsid(asid);
     }
+    for (CoherenceListener *l : listeners_)
+        l->onFlushAsid(asid);
     charge(cause);
 }
 
@@ -127,6 +133,8 @@ CoherenceDomain::flushAsidUncharged(ProcId asid)
         if (pwcs_[v])
             pwcs_[v]->flushAsid(asid);
     }
+    for (CoherenceListener *l : listeners_)
+        l->onFlushAsid(asid);
 }
 
 void
@@ -137,6 +145,8 @@ CoherenceDomain::flushAll(CoherenceCause cause)
         if (pwcs_[v])
             pwcs_[v]->flushAll();
     }
+    for (CoherenceListener *l : listeners_)
+        l->onFlushAll();
     charge(cause);
 }
 

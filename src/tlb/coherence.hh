@@ -73,6 +73,36 @@ constexpr std::size_t kNumCoherenceCauses = 8;
 const char *coherenceCauseName(CoherenceCause c);
 
 /**
+ * Observer of translation invalidations flowing through a
+ * CoherenceDomain. Translation backends that cache derived mapping
+ * state outside the TLB/PWC stacks (e.g. the range backend's segment
+ * registers) register one of these so every invalidation that reaches
+ * the TLBs also reaches them — a segment that survived a munmap is
+ * exactly the "missed invalidation" bug class the difftest hunts.
+ *
+ * Listeners observe only; they never add shootdown traffic or cycles
+ * of their own (their structures are invalidated by the same broadcast
+ * the TLBs already paid for).
+ */
+class CoherenceListener
+{
+  public:
+    virtual ~CoherenceListener() = default;
+
+    /** One page's translation was invalidated for @p asid. */
+    virtual void onFlushPage(Addr va, ProcId asid) = 0;
+
+    /** [base, base+len) was invalidated for @p asid. */
+    virtual void onFlushRange(Addr base, Addr len, ProcId asid) = 0;
+
+    /** A whole address space was invalidated (exit/reap included). */
+    virtual void onFlushAsid(ProcId asid) = 0;
+
+    /** Everything was invalidated. */
+    virtual void onFlushAll() = 0;
+};
+
+/**
  * The coherence domain shared by every vCPU of a guest.
  *
  * Each vCPU registers its private TLB hierarchy and page-walk cache;
@@ -96,6 +126,11 @@ class CoherenceDomain : public stats::StatGroup
     /** Register one vCPU's private translation stack. Registration
      *  order is vCPU id order. @p pwc may be null (TLB-only stack). */
     void addVcpu(TlbHierarchy *tlb, PageWalkCache *pwc);
+
+    /** Register an invalidation observer (not owned). Every flush
+     *  reaching the vCPU stacks is mirrored to every listener,
+     *  including the uncharged reap-path flush. */
+    void addListener(CoherenceListener *l) { listeners_.push_back(l); }
 
     std::size_t numVcpus() const { return tlbs_.size(); }
 
@@ -157,6 +192,7 @@ class CoherenceDomain : public stats::StatGroup
 
     std::vector<TlbHierarchy *> tlbs_;
     std::vector<PageWalkCache *> pwcs_;
+    std::vector<CoherenceListener *> listeners_;
 
     stats::Scalar shootdowns_;
     stats::Scalar remote_invals_;

@@ -122,6 +122,12 @@ struct WalkResult
      *  can re-walk to set the dirty bit, as x86 hardware does. */
     bool dirty = false;
 
+    /** Backend-specific extra cycles this walk costs beyond the
+     *  per-reference charges: e.g. a range-backend segment fill.
+     *  Always 0 for the classic paging backends, which keeps their
+     *  cost model (and results) byte-identical. */
+    Cycles extraCycles = 0;
+
     /** Fault details: the faulting guest virtual address. */
     Addr faultVa = 0;
     /** HostFault: the guest physical address that missed in the hPT. */
@@ -155,6 +161,7 @@ struct WalkResult
         fullNested = false;
         dirtyTransition = false;
         dirty = false;
+        extraCycles = 0;
         faultVa = 0;
         faultGpa = 0;
         faultDepth = 0;

@@ -9,6 +9,7 @@
 
 #include "base/bitfield.hh"
 #include "base/logging.hh"
+#include "walker/backend.hh"
 
 namespace ap
 {
@@ -65,23 +66,9 @@ Walker::walk(const TranslationContext &ctx, Addr va, bool is_write)
     ++walks;
     WalkResult &r = result_;
     r.reset();
-    switch (ctx.mode) {
-      case VirtMode::Native:
-        nativeWalk(ctx, va, is_write, r);
-        break;
-      case VirtMode::Nested:
-        nestedWalk(ctx, va, is_write, r);
-        break;
-      case VirtMode::Shadow:
-      case VirtMode::Agile:
-      case VirtMode::Shsp:
-        // Fig. 4: "if sptr == gptr then return nested_walk(...)".
-        if (ctx.fullNested)
-            nestedWalk(ctx, va, is_write, r);
-        else
-            agileWalk(ctx, va, is_write, r);
-        break;
-    }
+    TranslationBackend &backend =
+        backend_ ? *backend_ : builtinBackend(ctx.mode);
+    backend.serviceWalk(*this, vcpu_, ctx, va, is_write, r);
     refsTotal += r.refs;
     if (r.ok()) {
         refsOkTotal += r.refs;
@@ -133,16 +120,9 @@ void
 Walker::primeWalk(const TranslationContext &ctx, Addr va,
                   PrimeMemo &memo) const
 {
-    // Depth-0 state, by mode (mirrors walk()'s dispatch).
-    PrimeState st;
-    if (ctx.mode == VirtMode::Native) {
-        st = {ctx.nativeRoot, false};
-    } else if (ctx.mode == VirtMode::Nested || ctx.fullNested ||
-               ctx.rootSwitch) {
-        st = {ctx.gptRootBacking, true};
-    } else {
-        st = {ctx.sptRoot, false};
-    }
+    // Depth-0 state, from the backend (mirrors walk()'s dispatch).
+    PrimeState st = (backend_ ? *backend_ : builtinBackend(ctx.mode))
+                        .primeStart(ctx);
 
     unsigned d = 0;
     if (memo.levels > 0) {
@@ -194,6 +174,62 @@ Walker::primeWalk(const TranslationContext &ctx, Addr va,
         memo.state[d + 1] = st;
         memo.levels = d + 2;
     }
+}
+
+bool
+Walker::archHostLeaf(const TranslationContext &ctx, FrameId gframe,
+                     FrameId &h4k, bool &writable) const
+{
+    Addr gpa = frameAddr(gframe);
+    FrameId f = ctx.hptRoot;
+    for (unsigned d = 0; d < kPtLevels; ++d) {
+        const PtPage *page = mem_.tableOrNull(f);
+        if (!page)
+            return false;
+        const Pte &pte = (*page)[ptIndex(gpa, d)];
+        if (!pte.valid)
+            return false;
+        if (d == kPtLevels - 1 || pte.pageSize) {
+            std::uint64_t frames = pageBytes(sizeAtDepth(d)) / kPageBytes;
+            h4k = pte.pfn + (gframe % frames);
+            writable = pte.writable;
+            return true;
+        }
+        f = pte.pfn;
+    }
+    return false;
+}
+
+std::optional<Walker::ArchNestedLeaf>
+Walker::archNestedLeaf(const TranslationContext &ctx, Addr va) const
+{
+    FrameId cur = 0;
+    bool root_writable = false;
+    if (!archHostLeaf(ctx, ctx.gptRoot, cur, root_writable))
+        return std::nullopt;
+    for (unsigned d = 0; d < kPtLevels; ++d) {
+        if (!mem_.tableOrNull(cur))
+            return std::nullopt;
+        Pte &pte = mem_.table(cur)[ptIndex(va, d)];
+        if (!pte.valid)
+            return std::nullopt;
+        if (d == kPtLevels - 1 || pte.pageSize) {
+            std::uint64_t gframes = pageBytes(sizeAtDepth(d)) / kPageBytes;
+            FrameId gf = pte.pfn + (frameOf(va) % gframes);
+            FrameId h4k = 0;
+            bool host_writable = false;
+            if (!archHostLeaf(ctx, gf, h4k, host_writable))
+                return std::nullopt;
+            return ArchNestedLeaf{&pte, h4k,
+                                  pte.writable && host_writable};
+        }
+        FrameId next = 0;
+        bool next_writable = false;
+        if (!archHostLeaf(ctx, pte.pfn, next, next_writable))
+            return std::nullopt;
+        cur = next;
+    }
+    return std::nullopt;
 }
 
 void

@@ -19,6 +19,7 @@
 #define AGILEPAGING_WALKER_WALKER_HH
 
 #include <array>
+#include <optional>
 
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -29,6 +30,8 @@
 
 namespace ap
 {
+
+class TranslationBackend;
 
 /**
  * Architectural register state the walker consults for one process:
@@ -87,6 +90,21 @@ class Walker : public stats::StatGroup
     const WalkResult &walk(const TranslationContext &ctx, Addr va,
                            bool is_write);
 
+    /**
+     * Attach the machine's translation backend; walks dispatch through
+     * it instead of the built-in per-mode singletons. @p vcpu is this
+     * walker's vCPU index, passed to the backend so per-vCPU backend
+     * state (segment-register files) follows the walking core. Not
+     * owned. A walker without a backend (standalone tests) falls back
+     * to builtinBackend(ctx.mode).
+     */
+    void
+    setBackend(TranslationBackend *backend, unsigned vcpu)
+    {
+        backend_ = backend;
+        vcpu_ = vcpu;
+    }
+
     /** Enable per-access chronological tracing (Table II bench). */
     void setTracing(bool on) { tracing_ = on; }
 
@@ -130,6 +148,27 @@ class Walker : public stats::StatGroup
     void primeWalk(const TranslationContext &ctx, Addr va,
                    PrimeMemo &memo) const;
 
+    /**
+     * Architectural two-stage leaf resolution of @p va: what the
+     * nested tables currently say, independent of any cached state.
+     * Charges no references, fills no PWC/nTLB entry, and sets no
+     * accessed/dirty bit. Backends use it to validate derived mapping
+     * state (a segment-register hit) against the truth; the leaf PTE
+     * pointer stays mutable so the caller can apply the architectural
+     * A/D side effects of a hit itself.
+     */
+    struct ArchNestedLeaf
+    {
+        Pte *guestLeaf = nullptr; ///< guest leaf PTE (mutable for A/D)
+        FrameId h4k = 0;          ///< host frame of va's exact 4K page
+        bool writable = false;    ///< guest && host writable
+    };
+
+    /** @return the current architectural translation of @p va through
+     *  guest + host tables, or std::nullopt when unmapped/unbacked. */
+    std::optional<ArchNestedLeaf>
+    archNestedLeaf(const TranslationContext &ctx, Addr va) const;
+
     stats::Scalar walks;
     stats::Scalar refsTotal;
     /** References made by *successful* walks only (drives the
@@ -144,6 +183,24 @@ class Walker : public stats::StatGroup
     stats::Scalar hostFaults;
     stats::Scalar shadowFaults;
     stats::Scalar nativeFaults;
+
+    /**
+     * The walk state machines, public as the primitives backends
+     * compose walk servicing from (walker/backend.hh). Each assumes a
+     * freshly reset @p r.
+     */
+
+    /** 1D walk used for native mode. */
+    void nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                    WalkResult &r);
+
+    /** 2D walk of Fig. 2b (also agile's sptr==gptr case). */
+    void nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                    WalkResult &r);
+
+    /** Shadow/agile walk of Fig. 4. */
+    void agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
+                   WalkResult &r);
 
   private:
     /** Second-stage leaf translation of one guest frame. */
@@ -167,17 +224,10 @@ class Walker : public stats::StatGroup
     FrameId primeHostFrame(const TranslationContext &ctx,
                            FrameId gframe) const;
 
-    /** 1D walk used for native mode. */
-    void nativeWalk(const TranslationContext &ctx, Addr va, bool is_write,
-                    WalkResult &r);
-
-    /** 2D walk of Fig. 2b (also agile's sptr==gptr case). */
-    void nestedWalk(const TranslationContext &ctx, Addr va, bool is_write,
-                    WalkResult &r);
-
-    /** Shadow/agile walk of Fig. 4. */
-    void agileWalk(const TranslationContext &ctx, Addr va, bool is_write,
-                   WalkResult &r);
+    /** Charge-free host-stage leaf lookup that also reports host
+     *  writability (archNestedLeaf's second stage). */
+    bool archHostLeaf(const TranslationContext &ctx, FrameId gframe,
+                      FrameId &h4k, bool &writable) const;
 
     /** Classify a successful walk into a Table VI coverage column. */
     void recordCoverage(const WalkResult &r);
@@ -202,6 +252,8 @@ class Walker : public stats::StatGroup
     PhysMem &mem_;
     PageWalkCache &pwc_;
     NestedTlb &ntlb_;
+    TranslationBackend *backend_ = nullptr;
+    unsigned vcpu_ = 0;
     bool tracing_ = false;
     /** Scratch result reused across walks (no per-walk allocation). */
     WalkResult result_;

@@ -90,7 +90,8 @@ INSTANTIATE_TEST_SUITE_P(AllModes, MachineModeTest,
                                            VirtMode::Nested,
                                            VirtMode::Shadow,
                                            VirtMode::Agile,
-                                           VirtMode::Shsp),
+                                           VirtMode::Shsp,
+                                           VirtMode::Range),
                          [](const auto &info) {
                              return virtModeName(info.param);
                          });

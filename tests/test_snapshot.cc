@@ -99,8 +99,8 @@ TEST_P(SnapshotEquivalence, ForkedRunMatchesColdRun)
     const std::string wl = GetParam();
     const WorkloadParams params = smallParams();
     for (PageSize ps : {PageSize::Size4K, PageSize::Size2M}) {
-        for (VirtMode mode :
-             {VirtMode::Nested, VirtMode::Shadow, VirtMode::Agile}) {
+        for (VirtMode mode : {VirtMode::Nested, VirtMode::Shadow,
+                              VirtMode::Agile, VirtMode::Range}) {
             SCOPED_TRACE(wl + " " +
                          (ps == PageSize::Size4K ? "4K" : "2M") +
                          " mode " + std::to_string(int(mode)));

@@ -73,10 +73,35 @@ def check_coherence_group(doc):
     return int(total)
 
 
+def check_segments_group(doc):
+    """Range-backend segment counters: present and internally sane."""
+    seg = find_group(doc, "segments")
+    if seg is None:
+        return None
+    stats = seg["stats"]
+    for name in ("segment_hits", "segment_fills", "segment_spills",
+                 "segment_invalidations"):
+        require(name in stats, f"segments group missing '{name}'")
+        require(stats[name]["type"] == "scalar",
+                f"segments.{name}: must be a scalar")
+    # Every spill is an install that evicted a live register.
+    require(
+        stats["segment_spills"]["value"]
+        <= stats["segment_fills"]["value"],
+        "segment_spills exceeds segment_fills",
+    )
+    return int(stats["segment_hits"]["value"])
+
+
 def check_stats(doc):
     require(doc.get("schema") == "ap-stats-v1",
             f"bad schema tag: {doc.get('schema')!r}")
     check_group(doc, doc.get("name", "<root>"))
+
+    seg_hits = check_segments_group(doc)
+    if seg_hits is not None:
+        print(f"check_stats_json: segments group OK "
+              f"({seg_hits} segment hits)")
 
     shootdowns = check_coherence_group(doc)
     coh_note = ("" if shootdowns is None
@@ -128,6 +153,9 @@ def check_runs(doc):
         "avg_walk_refs", "coverage", "traps_by_cause",
     )
     coherence_runs = 0
+    range_runs = 0
+    segment_keys = ("segment_hits", "segment_spills",
+                    "segment_invalidations")
     for i, run in enumerate(runs):
         for key in required:
             require(key in run, f"runs[{i}]: missing key '{key}'")
@@ -169,8 +197,25 @@ def check_runs(doc):
                         "shootdowns_by_cause"):
                 require(key not in run,
                         f"runs[{i}]: single-vCPU run carries '{key}'")
+        # Segment block: emitted only for range-mode runs, and then
+        # always complete.
+        if run["mode"] == "Range":
+            range_runs += 1
+            for key in segment_keys:
+                require(key in run,
+                        f"runs[{i}]: range run missing '{key}'")
+                require(
+                    isinstance(run[key], int) and run[key] >= 0,
+                    f"runs[{i}].{key}: must be a non-negative integer",
+                )
+        else:
+            for key in segment_keys:
+                require(key not in run,
+                        f"runs[{i}]: non-range run carries '{key}'")
     coh_note = (f"; {coherence_runs} multi-vCPU" if coherence_runs
                 else "")
+    if range_runs:
+        coh_note += f"; {range_runs} range"
     host = doc["host"]
     print(f"check_stats_json: OK ({len(runs)} runs{coh_note}; "
           f"jobs={host['jobs']}, build={host['build_type']})")

@@ -2,7 +2,8 @@
  * @file
  * Differential-testing driver: fans randomized seeds across the
  * thread pool, replaying each trace through lock-stepped shadow,
- * nested, and agile machines with invariant checks after every event.
+ * nested, agile, and range machines with invariant checks after every
+ * event.
  * Failing seeds are shrunk to a minimal trace and written to disk for
  * standalone replay.
  *
@@ -48,7 +49,8 @@ const char kUsage[] =
     "                [--page 4k|2m|both] [--vcpus N[,N...]]\n"
     "                [--coherence sw|hw] [--reclaim] [--no-hw-opts]\n"
     "                [--sweep N] [--inject K] [--inject-stale K]\n"
-    "                [--replay FILE] [--out DIR] [--snapshot]\n";
+    "                [--inject-segment K] [--replay FILE] [--out DIR]\n"
+    "                [--snapshot]\n";
 
 struct Cli
 {
@@ -63,6 +65,7 @@ struct Cli
     std::uint64_t sweep = 256;
     std::uint64_t inject = 0;
     std::uint64_t injectStale = 0;
+    std::uint64_t injectSegment = 0;
     std::vector<unsigned> vcpus = {1};
     ap::TlbCoherence coherence = ap::TlbCoherence::Software;
     bool snapshot = false;
@@ -99,6 +102,7 @@ optionsFor(const Cli &cli, ap::PageSize page, std::uint64_t seed,
     opts.sweepInterval = cli.sweep;
     opts.injectAtAccess = cli.inject;
     opts.injectStaleTlbAtAccess = cli.injectStale;
+    opts.injectStaleSegmentAtAccess = cli.injectSegment;
     opts.numVcpus = vcpus;
     opts.tlbCoherence = cli.coherence;
     return opts;
@@ -143,6 +147,10 @@ shrinkAndSave(const Cli &cli, const ap::OracleOptions &opts,
               << (cli.injectStale
                       ? " --inject-stale " + std::to_string(cli.injectStale)
                       : std::string())
+              << (cli.injectSegment
+                      ? " --inject-segment " +
+                            std::to_string(cli.injectSegment)
+                      : std::string())
               << (opts.numVcpus > 1
                       ? " --vcpus " + std::to_string(opts.numVcpus)
                       : std::string())
@@ -176,7 +184,7 @@ runMatrix(const Cli &cli)
                 ++caught;
         }
 
-        if (cli.inject || cli.injectStale) {
+        if (cli.inject || cli.injectStale || cli.injectSegment) {
             // Self-test: every seed must be caught, and the failure
             // must survive shrinking.
             std::cout << label << ": injected bug "
@@ -250,6 +258,10 @@ sameRunResult(const ap::RunResult &a, const ap::RunResult &b,
         same &= check(a.coverage[i] == b.coverage[i], "coverage");
     for (unsigned k = 0; k < ap::kNumTrapKinds; ++k)
         same &= check(a.trapByKind[k] == b.trapByKind[k], "trapByKind");
+    same &= check(a.segmentHits == b.segmentHits, "segmentHits");
+    same &= check(a.segmentSpills == b.segmentSpills, "segmentSpills");
+    same &= check(a.segmentInvalidations == b.segmentInvalidations,
+                  "segmentInvalidations");
     return same;
 }
 
@@ -264,7 +276,8 @@ runSnapshotDiff(const Cli &cli)
 {
     const ap::VirtMode modes[] = {ap::VirtMode::Nested,
                                   ap::VirtMode::Shadow,
-                                  ap::VirtMode::Agile};
+                                  ap::VirtMode::Agile,
+                                  ap::VirtMode::Range};
     bool all_ok = true;
     for (ap::PageSize page : cli.pages) {
         std::uint64_t cells = 0, failed = 0;
@@ -403,6 +416,8 @@ main(int argc, char **argv)
             cli.inject = nextU64();
         } else if (a == "--inject-stale") {
             cli.injectStale = nextU64();
+        } else if (a == "--inject-segment") {
+            cli.injectSegment = nextU64();
         } else if (a == "--vcpus") {
             cli.vcpus.clear();
             std::string v = next();
