@@ -60,6 +60,15 @@ struct BenchOptions
     unsigned vcpus = 1;
     TlbCoherence tlbCoherence = TlbCoherence::Software;
     std::string snapshotDir;
+    /** SnapshotCache byte budget in MiB (0 = unlimited). */
+    std::uint64_t snapshotPoolMb = 0;
+
+    /** The --snapshot-pool-mb budget in bytes. */
+    std::uint64_t
+    snapshotPoolBytes() const
+    {
+        return snapshotPoolMb << 20;
+    }
 
     /** The usage fragment for the flags consume() understands. */
     static const char *
@@ -69,7 +78,7 @@ struct BenchOptions
                " [--page-size 4K|2M] [--vcpus N]"
                " [--tlb-coherence sw|hw] [--no-trace-cache]"
                " [--no-snapshot-cache] [--no-batched-walks]"
-               " [--snapshot-dir DIR]";
+               " [--snapshot-dir DIR] [--snapshot-pool-mb N]";
     }
 
     /**
@@ -142,6 +151,8 @@ struct BenchOptions
             batchedWalks = false;
         } else if (!std::strcmp(arg, "--snapshot-dir")) {
             snapshotDir = value("--snapshot-dir");
+        } else if (!std::strcmp(arg, "--snapshot-pool-mb")) {
+            snapshotPoolMb = u64("--snapshot-pool-mb");
         } else if (arg[0] != '-') {
             // Legacy positional operation count.
             std::uint64_t v = 0;

@@ -211,6 +211,9 @@ main(int argc, char **argv)
         regen.seconds = secondsSince(t0);
         regen.identical = allSame(serial, r2);
     }
+    Variant pooled{"snapshot-pooled"};
+    std::uint64_t snap_evictions = 0, snap_resident = 0;
+    std::uint64_t pool_creates = 0, pool_reuses = 0;
     {
         // Snapshot regeneration: warm both caches, then re-run the
         // matrix — every cell restores its frozen warm image and runs
@@ -218,6 +221,7 @@ main(int argc, char **argv)
         // as this variant's untimed warmup.
         ap::TraceCache cache;
         ap::SnapshotCache snaps;
+        snaps.setByteBudget(opt.snapshotPoolBytes());
         ap::runExperiments(specs, jobs,
                            ap::snapshotCellFn(cache, snaps));
         t0 = std::chrono::steady_clock::now();
@@ -227,25 +231,46 @@ main(int argc, char **argv)
         snapfork.identical = allSame(serial, r);
         snap_captures = snaps.captures();
         snap_forks = snaps.forks();
+        snap_evictions = snaps.evictions();
+        snap_resident = snaps.residentBytes();
+
+        // Fork-path delta: same warm caches, but forked cells lease
+        // reused Machine storage from a pool instead of constructing
+        // a fresh Machine per cell.
+        ap::MachinePool pool;
+        ap::runExperiments(
+            specs, jobs, ap::snapshotCellFn(cache, snaps, true, &pool));
+        t0 = std::chrono::steady_clock::now();
+        std::vector<ap::RunResult> r2 = ap::runExperiments(
+            specs, jobs, ap::snapshotCellFn(cache, snaps, true, &pool));
+        pooled.seconds = secondsSince(t0);
+        pooled.identical = allSame(serial, r2);
+        pool_creates = pool.creates();
+        pool_reuses = pool.reuses();
     }
 
-    for (Variant *v : {&cold, &replay, &batched, &regen, &snapfork})
+    for (Variant *v :
+         {&cold, &replay, &batched, &regen, &snapfork, &pooled})
         v->accessesPerSec = accesses / v->seconds;
     double serial_aps = accesses / serial_sec;
 
     bool identical = cold.identical && replay.identical &&
                      batched.identical && regen.identical &&
-                     snapfork.identical;
+                     snapfork.identical && pooled.identical;
     double parallel_speedup = serial_sec / cold.seconds;
     double cache_speedup = cold.seconds / batched.seconds;
     double snapshot_speedup = regen.seconds / snapfork.seconds;
+    // The machine-pool fork-path delta: warm-fork regeneration with
+    // reused machine storage vs with per-cell construction.
+    double pool_speedup = snapfork.seconds / pooled.seconds;
     // The whole engine pass in one number: warm cached-fork
     // regeneration vs cold generation at the same job count.
     double engine_speedup = cold.seconds / snapfork.seconds;
 
     std::printf("  serial cold    (jobs=1):  %7.3f s  %12.0f accesses/s\n",
                 serial_sec, serial_aps);
-    for (const Variant *v : {&cold, &replay, &batched, &regen, &snapfork}) {
+    for (const Variant *v :
+         {&cold, &replay, &batched, &regen, &snapfork, &pooled}) {
         std::printf("  %-14s (jobs=%u):  %7.3f s  %12.0f accesses/s%s\n",
                     v->name, jobs, v->seconds, v->accessesPerSec,
                     v->identical ? "" : "  NOT IDENTICAL (BUG)");
@@ -259,12 +284,23 @@ main(int argc, char **argv)
     std::printf("  engine speedup (cached-fork vs cold, same jobs): "
                 "%.2fx\n",
                 engine_speedup);
+    std::printf("  machine-pool fork-path delta (pooled vs fresh "
+                "construction): %.2fx\n",
+                pool_speedup);
     std::printf("  cache: %llu recorded, %llu replayed   snapshots: "
                 "%llu captured, %llu forked\n",
                 static_cast<unsigned long long>(cache_records),
                 static_cast<unsigned long long>(cache_replays),
                 static_cast<unsigned long long>(snap_captures),
                 static_cast<unsigned long long>(snap_forks));
+    std::printf("  snapshot pool: %llu evictions, %llu resident bytes "
+                "(budget %llu MiB)   machine pool: %llu creates, "
+                "%llu reuses\n",
+                static_cast<unsigned long long>(snap_evictions),
+                static_cast<unsigned long long>(snap_resident),
+                static_cast<unsigned long long>(opt.snapshotPoolMb),
+                static_cast<unsigned long long>(pool_creates),
+                static_cast<unsigned long long>(pool_reuses));
     std::printf("  results bit-identical: %s\n",
                 identical ? "yes" : "NO (BUG)");
 
@@ -299,12 +335,24 @@ main(int argc, char **argv)
          << "  \"snapshot_cache\": {\n"
          << "    \"captures\": " << snap_captures << ",\n"
          << "    \"forks\": " << snap_forks << ",\n"
+         << "    \"evictions\": " << snap_evictions << ",\n"
+         << "    \"resident_bytes\": " << snap_resident << ",\n"
+         << "    \"pool_budget_mb\": " << opt.snapshotPoolMb << ",\n"
          << "    \"fork\": {\"jobs\": " << jobs
          << ", \"seconds\": " << snapfork.seconds
          << ", \"accesses_per_sec\": " << snapfork.accessesPerSec
          << "},\n"
          << "    \"speedup_vs_replay_regen\": " << snapshot_speedup
          << "\n"
+         << "  },\n"
+         << "  \"machine_pool\": {\n"
+         << "    \"creates\": " << pool_creates << ",\n"
+         << "    \"reuses\": " << pool_reuses << ",\n"
+         << "    \"pooled\": {\"jobs\": " << jobs
+         << ", \"seconds\": " << pooled.seconds
+         << ", \"accesses_per_sec\": " << pooled.accessesPerSec
+         << "},\n"
+         << "    \"fork_path_delta\": " << pool_speedup << "\n"
          << "  },\n"
          << "  \"engine_speedup_vs_cold\": " << engine_speedup << ",\n"
          << "  \"speedup\": " << parallel_speedup << ",\n"

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Client side of the apsimd wire protocol: connect, submit a batch,
+ * and stream the result frames back. Shared by the apsim_client tool,
+ * bench_service and the service tests so each exercises the exact
+ * protocol path production traffic takes.
+ */
+
+#ifndef AGILEPAGING_SERVICE_CLIENT_HH
+#define AGILEPAGING_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/wire.hh"
+
+namespace ap
+{
+namespace service
+{
+
+/** What a batch submission came back with. */
+struct BatchOutcome
+{
+    /** BatchEnd was received (individual cells may still have
+     *  errored — see @p errors). */
+    bool ok = false;
+    std::uint64_t batch = 0;
+    std::uint32_t cells = 0;
+    std::uint32_t errors = 0;
+    /** Transport- or batch-level failure description when !ok. */
+    std::string error;
+};
+
+class ServiceClient
+{
+  public:
+    ServiceClient() = default;
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    bool connectUnix(const std::string &path, std::string *err = nullptr);
+    bool connectTcp(int port, std::string *err = nullptr);
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * Called for every frame of a batch as it arrives (RunFrame,
+     * Error, BatchEnd), with the frame's JSON payload. Frames stream
+     * in completion order, not cell order.
+     */
+    using FrameFn =
+        std::function<void(FrameType type, const std::string &json)>;
+
+    /**
+     * Submit @p specs and block until BatchEnd (or a transport
+     * failure). A batch the server rejects outright (malformed /
+     * invalid specs) returns ok=false with the server's reason.
+     */
+    BatchOutcome runBatch(const std::vector<ExperimentSpec> &specs,
+                          const FrameFn &on_frame = {});
+
+    /**
+     * Submit a raw BatchRequest payload (test hook for malformed
+     * bytes) and return the first response frame's payload.
+     * @return false on transport failure.
+     */
+    bool roundTrip(FrameType type,
+                   const std::vector<std::uint8_t> &payload,
+                   Frame &response);
+
+    /** Ask the server to drain and exit. */
+    bool sendShutdown();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Extract the "run" object from an ap-run-frame-v1 payload (the byte
+ * range writeRunResultJson produced on the server). Empty string if
+ * the payload is not a run frame.
+ */
+std::string runObjectOfFrame(const std::string &frame_json);
+
+/** Cell index of an ap-run-frame-v1 payload (-1 if absent). */
+std::int64_t cellOfFrame(const std::string &frame_json);
+
+/** Worker index of an ap-run-frame-v1 payload (-1 if absent). */
+std::int64_t workerOfFrame(const std::string &frame_json);
+
+/**
+ * Assemble an ap-runs-v1 document from run objects in cell order,
+ * mirroring writeRunResultsJson (host block from this process,
+ * @p jobs = the service's worker count).
+ */
+std::string assembleRunsJson(const std::vector<std::string> &run_objects,
+                             unsigned jobs);
+
+} // namespace service
+} // namespace ap
+
+#endif // AGILEPAGING_SERVICE_CLIENT_HH

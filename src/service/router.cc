@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Cell router implementation.
+ */
+
+#include "service/router.hh"
+
+#include <functional>
+
+#include "base/logging.hh"
+
+namespace ap
+{
+namespace service
+{
+
+std::uint64_t
+affinityDigest(const ExperimentSpec &spec)
+{
+    // Mirror the TraceCacheKey fields reachable from a spec: workload,
+    // page size and operation count pin the recorded stream (seed,
+    // footprint and warmup fraction are derived from them by
+    // defaultParamsFor/configFor). Mode is deliberately absent — see
+    // the header.
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (char c : spec.workload) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    mix(static_cast<std::uint64_t>(spec.pageSize));
+    mix(spec.operations);
+    mix(spec.numVcpus);
+    return h;
+}
+
+CellRouter::CellRouter(unsigned workers)
+    : queues_(workers), alive_(workers, true)
+{
+    ap_assert(workers > 0, "router needs at least one worker");
+}
+
+void
+CellRouter::enqueue(std::uint64_t batch, std::uint32_t cell,
+                    std::uint64_t digest)
+{
+    unsigned target = 0;
+    auto it = owner_.find(digest);
+    if (it != owner_.end() && alive_[it->second]) {
+        target = it->second;
+        ++affinity_hits_;
+    } else {
+        bool found = false;
+        std::size_t best = 0;
+        for (unsigned w = 0; w < queues_.size(); ++w) {
+            if (!alive_[w])
+                continue;
+            if (!found || queues_[w].size() < best) {
+                found = true;
+                best = queues_[w].size();
+                target = w;
+            }
+        }
+        ap_assert(found, "no live worker to place on");
+        owner_[digest] = target;
+    }
+    queues_[target].push_back(RoutedCell{batch, cell, digest});
+}
+
+std::optional<RoutedCell>
+CellRouter::next(unsigned w)
+{
+    ap_assert(w < queues_.size() && alive_[w], "bad worker ", w);
+    if (!queues_[w].empty()) {
+        RoutedCell c = queues_[w].front();
+        queues_[w].pop_front();
+        return c;
+    }
+    // Steal from the back of the longest sibling queue.
+    unsigned victim = w;
+    std::size_t longest = 0;
+    for (unsigned v = 0; v < queues_.size(); ++v) {
+        if (v == w || !alive_[v])
+            continue;
+        if (queues_[v].size() > longest) {
+            longest = queues_[v].size();
+            victim = v;
+        }
+    }
+    if (victim == w)
+        return std::nullopt;
+    RoutedCell c = queues_[victim].back();
+    queues_[victim].pop_back();
+    owner_[c.digest] = w;
+    ++steals_;
+    return c;
+}
+
+void
+CellRouter::removeWorker(unsigned w)
+{
+    ap_assert(w < queues_.size(), "bad worker ", w);
+    if (!alive_[w])
+        return;
+    alive_[w] = false;
+    std::deque<RoutedCell> orphaned = std::move(queues_[w]);
+    queues_[w].clear();
+    for (auto it = owner_.begin(); it != owner_.end();) {
+        if (it->second == w)
+            it = owner_.erase(it);
+        else
+            ++it;
+    }
+    // With no survivors there is nowhere to re-enqueue; the server
+    // fails the batch's outstanding cells when liveWorkers() hits 0.
+    if (liveWorkers() == 0)
+        return;
+    for (const RoutedCell &c : orphaned)
+        enqueue(c.batch, c.cell, c.digest);
+}
+
+std::size_t
+CellRouter::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.size();
+    return n;
+}
+
+std::size_t
+CellRouter::pending(unsigned w) const
+{
+    return w < queues_.size() ? queues_[w].size() : 0;
+}
+
+bool
+CellRouter::alive(unsigned w) const
+{
+    return w < alive_.size() && alive_[w];
+}
+
+unsigned
+CellRouter::liveWorkers() const
+{
+    unsigned n = 0;
+    for (bool a : alive_)
+        n += a ? 1 : 0;
+    return n;
+}
+
+} // namespace service
+} // namespace ap

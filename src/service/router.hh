@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cell placement for the apsimd worker fleet: digest affinity with
+ * work stealing.
+ *
+ * Workers keep their simulation state warm per *affinity digest* — a
+ * hash of everything the recorded trace and captured snapshots depend
+ * on. Routing sibling cells of one digest to the same worker means
+ * that worker records the operation stream once and forks every
+ * sibling from its warm snapshot pool, instead of each worker paying
+ * the recording cost independently. The router is pure bookkeeping (no
+ * processes, no I/O) so placement policy is unit-testable on its own;
+ * the server drives it from the dispatch loop.
+ */
+
+#ifndef AGILEPAGING_SERVICE_ROUTER_HH
+#define AGILEPAGING_SERVICE_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ap
+{
+namespace service
+{
+
+/**
+ * The affinity digest of a cell: a hash of the fields the worker-side
+ * caches key on (workload identity and stream parameters, not mode —
+ * sibling modes of one workload share the recorded trace, which is
+ * the expensive thing to duplicate across workers).
+ */
+std::uint64_t affinityDigest(const ExperimentSpec &spec);
+
+/** One queued cell. */
+struct RoutedCell
+{
+    std::uint64_t batch = 0;
+    std::uint32_t cell = 0;
+    std::uint64_t digest = 0;
+};
+
+/**
+ * Per-worker FIFO queues with digest-affinity placement and LIFO work
+ * stealing. Not thread-safe; the single dispatch loop owns it.
+ */
+class CellRouter
+{
+  public:
+    explicit CellRouter(unsigned workers);
+
+    /**
+     * Queue a cell. Placement: the worker already owning the digest if
+     * one does (affinity hit), else the least-loaded worker, which
+     * becomes the digest's owner.
+     */
+    void enqueue(std::uint64_t batch, std::uint32_t cell,
+                 std::uint64_t digest);
+
+    /**
+     * Next cell for worker @p w: the front of its own queue, else one
+     * *stolen from the back* of the longest sibling queue (the back is
+     * the cell whose affinity owner is furthest from running it, so
+     * stealing it forfeits the least warm-state reuse). Stealing moves
+     * digest ownership to the thief — later same-digest cells follow
+     * the state that is now warm there.
+     * @return nullopt when every queue is empty.
+     */
+    std::optional<RoutedCell> next(unsigned w);
+
+    /**
+     * Remove worker @p w from placement: its queued cells are
+     * re-enqueued on siblings and its digest ownerships forgotten.
+     * Used when a worker process dies.
+     */
+    void removeWorker(unsigned w);
+
+    /** Cells queued across all workers. */
+    std::size_t pending() const;
+    /** Cells queued on @p w. */
+    std::size_t pending(unsigned w) const;
+    /** Whether @p w still participates in placement. */
+    bool alive(unsigned w) const;
+    /** Live worker count. */
+    unsigned liveWorkers() const;
+
+    /** Cells placed on the worker already owning their digest. */
+    std::uint64_t affinityHits() const { return affinity_hits_; }
+    /** Cells taken from a sibling's queue. */
+    std::uint64_t steals() const { return steals_; }
+
+  private:
+    std::vector<std::deque<RoutedCell>> queues_;
+    std::vector<bool> alive_;
+    /** digest -> owning worker. */
+    std::unordered_map<std::uint64_t, unsigned> owner_;
+    std::uint64_t affinity_hits_ = 0;
+    std::uint64_t steals_ = 0;
+};
+
+} // namespace service
+} // namespace ap
+
+#endif // AGILEPAGING_SERVICE_ROUTER_HH

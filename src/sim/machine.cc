@@ -976,6 +976,20 @@ Machine::restoreState(Deserializer &d)
     if (!d.ok())
         return false;
 
+    // A machine that already ran carries guest and shadow page-table
+    // trees whose destructors would free frames out of the image about
+    // to be restored; abandon them against the old memory before the
+    // wipe (no-op on a fresh machine). This is what makes restoring
+    // into a *reused* machine — keeping its arena slabs and frame
+    // vectors warm — byte-equivalent to restoring into a fresh one.
+    guest_os_->abandonForRestore();
+    if (smgr_)
+        smgr_->abandonForRestore();
+    // Host-side priming gate: a fresh machine primes its first batch,
+    // so a reused one must too (the flag is host-only and never
+    // serialized, but it must not leak across lives).
+    prime_next_ = true;
+
     // Order matters: memory first (page trees materialize), then the
     // structures that hold frame ids into it, then the guest OS (which
     // adopts its page-table roots), then the shadow manager (which

@@ -146,11 +146,13 @@ class Machine : public stats::StatGroup, public WorkloadHost
      * Snapshot support: serialize every piece of machine state that
      * can influence subsequent simulation — memory, TLBs/PWC/nTLB,
      * VMM, shadow manager, guest OS, RNG streams, counters, and the
-     * whole stats tree. restoreState() must target a freshly
-     * constructed Machine with an identical SimConfig that has not
-     * run anything (restore adopts page-table trees in place).
-     * @return false (with untouched-but-unspecified state) if the
-     * stream is corrupt or from a mismatched config.
+     * whole stats tree. restoreState() must target a Machine
+     * constructed with an identical SimConfig; it may be fresh or may
+     * already have run (a prior run's state is abandoned and its
+     * storage — arena slabs, frame vectors — reused, which is the
+     * fast path MachinePool leases ride on).
+     * @return false (with unusable state) if the stream is corrupt or
+     * from a mismatched config.
      */
     void saveState(Serializer &s) const;
     bool restoreState(Deserializer &d);

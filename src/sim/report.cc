@@ -155,8 +155,7 @@ writeHostMetaJson(std::ostream &os, const HostMeta &meta)
 }
 
 void
-writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
-                    unsigned jobs)
+writeRunResultJson(std::ostream &os, const RunResult &r)
 {
     auto esc = [](const std::string &s) {
         std::string out;
@@ -167,6 +166,69 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
         }
         return out;
     };
+    os << "{\"workload\": \"" << esc(r.workload) << "\""
+       << ", \"mode\": \"" << virtModeName(r.mode) << "\""
+       << ", \"page_size\": \"" << pageSizeName(r.pageSize) << "\""
+       << ", \"config\": \"" << esc(configLabel(r)) << "\""
+       << ", \"instructions\": " << r.instructions
+       << ", \"ideal_cycles\": " << r.idealCycles
+       << ", \"walk_cycles\": " << r.walkCycles
+       << ", \"trap_cycles\": " << r.trapCycles
+       << ", \"tlb_misses\": " << r.tlbMisses
+       << ", \"walks\": " << r.walks
+       << ", \"traps\": " << r.traps
+       << ", \"guest_page_faults\": " << r.guestPageFaults;
+    os << ", \"avg_walk_refs\": " << std::setprecision(17)
+       << r.avgWalkRefs;
+    os << ", \"coverage\": [";
+    for (int i = 0; i < 6; ++i)
+        os << (i ? ", " : "") << std::setprecision(17) << r.coverage[i];
+    os << "]";
+    os << ", \"traps_by_cause\": {";
+    for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
+        os << (k ? ", " : "") << "\""
+           << trapKindName(static_cast<TrapKind>(k))
+           << "\": " << r.trapByKind[k];
+    }
+    os << "}";
+    if (r.numVcpus > 1) {
+        // Coherence block only exists for multi-vCPU runs so
+        // single-vCPU reports stay byte-identical to earlier
+        // producers of ap-runs-v1.
+        os << ", \"num_vcpus\": " << r.numVcpus
+           << ", \"coherence_cycles\": " << r.coherenceCycles
+           << ", \"shootdowns\": " << r.shootdowns
+           << ", \"remote_invalidations\": " << r.remoteInvalidations
+           << ", \"shootdowns_by_cause\": {";
+        for (std::size_t k = 0; k < kNumCoherenceCauses; ++k) {
+            os << (k ? ", " : "") << "\""
+               << coherenceCauseName(static_cast<CoherenceCause>(k))
+               << "\": " << r.shootdownsByCause[k];
+        }
+        os << "}";
+        os << ", \"coherence_overhead\": " << std::setprecision(17)
+           << r.coherenceOverhead();
+    }
+    if (r.mode == VirtMode::Range) {
+        // Segment counters only exist for the range backend so
+        // classic-mode reports stay byte-identical to earlier
+        // producers of ap-runs-v1.
+        os << ", \"segment_hits\": " << r.segmentHits
+           << ", \"segment_spills\": " << r.segmentSpills
+           << ", \"segment_invalidations\": " << r.segmentInvalidations;
+    }
+    os << ", \"walk_overhead\": " << std::setprecision(17)
+       << r.walkOverhead()
+       << ", \"vmm_overhead\": " << std::setprecision(17)
+       << r.vmmOverhead()
+       << ", \"slowdown\": " << std::setprecision(17) << r.slowdown();
+    os << "}";
+}
+
+void
+writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
+                    unsigned jobs)
+{
     os << "{\"schema\": \"ap-runs-v1\", \"host\": ";
     writeHostMetaJson(os, currentHostMeta(jobs));
     os << ", \"runs\": [";
@@ -175,66 +237,7 @@ writeRunResultsJson(std::ostream &os, const std::vector<RunResult> &runs,
         if (!first_run)
             os << ", ";
         first_run = false;
-        os << "{\"workload\": \"" << esc(r.workload) << "\""
-           << ", \"mode\": \"" << virtModeName(r.mode) << "\""
-           << ", \"page_size\": \"" << pageSizeName(r.pageSize) << "\""
-           << ", \"config\": \"" << esc(configLabel(r)) << "\""
-           << ", \"instructions\": " << r.instructions
-           << ", \"ideal_cycles\": " << r.idealCycles
-           << ", \"walk_cycles\": " << r.walkCycles
-           << ", \"trap_cycles\": " << r.trapCycles
-           << ", \"tlb_misses\": " << r.tlbMisses
-           << ", \"walks\": " << r.walks
-           << ", \"traps\": " << r.traps
-           << ", \"guest_page_faults\": " << r.guestPageFaults;
-        os << ", \"avg_walk_refs\": " << std::setprecision(17)
-           << r.avgWalkRefs;
-        os << ", \"coverage\": [";
-        for (int i = 0; i < 6; ++i)
-            os << (i ? ", " : "") << std::setprecision(17)
-               << r.coverage[i];
-        os << "]";
-        os << ", \"traps_by_cause\": {";
-        for (std::size_t k = 0; k < kNumTrapKinds; ++k) {
-            os << (k ? ", " : "") << "\""
-               << trapKindName(static_cast<TrapKind>(k))
-               << "\": " << r.trapByKind[k];
-        }
-        os << "}";
-        if (r.numVcpus > 1) {
-            // Coherence block only exists for multi-vCPU runs so
-            // single-vCPU reports stay byte-identical to earlier
-            // producers of ap-runs-v1.
-            os << ", \"num_vcpus\": " << r.numVcpus
-               << ", \"coherence_cycles\": " << r.coherenceCycles
-               << ", \"shootdowns\": " << r.shootdowns
-               << ", \"remote_invalidations\": " << r.remoteInvalidations
-               << ", \"shootdowns_by_cause\": {";
-            for (std::size_t k = 0; k < kNumCoherenceCauses; ++k) {
-                os << (k ? ", " : "") << "\""
-                   << coherenceCauseName(static_cast<CoherenceCause>(k))
-                   << "\": " << r.shootdownsByCause[k];
-            }
-            os << "}";
-            os << ", \"coherence_overhead\": " << std::setprecision(17)
-               << r.coherenceOverhead();
-        }
-        if (r.mode == VirtMode::Range) {
-            // Segment counters only exist for the range backend so
-            // classic-mode reports stay byte-identical to earlier
-            // producers of ap-runs-v1.
-            os << ", \"segment_hits\": " << r.segmentHits
-               << ", \"segment_spills\": " << r.segmentSpills
-               << ", \"segment_invalidations\": "
-               << r.segmentInvalidations;
-        }
-        os << ", \"walk_overhead\": " << std::setprecision(17)
-           << r.walkOverhead()
-           << ", \"vmm_overhead\": " << std::setprecision(17)
-           << r.vmmOverhead()
-           << ", \"slowdown\": " << std::setprecision(17)
-           << r.slowdown();
-        os << "}";
+        writeRunResultJson(os, r);
     }
     os << "]}\n";
 }

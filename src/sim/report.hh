@@ -58,6 +58,14 @@ HostMeta currentHostMeta(unsigned jobs);
 void writeHostMetaJson(std::ostream &os, const HostMeta &meta);
 
 /**
+ * Emit one RunResult as the JSON object used inside the ap-runs-v1
+ * "runs" array. Shared by writeRunResultsJson and the apsimd streamed
+ * run frames, so a frame's "run" object is byte-identical to the
+ * corresponding in-process array element.
+ */
+void writeRunResultJson(std::ostream &os, const RunResult &r);
+
+/**
  * Machine-readable JSON with every RunResult field, including the
  * per-cause VM-exit attribution. The root object carries
  * `"schema": "ap-runs-v1"`, a `"host"` block describing the producing

@@ -229,6 +229,10 @@ SnapshotCache::obtain(const SnapshotKey &key, const CaptureFn &capture)
         } else {
             fut = it->second;
             ++forks_;
+            // Refresh recency so a hot key survives the byte budget.
+            auto res = resident_.find(key);
+            if (res != resident_.end())
+                lru_.splice(lru_.end(), lru_, res->second.pos);
         }
     }
     if (winner) {
@@ -253,6 +257,8 @@ SnapshotCache::obtain(const SnapshotKey &key, const CaptureFn &capture)
                     ++disk_loads_;
                 else
                     ++captures_;
+                if (snap)
+                    insertResidentLocked(key, snap->bytes.size());
             }
             if (!dir_.empty() && !from_disk && snap)
                 writeSnapshotFile(*snap, filePath(key)); // best effort
@@ -263,6 +269,42 @@ SnapshotCache::obtain(const SnapshotKey &key, const CaptureFn &capture)
         }
     }
     return fut.get();
+}
+
+void
+SnapshotCache::insertResidentLocked(const SnapshotKey &key,
+                                    std::uint64_t bytes)
+{
+    auto pos = lru_.insert(lru_.end(), key);
+    resident_[key] = Resident{pos, bytes};
+    resident_bytes_ += bytes;
+    evictToBudgetLocked();
+}
+
+void
+SnapshotCache::evictToBudgetLocked()
+{
+    if (!budget_bytes_)
+        return;
+    // Never evict the MRU entry (lru_.back()): a budget smaller than
+    // one image must still let that image's own requesters fork it.
+    while (resident_bytes_ > budget_bytes_ && lru_.size() > 1) {
+        const SnapshotKey victim = lru_.front();
+        auto res = resident_.find(victim);
+        resident_bytes_ -= res->second.bytes;
+        lru_.pop_front();
+        resident_.erase(res);
+        map_.erase(victim);
+        ++evictions_;
+    }
+}
+
+void
+SnapshotCache::setByteBudget(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_bytes_ = bytes;
+    evictToBudgetLocked();
 }
 
 std::uint64_t
@@ -284,6 +326,20 @@ SnapshotCache::diskLoads() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return disk_loads_;
+}
+
+std::uint64_t
+SnapshotCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+std::uint64_t
+SnapshotCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_bytes_;
 }
 
 } // namespace ap

@@ -23,6 +23,7 @@
 #include <functional>
 #include <future>
 #include <iosfwd>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,8 +62,10 @@ using SnapshotPtr = std::shared_ptr<const MachineSnapshot>;
 SnapshotPtr captureSnapshot(const Machine &machine);
 
 /**
- * Restore @p snap into @p machine, which must be freshly constructed
- * with a config whose digest matches and must not have run anything.
+ * Restore @p snap into @p machine, which must be constructed with a
+ * config whose digest matches. The machine may be fresh or may have
+ * already run — a used machine's state is abandoned and its storage
+ * reused (see Machine::restoreState).
  * @return false (machine unusable) on digest mismatch or a corrupt
  * image.
  */
@@ -125,6 +128,13 @@ struct SnapshotKeyHash
  * With a directory set, snapshots additionally persist as
  * <hex-key>.apsnap files that later processes (or a later obtain in
  * this process) load instead of capturing.
+ *
+ * An optional byte budget bounds the pool: once the resident images
+ * exceed it, the least-recently-obtained completed entries are evicted
+ * until the pool fits (a later obtain of an evicted key re-captures or
+ * re-loads it). In-flight captures are never evicted, and holders of a
+ * previously returned SnapshotPtr keep their image alive regardless —
+ * eviction only drops the pool's own reference.
  */
 class SnapshotCache
 {
@@ -138,24 +148,55 @@ class SnapshotCache
     /** Return the snapshot for @p key, capturing it on first use. */
     SnapshotPtr obtain(const SnapshotKey &key, const CaptureFn &capture);
 
+    /**
+     * Bound the resident image bytes (0 = unlimited, the default).
+     * Applies to future obtains and immediately evicts down to the new
+     * budget. A single image larger than the budget still resides
+     * until the next insert (the pool never thrashes the entry it was
+     * asked for).
+     */
+    void setByteBudget(std::uint64_t bytes);
+
     /** Keys captured in-process (cache misses). */
     std::uint64_t captures() const;
     /** Requests served from memory (cache hits). */
     std::uint64_t forks() const;
     /** Keys loaded from the snapshot directory. */
     std::uint64_t diskLoads() const;
+    /** Completed entries dropped by the byte budget. */
+    std::uint64_t evictions() const;
+    /** Bytes of completed images currently resident. */
+    std::uint64_t residentBytes() const;
 
   private:
     std::string filePath(const SnapshotKey &key) const;
+
+    /** Account a completed capture and evict LRU entries past the
+     *  budget. Caller must hold mu_. */
+    void insertResidentLocked(const SnapshotKey &key,
+                              std::uint64_t bytes);
+    void evictToBudgetLocked();
 
     mutable std::mutex mu_;
     std::unordered_map<SnapshotKey, std::shared_future<SnapshotPtr>,
                        SnapshotKeyHash>
         map_;
+    /** Completed keys, least recently obtained first. */
+    std::list<SnapshotKey> lru_;
+    /** Completed keys -> (position in lru_, image bytes). */
+    struct Resident
+    {
+        std::list<SnapshotKey>::iterator pos;
+        std::uint64_t bytes = 0;
+    };
+    std::unordered_map<SnapshotKey, Resident, SnapshotKeyHash> resident_;
     std::string dir_;
+    std::uint64_t budget_bytes_ = 0;
+    std::uint64_t resident_bytes_ = 0;
     std::uint64_t captures_ = 0;
     std::uint64_t forks_ = 0;
     std::uint64_t disk_loads_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace ap

@@ -123,11 +123,43 @@ cachedCellFn(TraceCache &cache, bool batched)
     };
 }
 
+namespace
+{
+
+/**
+ * The fork half of the snapshotted runners: restore @p snap into a
+ * machine — leased from @p pool when one is given, freshly
+ * constructed otherwise — position the replay at the boundary, and
+ * run the measured region.
+ */
+RunResult
+runForked(const SimConfig &cfg, const SnapshotPtr &snap,
+          const TraceCache::TracePtr &compiled, bool batched,
+          MachinePool *pool, const std::string &name)
+{
+    if (pool) {
+        MachinePool::Lease lease = pool->acquire(cfg);
+        bool ok = restoreSnapshot(*snap, *lease);
+        ap_assert(ok, "snapshot restore failed for ", name);
+        BatchReplayWorkload replay(compiled, batched);
+        replay.resumeAtBoundary(*lease);
+        return lease->runMeasured(replay);
+    }
+    Machine machine(cfg);
+    bool ok = restoreSnapshot(*snap, machine);
+    ap_assert(ok, "snapshot restore failed for ", name);
+    BatchReplayWorkload replay(compiled, batched);
+    replay.resumeAtBoundary(machine);
+    return machine.runMeasured(replay);
+}
+
+} // namespace
+
 RunResult
 runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
                    const std::string &workload_name,
                    const WorkloadParams &params, const SimConfig &cfg,
-                   bool batched)
+                   bool batched, MachinePool *pool)
 {
     TraceCacheKey tkey;
     tkey.workload = workload_name;
@@ -181,12 +213,8 @@ runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
     if (warm) {
         r = warm->runMeasured(*warm_replay);
     } else {
-        Machine machine(cfg);
-        bool ok = restoreSnapshot(*snap, machine);
-        ap_assert(ok, "snapshot restore failed for ", workload_name);
-        BatchReplayWorkload replay(compiled, batched);
-        replay.resumeAtBoundary(machine);
-        r = machine.runMeasured(replay);
+        r = runForked(cfg, snap, compiled, batched, pool,
+                      workload_name);
     }
     r.workload = compiled->workload;
     return r;
@@ -243,7 +271,8 @@ runWorkloadCached(TraceCache &traces, const std::string &cache_name,
 RunResult
 runWorkloadSnapshotted(TraceCache &traces, SnapshotCache &snaps,
                        const std::string &cache_name, Workload &workload,
-                       const SimConfig &cfg, bool batched)
+                       const SimConfig &cfg, bool batched,
+                       MachinePool *pool)
 {
     const WorkloadParams &params = workload.params();
     std::optional<RunResult> recorded;
@@ -273,12 +302,7 @@ runWorkloadSnapshotted(TraceCache &traces, SnapshotCache &snaps,
     if (warm) {
         r = warm->runMeasured(*warm_replay);
     } else {
-        Machine machine(cfg);
-        bool ok = restoreSnapshot(*snap, machine);
-        ap_assert(ok, "snapshot restore failed for ", cache_name);
-        BatchReplayWorkload replay(compiled, batched);
-        replay.resumeAtBoundary(machine);
-        r = machine.runMeasured(replay);
+        r = runForked(cfg, snap, compiled, batched, pool, cache_name);
     }
     r.workload = compiled->workload;
     return r;
@@ -286,7 +310,8 @@ runWorkloadSnapshotted(TraceCache &traces, SnapshotCache &snaps,
 
 RunResult
 runExperimentSnapshotted(TraceCache &traces, SnapshotCache &snaps,
-                         const ExperimentSpec &spec, bool batched)
+                         const ExperimentSpec &spec, bool batched,
+                         MachinePool *pool)
 {
     WorkloadParams params = defaultParamsFor(spec.workload);
     if (spec.operations)
@@ -296,14 +321,16 @@ runExperimentSnapshotted(TraceCache &traces, SnapshotCache &snaps,
     cfg.numVcpus = spec.numVcpus;
     cfg.tlbCoherence = spec.tlbCoherence;
     return runCellSnapshotted(traces, snaps, spec.workload, params, cfg,
-                              batched);
+                              batched, pool);
 }
 
 CellFn
-snapshotCellFn(TraceCache &traces, SnapshotCache &snaps, bool batched)
+snapshotCellFn(TraceCache &traces, SnapshotCache &snaps, bool batched,
+               MachinePool *pool)
 {
-    return [&traces, &snaps, batched](const ExperimentSpec &spec) {
-        return runExperimentSnapshotted(traces, snaps, spec, batched);
+    return [&traces, &snaps, batched, pool](const ExperimentSpec &spec) {
+        return runExperimentSnapshotted(traces, snaps, spec, batched,
+                                        pool);
     };
 }
 

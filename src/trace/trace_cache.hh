@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "sim/experiment.hh"
+#include "sim/machine_pool.hh"
 #include "sim/snapshot.hh"
 #include "trace/compiled_trace.hh"
 
@@ -136,17 +137,23 @@ CellFn cachedCellFn(TraceCache &cache, bool batched = true);
  * identical cell forks a fresh Machine from the frozen image and runs
  * only the measured region. Results are bit-identical to
  * runExperiment for every cell.
+ * @param pool optional machine-storage pool: forked cells lease a
+ *        parked same-digest Machine (arena slabs and frame vectors
+ *        warm) instead of constructing one, and park it back after the
+ *        measured region. Results are bit-identical either way.
  */
 RunResult runCellSnapshotted(TraceCache &traces, SnapshotCache &snaps,
                              const std::string &workload_name,
                              const WorkloadParams &params,
-                             const SimConfig &cfg, bool batched = true);
+                             const SimConfig &cfg, bool batched = true,
+                             MachinePool *pool = nullptr);
 
 /** runExperiment, but through both caches. */
 RunResult runExperimentSnapshotted(TraceCache &traces,
                                    SnapshotCache &snaps,
                                    const ExperimentSpec &spec,
-                                   bool batched = true);
+                                   bool batched = true,
+                                   MachinePool *pool = nullptr);
 
 /**
  * runCellCached for a caller-supplied workload instance (one the
@@ -171,14 +178,15 @@ RunResult runWorkloadSnapshotted(TraceCache &traces,
                                  const std::string &cache_name,
                                  Workload &workload,
                                  const SimConfig &cfg,
-                                 bool batched = true);
+                                 bool batched = true,
+                                 MachinePool *pool = nullptr);
 
 /**
- * A CellFn routing every cell through both caches. Both caches must
- * outlive the returned function.
+ * A CellFn routing every cell through both caches. Both caches (and
+ * the pool, if given) must outlive the returned function.
  */
 CellFn snapshotCellFn(TraceCache &traces, SnapshotCache &snaps,
-                      bool batched = true);
+                      bool batched = true, MachinePool *pool = nullptr);
 
 } // namespace ap
 

@@ -2,12 +2,19 @@
 """Validate the JSON stats exports (CI gate).
 
 Usage:
-  check_stats_json.py stats <machine-stats.json>   # apsim --stats-json
-  check_stats_json.py runs  <run-results.json>     # bench --stats-json
+  check_stats_json.py stats  <machine-stats.json>  # apsim --stats-json
+  check_stats_json.py runs   <run-results.json>    # bench --stats-json
+  check_stats_json.py frames <frames.ndjson>       # apsim_client output
+                                                   # ('-' for stdin)
 
 Checks that the file parses, carries the expected versioned schema tag,
 has the required keys, and that the per-cause VM-exit counts sum exactly
-to the aggregate trap counter. Exit 0 on success, 1 on any violation.
+to the aggregate trap counter. The frames mode validates an apsimd
+result stream: every line is one ap-run-frame-v1 / ap-error-v1 /
+ap-batch-end-v1 object, run frames carry the batch/cell/worker envelope
+and a complete run object, no batch answers the same cell twice, and
+each batch-end's cell and error totals match the frames that preceded
+it. Exit 0 on success, 1 on any violation.
 """
 
 import json
@@ -141,77 +148,83 @@ def check_host(host, path="host"):
             f"{path}.build_type: must be a non-empty string")
 
 
+def check_run(run, label):
+    """Validate one run object (an ap-runs-v1 runs[] element or the
+    "run" of an ap-run-frame-v1). Returns (is_coherence, is_range)."""
+    required = (
+        "workload", "mode", "page_size", "instructions", "ideal_cycles",
+        "walk_cycles", "trap_cycles", "tlb_misses", "walks", "traps",
+        "avg_walk_refs", "coverage", "traps_by_cause",
+    )
+    segment_keys = ("segment_hits", "segment_spills",
+                    "segment_invalidations")
+    for key in required:
+        require(key in run, f"{label}: missing key '{key}'")
+    require(len(run["coverage"]) == 6,
+            f"{label}: coverage must have 6 classes")
+    per_cause = sum(run["traps_by_cause"].values())
+    require(
+        per_cause == run["traps"],
+        f"{label} ({run['workload']}): per-cause traps sum to "
+        f"{per_cause}, aggregate is {run['traps']}",
+    )
+    # Coherence block: emitted only for multi-vCPU runs, and then
+    # always complete and internally consistent.
+    is_coherence = "num_vcpus" in run
+    if is_coherence:
+        require(run["num_vcpus"] > 1,
+                f"{label}: num_vcpus present but not > 1")
+        for key in ("coherence_cycles", "shootdowns",
+                    "remote_invalidations", "shootdowns_by_cause",
+                    "coherence_overhead"):
+            require(key in run, f"{label}: has num_vcpus but "
+                                f"missing '{key}'")
+        by_cause = sum(run["shootdowns_by_cause"].values())
+        require(
+            by_cause == run["shootdowns"],
+            f"{label} ({run['workload']}): per-cause shootdowns "
+            f"sum to {by_cause}, aggregate is {run['shootdowns']}",
+        )
+        remotes = run["num_vcpus"] - 1
+        require(
+            run["remote_invalidations"] == run["shootdowns"] * remotes,
+            f"{label} ({run['workload']}): remote_invalidations "
+            f"{run['remote_invalidations']} != shootdowns x {remotes}",
+        )
+    else:
+        for key in ("coherence_cycles", "shootdowns",
+                    "shootdowns_by_cause"):
+            require(key not in run,
+                    f"{label}: single-vCPU run carries '{key}'")
+    # Segment block: emitted only for range-mode runs, and then
+    # always complete.
+    is_range = run["mode"] == "Range"
+    if is_range:
+        for key in segment_keys:
+            require(key in run, f"{label}: range run missing '{key}'")
+            require(
+                isinstance(run[key], int) and run[key] >= 0,
+                f"{label}.{key}: must be a non-negative integer",
+            )
+    else:
+        for key in segment_keys:
+            require(key not in run,
+                    f"{label}: non-range run carries '{key}'")
+    return is_coherence, is_range
+
+
 def check_runs(doc):
     require(doc.get("schema") == "ap-runs-v1",
             f"bad schema tag: {doc.get('schema')!r}")
     check_host(doc.get("host"))
     runs = doc.get("runs")
     require(isinstance(runs, list) and runs, "missing/empty 'runs' array")
-    required = (
-        "workload", "mode", "page_size", "instructions", "ideal_cycles",
-        "walk_cycles", "trap_cycles", "tlb_misses", "walks", "traps",
-        "avg_walk_refs", "coverage", "traps_by_cause",
-    )
     coherence_runs = 0
     range_runs = 0
-    segment_keys = ("segment_hits", "segment_spills",
-                    "segment_invalidations")
     for i, run in enumerate(runs):
-        for key in required:
-            require(key in run, f"runs[{i}]: missing key '{key}'")
-        require(len(run["coverage"]) == 6,
-                f"runs[{i}]: coverage must have 6 classes")
-        per_cause = sum(run["traps_by_cause"].values())
-        require(
-            per_cause == run["traps"],
-            f"runs[{i}] ({run['workload']}): per-cause traps sum to "
-            f"{per_cause}, aggregate is {run['traps']}",
-        )
-        # Coherence block: emitted only for multi-vCPU runs, and then
-        # always complete and internally consistent.
-        if "num_vcpus" in run:
-            coherence_runs += 1
-            require(run["num_vcpus"] > 1,
-                    f"runs[{i}]: num_vcpus present but not > 1")
-            for key in ("coherence_cycles", "shootdowns",
-                        "remote_invalidations", "shootdowns_by_cause",
-                        "coherence_overhead"):
-                require(key in run, f"runs[{i}]: has num_vcpus but "
-                                    f"missing '{key}'")
-            by_cause = sum(run["shootdowns_by_cause"].values())
-            require(
-                by_cause == run["shootdowns"],
-                f"runs[{i}] ({run['workload']}): per-cause shootdowns "
-                f"sum to {by_cause}, aggregate is {run['shootdowns']}",
-            )
-            remotes = run["num_vcpus"] - 1
-            require(
-                run["remote_invalidations"]
-                == run["shootdowns"] * remotes,
-                f"runs[{i}] ({run['workload']}): remote_invalidations "
-                f"{run['remote_invalidations']} != shootdowns x "
-                f"{remotes}",
-            )
-        else:
-            for key in ("coherence_cycles", "shootdowns",
-                        "shootdowns_by_cause"):
-                require(key not in run,
-                        f"runs[{i}]: single-vCPU run carries '{key}'")
-        # Segment block: emitted only for range-mode runs, and then
-        # always complete.
-        if run["mode"] == "Range":
-            range_runs += 1
-            for key in segment_keys:
-                require(key in run,
-                        f"runs[{i}]: range run missing '{key}'")
-                require(
-                    isinstance(run[key], int) and run[key] >= 0,
-                    f"runs[{i}].{key}: must be a non-negative integer",
-                )
-        else:
-            for key in segment_keys:
-                require(key not in run,
-                        f"runs[{i}]: non-range run carries '{key}'")
+        is_coherence, is_range = check_run(run, f"runs[{i}]")
+        coherence_runs += is_coherence
+        range_runs += is_range
     coh_note = (f"; {coherence_runs} multi-vCPU" if coherence_runs
                 else "")
     if range_runs:
@@ -221,16 +234,112 @@ def check_runs(doc):
           f"jobs={host['jobs']}, build={host['build_type']})")
 
 
+def check_frames(lines):
+    """Validate an apsimd result stream (NDJSON, one frame per line)."""
+    # batch id -> set of answered cell indices / error count / end doc
+    answered = {}
+    cell_errors = {}
+    ends = {}
+    run_frames = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        label = f"line {lineno}"
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{label}: not valid JSON: {e}")
+        require(isinstance(frame, dict), f"{label}: frame must be an "
+                                         "object")
+        schema = frame.get("schema")
+        if schema == "ap-run-frame-v1":
+            for key in ("batch", "cell", "worker", "run"):
+                require(key in frame, f"{label}: run frame missing "
+                                      f"'{key}'")
+            for key in ("batch", "cell", "worker"):
+                require(
+                    isinstance(frame[key], int) and frame[key] >= 0,
+                    f"{label}.{key}: must be a non-negative integer",
+                )
+            batch, cell = frame["batch"], frame["cell"]
+            require(batch not in ends,
+                    f"{label}: run frame for batch {batch} after its "
+                    "batch-end")
+            cells = answered.setdefault(batch, set())
+            require(cell not in cells,
+                    f"{label}: duplicate cell {cell} in batch {batch}")
+            cells.add(cell)
+            check_run(frame["run"], f"{label}.run")
+            run_frames += 1
+        elif schema == "ap-error-v1":
+            require("error" in frame and isinstance(frame["error"], str),
+                    f"{label}: error frame missing 'error' string")
+            # Cell-scoped errors answer a cell; batch-scoped (or
+            # connection-scoped) ones don't.
+            if "cell" in frame:
+                require("batch" in frame,
+                        f"{label}: cell-scoped error missing 'batch'")
+                batch, cell = frame["batch"], frame["cell"]
+                cells = answered.setdefault(batch, set())
+                require(cell not in cells,
+                        f"{label}: duplicate cell {cell} in batch "
+                        f"{batch}")
+                cells.add(cell)
+                cell_errors[batch] = cell_errors.get(batch, 0) + 1
+        elif schema == "ap-batch-end-v1":
+            for key in ("batch", "cells", "errors"):
+                require(key in frame, f"{label}: batch end missing "
+                                      f"'{key}'")
+            batch = frame["batch"]
+            require(batch not in ends,
+                    f"{label}: second batch-end for batch {batch}")
+            ends[batch] = frame
+            seen = len(answered.get(batch, ()))
+            require(
+                frame["cells"] == seen,
+                f"{label}: batch {batch} ended with cells="
+                f"{frame['cells']} but {seen} cells were answered",
+            )
+            errs = cell_errors.get(batch, 0)
+            require(
+                frame["errors"] == errs,
+                f"{label}: batch {batch} ended with errors="
+                f"{frame['errors']} but {errs} cell errors streamed",
+            )
+        else:
+            fail(f"{label}: unknown frame schema {schema!r}")
+    require(run_frames or ends or cell_errors, "no frames in input")
+    for batch in answered:
+        require(batch in ends,
+                f"batch {batch} streamed cells but never ended")
+    print(f"check_stats_json: OK ({run_frames} run frames, "
+          f"{len(ends)} batch(es), "
+          f"{sum(cell_errors.values())} cell error(s))")
+
+
 def main():
-    if len(sys.argv) != 3 or sys.argv[1] not in ("stats", "runs"):
+    if len(sys.argv) != 3 or sys.argv[1] not in ("stats", "runs",
+                                                 "frames"):
         print(__doc__, file=sys.stderr)
         return 2
+    mode, path = sys.argv[1], sys.argv[2]
+    if mode == "frames":
+        if path == "-":
+            check_frames(sys.stdin)
+        else:
+            try:
+                with open(path) as f:
+                    check_frames(f)
+            except OSError as e:
+                fail(f"cannot load {path}: {e}")
+        return 0
     try:
-        with open(sys.argv[2]) as f:
+        with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {sys.argv[2]}: {e}")
-    if sys.argv[1] == "stats":
+        fail(f"cannot load {path}: {e}")
+    if mode == "stats":
         check_stats(doc)
     else:
         check_runs(doc)
