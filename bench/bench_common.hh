@@ -57,6 +57,7 @@ struct BenchOptions
     bool traceCache = true;
     bool snapshotCache = true;
     bool batchedWalks = true;
+    bool simdFilter = true;
     unsigned vcpus = 1;
     TlbCoherence tlbCoherence = TlbCoherence::Software;
     std::string snapshotDir;
@@ -78,7 +79,8 @@ struct BenchOptions
                " [--page-size 4K|2M] [--vcpus N]"
                " [--tlb-coherence sw|hw] [--no-trace-cache]"
                " [--no-snapshot-cache] [--no-batched-walks]"
-               " [--snapshot-dir DIR] [--snapshot-pool-mb N]";
+               " [--no-simd-filter] [--snapshot-dir DIR]"
+               " [--snapshot-pool-mb N]";
     }
 
     /**
@@ -149,6 +151,8 @@ struct BenchOptions
             snapshotCache = false;
         } else if (!std::strcmp(arg, "--no-batched-walks")) {
             batchedWalks = false;
+        } else if (!std::strcmp(arg, "--no-simd-filter")) {
+            simdFilter = false;
         } else if (!std::strcmp(arg, "--snapshot-dir")) {
             snapshotDir = value("--snapshot-dir");
         } else if (!std::strcmp(arg, "--snapshot-pool-mb")) {

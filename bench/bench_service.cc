@@ -93,11 +93,20 @@ main(int argc, char **argv)
             opt.reject(argv, i, "[--json PATH] [--require-scale]");
     }
     ap::setBatchedWalksDefault(opt.batchedWalks);
+    ap::setSimdFilterDefault(opt.simdFilter);
 
     std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
+    // --vcpus / --tlb-coherence reach the batch specs, so the service
+    // fleet (and the byte-compared in-process baseline) exercises the
+    // multi-vCPU batched replay path end to end.
+    for (ap::ExperimentSpec &s : specs) {
+        s.numVcpus = opt.vcpus;
+        s.tlbCoherence = opt.tlbCoherence;
+    }
     std::printf("apsimd service throughput: %zu-cell batch x %llu ops, "
-                "%u hardware threads\n",
+                "%u vcpu%s, %u hardware threads\n",
                 specs.size(), static_cast<unsigned long long>(opt.ops),
+                opt.vcpus, opt.vcpus == 1 ? "" : "s",
                 std::thread::hardware_concurrency());
 
     // In-process baseline: the same engine the workers run (trace
@@ -205,6 +214,7 @@ main(int argc, char **argv)
     json << "{\n"
          << "  \"cells\": " << specs.size() << ",\n"
          << "  \"ops_per_cell\": " << opt.ops << ",\n"
+         << "  \"vcpus\": " << opt.vcpus << ",\n"
          << "  \"host\": ";
     ap::writeHostMetaJson(json, ap::currentHostMeta(0));
     json << ",\n"

@@ -30,7 +30,7 @@
  *          regeneration beats trace-replay regeneration.
  *        --require-engine-speedup exits nonzero unless the cached-fork
  *          path beats cold generation at the same job count by at
- *          least 2x (conservative CI floor; see EXPERIMENTS.md for
+ *          least 2.2x (conservative CI floor; see EXPERIMENTS.md for
  *          measured values).
  */
 
@@ -46,6 +46,7 @@
 #include "base/logging.hh"
 #include "bench_common.hh"
 #include "sim/experiment.hh"
+#include "sim/machine.hh"
 #include "sim/parallel_runner.hh"
 #include "sim/report.hh"
 #include "trace/trace_cache.hh"
@@ -133,6 +134,13 @@ main(int argc, char **argv)
     }
     unsigned jobs = ap::effectiveJobs(opt.jobs);
     ap::setBatchedWalksDefault(opt.batchedWalks);
+    ap::setSimdFilterDefault(opt.simdFilter);
+    // On a single-hardware-thread host the "parallel" pass still runs
+    // (it is the cold baseline for the cache/engine ratios) but its
+    // scaling number is meaningless — mark it skipped and exempt it
+    // from validation instead of reporting a bogus <1x speedup.
+    const bool parallel_skipped =
+        std::thread::hardware_concurrency() <= 1 || jobs <= 1;
 
     std::vector<ap::ExperimentSpec> specs = ap::figure5Specs(opt.ops);
     std::printf("experiment-engine throughput: %zu cells x %llu ops, "
@@ -214,6 +222,7 @@ main(int argc, char **argv)
     Variant pooled{"snapshot-pooled"};
     std::uint64_t snap_evictions = 0, snap_resident = 0;
     std::uint64_t pool_creates = 0, pool_reuses = 0;
+    ap::Machine::BatchFilterStats filter_stats;
     {
         // Snapshot regeneration: warm both caches, then re-run the
         // matrix — every cell restores its frozen warm image and runs
@@ -224,11 +233,15 @@ main(int argc, char **argv)
         snaps.setByteBudget(opt.snapshotPoolBytes());
         ap::runExperiments(specs, jobs,
                            ap::snapshotCellFn(cache, snaps));
+        // Attribute the filter telemetry to the timed cached-fork
+        // pass — the measured region the engine gate scores.
+        ap::Machine::resetBatchFilterStats();
         t0 = std::chrono::steady_clock::now();
         std::vector<ap::RunResult> r = ap::runExperiments(
             specs, jobs, ap::snapshotCellFn(cache, snaps));
         snapfork.seconds = secondsSince(t0);
         snapfork.identical = allSame(serial, r);
+        filter_stats = ap::Machine::batchFilterStats();
         snap_captures = snaps.captures();
         snap_forks = snaps.forks();
         snap_evictions = snaps.evictions();
@@ -275,9 +288,16 @@ main(int argc, char **argv)
                     v->name, jobs, v->seconds, v->accessesPerSec,
                     v->identical ? "" : "  NOT IDENTICAL (BUG)");
     }
-    std::printf("  parallel speedup: %.2fx   trace-cache speedup "
-                "(vs cold, same jobs): %.2fx\n",
-                parallel_speedup, cache_speedup);
+    if (parallel_skipped) {
+        std::printf("  parallel speedup: skipped (single hardware "
+                    "thread)   trace-cache speedup (vs cold, same "
+                    "jobs): %.2fx\n",
+                    cache_speedup);
+    } else {
+        std::printf("  parallel speedup: %.2fx   trace-cache speedup "
+                    "(vs cold, same jobs): %.2fx\n",
+                    parallel_speedup, cache_speedup);
+    }
     std::printf("  snapshot regeneration speedup (fork vs full "
                 "replay): %.2fx\n",
                 snapshot_speedup);
@@ -301,6 +321,29 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(opt.snapshotPoolMb),
                 static_cast<unsigned long long>(pool_creates),
                 static_cast<unsigned long long>(pool_reuses));
+    // Density of the vectorized filter over the timed cached-fork
+    // pass: how much of the stream the block sweeps saw, how much
+    // they retired without touching the TLB arrays, and how much the
+    // run-level fast path never even swept.
+    const double lane_hit_density =
+        filter_stats.lanesScanned
+            ? double(filter_stats.lanesFiltered) /
+                  double(filter_stats.lanesScanned)
+            : 0.0;
+    std::printf("  filter: %llu blocks, %llu lanes (%.1f%% filtered), "
+                "%llu bulk retires, %llu run fast-paths "
+                "(%llu lanes)\n",
+                static_cast<unsigned long long>(
+                    filter_stats.blocksScanned),
+                static_cast<unsigned long long>(
+                    filter_stats.lanesScanned),
+                100.0 * lane_hit_density,
+                static_cast<unsigned long long>(
+                    filter_stats.bulkRetires),
+                static_cast<unsigned long long>(
+                    filter_stats.runFastpaths),
+                static_cast<unsigned long long>(
+                    filter_stats.runFastpathLanes));
     std::printf("  results bit-identical: %s\n",
                 identical ? "yes" : "NO (BUG)");
 
@@ -316,7 +359,9 @@ main(int argc, char **argv)
          << ", \"accesses_per_sec\": " << serial_aps << "},\n"
          << "  \"parallel\": {\"jobs\": " << jobs
          << ", \"seconds\": " << cold.seconds
-         << ", \"accesses_per_sec\": " << cold.accessesPerSec << "},\n"
+         << ", \"accesses_per_sec\": " << cold.accessesPerSec
+         << ", \"skipped\": " << (parallel_skipped ? "true" : "false")
+         << "},\n"
          << "  \"trace_cache\": {\n"
          << "    \"records\": " << cache_records << ",\n"
          << "    \"replays\": " << cache_replays << ",\n"
@@ -354,6 +399,23 @@ main(int argc, char **argv)
          << "},\n"
          << "    \"fork_path_delta\": " << pool_speedup << "\n"
          << "  },\n"
+         << "  \"filter\": {\n"
+         << "    \"simd\": " << (opt.simdFilter ? "true" : "false")
+         << ",\n"
+         << "    \"blocks_scanned\": " << filter_stats.blocksScanned
+         << ",\n"
+         << "    \"lanes_scanned\": " << filter_stats.lanesScanned
+         << ",\n"
+         << "    \"lanes_filtered\": " << filter_stats.lanesFiltered
+         << ",\n"
+         << "    \"hit_mask_density\": " << lane_hit_density << ",\n"
+         << "    \"bulk_retires\": " << filter_stats.bulkRetires
+         << ",\n"
+         << "    \"run_fastpaths\": " << filter_stats.runFastpaths
+         << ",\n"
+         << "    \"run_fastpath_lanes\": "
+         << filter_stats.runFastpathLanes << "\n"
+         << "  },\n"
          << "  \"engine_speedup_vs_cold\": " << engine_speedup << ",\n"
          << "  \"speedup\": " << parallel_speedup << ",\n"
          << "  \"deterministic\": " << (identical ? "true" : "false")
@@ -376,13 +438,14 @@ main(int argc, char **argv)
                      snapfork.seconds, regen.seconds);
         return 1;
     }
-    // 2x is a deliberately conservative CI floor (shared runners are
-    // noisy); the single-core measurement is >3x — see EXPERIMENTS.md.
-    if (require_engine_speedup && engine_speedup < 2.0) {
+    // 2.2x is a deliberately conservative CI floor (shared runners
+    // are noisy); single-core measurements sit at 2.3-3.2x — see
+    // EXPERIMENTS.md.
+    if (require_engine_speedup && engine_speedup < 2.2) {
         std::fprintf(stderr,
                      "FAIL: cached-fork regeneration (%.3f s) is only "
                      "%.2fx faster than cold generation (%.3f s); "
-                     "the engine gate requires >=2x\n",
+                     "the engine gate requires >=2.2x\n",
                      snapfork.seconds, engine_speedup, cold.seconds);
         return 1;
     }

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-run metadata for the batched access path.
+ *
+ * A compiled trace knows, once per compile, facts about each access
+ * run that the replay loop would otherwise rediscover per access:
+ * the page-sized VA window each stream (data / instruction fetch)
+ * stays inside, and whether the run writes. Machine::runAccessBatch
+ * uses them for a run-level constant-translation fast path — when
+ * both streams provably re-hit their last translations and no policy
+ * interval lands inside the run, the whole run retires in O(1) with
+ * one bulk stat add per stream. Every field is conservative for any
+ * sub-range of the run, so the multi-vCPU sub-batches can reuse the
+ * whole-run hint.
+ */
+
+#ifndef AGILEPAGING_SIM_ACCESS_HINT_HH
+#define AGILEPAGING_SIM_ACCESS_HINT_HH
+
+#include "base/types.hh"
+
+namespace ap
+{
+
+/** What a compiler pass can prove about one access run. */
+struct AccessRunHint
+{
+    /** First data (non-fetch) VA of the run (0 if no data access). */
+    Addr dataBase = 0;
+    /** OR of (va ^ dataBase) over the run's data accesses: for any
+     *  page mask M, (dataDiffOr & M) == 0 proves every data access
+     *  lands in dataBase's page of that size. */
+    Addr dataDiffOr = 0;
+    /** First instruction-fetch VA of the run (0 if no fetch). */
+    Addr instrBase = 0;
+    /** OR of (va ^ instrBase) over the run's fetches. */
+    Addr instrDiffOr = 0;
+    /** Any access in the run is a write (writes are always data). */
+    bool anyWrite = false;
+    /** The run contains at least one data access. */
+    bool anyData = false;
+    /** The run contains at least one instruction fetch. */
+    bool anyInstr = false;
+};
+
+} // namespace ap
+
+#endif // AGILEPAGING_SIM_ACCESS_HINT_HH

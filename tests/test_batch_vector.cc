@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Vectorized batch-replay tests: the SIMD L0-filter sweep, the
+ * deferred refill accounting behind it, and the run-level fast path
+ * must be invisible in the results. Covers simd-vs-scalar bit
+ * identity for every Table V workload across page sizes and modes
+ * (range included), batched-vs-per-event equivalence with multiple
+ * vCPUs (where batches are split at quantum boundaries), and a
+ * synthetic single-page trace that provably takes the run-level
+ * constant-translation fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/machine.hh"
+#include "trace/compiled_trace.hh"
+#include "trace/trace.hh"
+#include "trace/trace_cache.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace ap;
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.pageSize, b.pageSize);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.idealCycles, b.idealCycles);
+    EXPECT_EQ(a.walkCycles, b.walkCycles);
+    EXPECT_EQ(a.trapCycles, b.trapCycles);
+    EXPECT_EQ(a.tlbMisses, b.tlbMisses);
+    EXPECT_EQ(a.walks, b.walks);
+    EXPECT_EQ(a.traps, b.traps);
+    EXPECT_EQ(a.guestPageFaults, b.guestPageFaults);
+    EXPECT_DOUBLE_EQ(a.avgWalkRefs, b.avgWalkRefs);
+    for (int c = 0; c < 6; ++c)
+        EXPECT_DOUBLE_EQ(a.coverage[c], b.coverage[c]);
+    for (std::size_t k = 0; k < kNumTrapKinds; ++k)
+        EXPECT_EQ(a.trapByKind[k], b.trapByKind[k]);
+}
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.footprintBytes = 8ull << 20;
+    p.operations = 20'000;
+    p.seed = 11;
+    return p;
+}
+
+/**
+ * The vectorized filter contract, per workload: for each page size
+ * and mode, a batched replay with the SIMD filter enabled produces
+ * the identical RunResult to a batched replay with it disabled (the
+ * preserved scalar loop). The first cell per cache records per-event,
+ * so the chain also pins both replay flavors to the fresh run.
+ */
+class SimdFilterEquivalence : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SimdFilterEquivalence, SimdReplayMatchesScalarReplay)
+{
+    const std::string wl = GetParam();
+    const WorkloadParams params = smallParams();
+    for (PageSize ps : {PageSize::Size4K, PageSize::Size2M}) {
+        TraceCache cache;
+        for (VirtMode mode : {VirtMode::Nested, VirtMode::Shadow,
+                              VirtMode::Agile, VirtMode::Range}) {
+            SCOPED_TRACE(wl + " " +
+                         (ps == PageSize::Size4K ? "4K" : "2M") +
+                         " mode " + std::to_string(int(mode)));
+            SimConfig simd_cfg = configFor(mode, ps, params);
+            simd_cfg.simdFilter = true;
+            SimConfig scalar_cfg = simd_cfg;
+            scalar_cfg.simdFilter = false;
+
+            RunResult simd =
+                runCellCached(cache, wl, params, simd_cfg, true);
+            RunResult scalar =
+                runCellCached(cache, wl, params, scalar_cfg, true);
+            expectSameResult(simd, scalar);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SimdFilterEquivalence,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+/**
+ * Multi-vCPU batched replay: with numVcpus > 1 the batch loop splits
+ * runs at vcpu-quantum boundaries instead of bailing to per-event
+ * replay. A fresh generated run, the batched replay, and the
+ * per-event replay must stay field-for-field identical at 2 and 4
+ * vCPUs.
+ */
+TEST(BatchVector, MultiVcpuBatchedMatchesPerEvent)
+{
+    const WorkloadParams params = smallParams();
+    for (const char *wl : {"graph500", "memcached"}) {
+        for (unsigned vcpus : {2u, 4u}) {
+            for (VirtMode mode : {VirtMode::Nested, VirtMode::Agile}) {
+                SCOPED_TRACE(std::string(wl) + " vcpus " +
+                             std::to_string(vcpus) + " mode " +
+                             std::to_string(int(mode)));
+                SimConfig cfg =
+                    configFor(mode, PageSize::Size4K, params);
+                cfg.numVcpus = vcpus;
+
+                RunResult fresh;
+                {
+                    Machine m(cfg);
+                    auto w = makeWorkload(wl, params);
+                    ASSERT_NE(w, nullptr);
+                    fresh = m.run(*w);
+                }
+                TraceCache cache;
+                RunResult batched =
+                    runCellCached(cache, wl, params, cfg, true);
+                RunResult unbatched =
+                    runCellCached(cache, wl, params, cfg, false);
+                expectSameResult(fresh, batched);
+                expectSameResult(fresh, unbatched);
+            }
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * A synthetic trace whose second access run stays inside one 4K page
+ * per stream: one mapping, a priming run (fills the per-stream L0
+ * slots), a zero-cost compute event to split runs, then a run that
+ * re-touches the same data page and the same fetch page only.
+ */
+Trace
+singlePageTrace()
+{
+    constexpr Addr kBase = 0x100000;
+    Trace t;
+    t.workload = "unit_single_page";
+    t.seed = 1;
+    t.warmupEvents = 0;
+
+    TraceEvent mmap;
+    mmap.kind = TraceEvent::Kind::MmapAt;
+    mmap.addr = kBase;
+    mmap.arg = 1u << 16;
+    mmap.flag = true;
+    t.events.push_back(mmap);
+
+    auto pushAccess = [&t](Addr va, bool fetch) {
+        TraceEvent e;
+        e.kind = fetch ? TraceEvent::Kind::InstrFetch
+                       : TraceEvent::Kind::Access;
+        e.addr = va;
+        e.flag = false;
+        t.events.push_back(e);
+    };
+    // Priming run: interleaved fetch + data in two distinct pages.
+    for (int i = 0; i < 128; ++i) {
+        pushAccess(kBase + 0x1000 + (i % 64) * 8, true);
+        pushAccess(kBase + (i % 64) * 8, false);
+    }
+    // Zero-instruction compute: splits the run without charging
+    // cycles or advancing the flush generation.
+    TraceEvent split;
+    split.kind = TraceEvent::Kind::Compute;
+    split.arg = 0;
+    t.events.push_back(split);
+    // Fast-path run: same two pages, read-only.
+    for (int i = 0; i < 256; ++i) {
+        pushAccess(kBase + 0x1000 + (i % 64) * 8, true);
+        pushAccess(kBase + (i % 64) * 8, false);
+    }
+    return t;
+}
+
+} // namespace
+
+/**
+ * The run-level fast path must actually fire on a run that provably
+ * re-hits both per-stream L0 translations — and firing must not
+ * change the results versus the per-event replay of the same trace.
+ */
+TEST(BatchVector, RunFastPathFiresOnSinglePageRun)
+{
+    auto compiled = std::make_shared<const CompiledTrace>(
+        compileTrace(singlePageTrace()));
+    ASSERT_GE(compiled->runHints.size(), 2u);
+
+    SimConfig cfg =
+        configFor(VirtMode::Nested, PageSize::Size4K, smallParams());
+    cfg.simdFilter = true;
+
+    Machine::resetBatchFilterStats();
+    RunResult batched;
+    {
+        Machine m(cfg);
+        BatchReplayWorkload w(compiled, true);
+        batched = m.run(w);
+    }
+    Machine::BatchFilterStats stats = Machine::batchFilterStats();
+    EXPECT_GE(stats.runFastpaths, 1u);
+    EXPECT_GE(stats.runFastpathLanes, 512u);
+
+    RunResult per_event;
+    {
+        Machine m(cfg);
+        BatchReplayWorkload w(compiled, false);
+        per_event = m.run(w);
+    }
+    expectSameResult(batched, per_event);
+
+    // With the SIMD filter off the fast path is gated off entirely;
+    // results still match.
+    Machine::resetBatchFilterStats();
+    SimConfig scalar_cfg = cfg;
+    scalar_cfg.simdFilter = false;
+    RunResult scalar;
+    {
+        Machine m(scalar_cfg);
+        BatchReplayWorkload w(compiled, true);
+        scalar = m.run(w);
+    }
+    EXPECT_EQ(Machine::batchFilterStats().runFastpaths, 0u);
+    expectSameResult(batched, scalar);
+}
+
+} // namespace

@@ -2,10 +2,11 @@
 """Validate the JSON stats exports (CI gate).
 
 Usage:
-  check_stats_json.py stats  <machine-stats.json>  # apsim --stats-json
-  check_stats_json.py runs   <run-results.json>    # bench --stats-json
-  check_stats_json.py frames <frames.ndjson>       # apsim_client output
-                                                   # ('-' for stdin)
+  check_stats_json.py stats      <machine-stats.json>   # apsim --stats-json
+  check_stats_json.py runs       <run-results.json>     # bench --stats-json
+  check_stats_json.py frames     <frames.ndjson>        # apsim_client output
+                                                        # ('-' for stdin)
+  check_stats_json.py throughput <BENCH_throughput.json>
 
 Checks that the file parses, carries the expected versioned schema tag,
 has the required keys, and that the per-cause VM-exit counts sum exactly
@@ -234,6 +235,76 @@ def check_runs(doc):
           f"jobs={host['jobs']}, build={host['build_type']})")
 
 
+def check_point(point, path, allow_zero_rate=False):
+    """One {jobs, seconds, accesses_per_sec} measurement block."""
+    require(isinstance(point, dict), f"'{path}' must be an object")
+    for key in ("jobs", "seconds", "accesses_per_sec"):
+        require(key in point, f"{path}: missing key '{key}'")
+    require(point["seconds"] > 0, f"{path}.seconds: must be positive")
+    if not allow_zero_rate:
+        require(point["accesses_per_sec"] > 0,
+                f"{path}.accesses_per_sec: must be positive")
+
+
+def check_throughput(doc):
+    """Validate BENCH_throughput.json (bench_throughput output)."""
+    for key in ("cells", "ops_per_cell", "total_accesses", "host",
+                "serial", "parallel", "trace_cache", "snapshot_cache",
+                "machine_pool", "filter", "engine_speedup_vs_cold",
+                "speedup", "deterministic"):
+        require(key in doc, f"throughput doc missing key '{key}'")
+    require(doc["deterministic"] is True,
+            "throughput run was not deterministic")
+    check_host(doc["host"])
+    check_point(doc["serial"], "serial")
+    check_point(doc["parallel"], "parallel")
+    require("skipped" in doc["parallel"],
+            "parallel: missing key 'skipped'")
+    skipped = doc["parallel"]["skipped"]
+    require(isinstance(skipped, bool),
+            "parallel.skipped: must be a boolean")
+    # On a single-core host the parallel section is a placeholder, so
+    # the parallel speedup is exempt from the >=1 sanity bound.
+    if not skipped:
+        require(doc["speedup"] > 0, "speedup: must be positive")
+    for section, points in (("trace_cache", ("replay", "batched",
+                                             "regen")),
+                            ("snapshot_cache", ("fork",)),
+                            ("machine_pool", ("pooled",))):
+        for name in points:
+            require(name in doc[section],
+                    f"{section}: missing point '{name}'")
+            check_point(doc[section][name], f"{section}.{name}")
+    filt = doc["filter"]
+    for key in ("simd", "blocks_scanned", "lanes_scanned",
+                "lanes_filtered", "hit_mask_density", "bulk_retires",
+                "run_fastpaths", "run_fastpath_lanes"):
+        require(key in filt, f"filter: missing key '{key}'")
+    require(isinstance(filt["simd"], bool),
+            "filter.simd: must be a boolean")
+    require(
+        filt["lanes_filtered"] <= filt["lanes_scanned"],
+        f"filter: lanes_filtered {filt['lanes_filtered']} exceeds "
+        f"lanes_scanned {filt['lanes_scanned']}",
+    )
+    require(0.0 <= filt["hit_mask_density"] <= 1.0,
+            f"filter.hit_mask_density {filt['hit_mask_density']} "
+            "outside [0, 1]")
+    if filt["simd"]:
+        require(filt["lanes_scanned"] > 0,
+                "filter.simd is true but no lanes were scanned")
+        require(filt["blocks_scanned"] > 0,
+                "filter.simd is true but no blocks were scanned")
+    require(doc["engine_speedup_vs_cold"] > 0,
+            "engine_speedup_vs_cold: must be positive")
+    density = filt["hit_mask_density"]
+    par_note = " (parallel skipped)" if skipped else ""
+    print(f"check_stats_json: OK (engine "
+          f"{doc['engine_speedup_vs_cold']:.2f}x vs cold, filter "
+          f"density {100 * density:.1f}%, "
+          f"{filt['run_fastpaths']} run fast-paths{par_note})")
+
+
 def check_frames(lines):
     """Validate an apsimd result stream (NDJSON, one frame per line)."""
     # batch id -> set of answered cell indices / error count / end doc
@@ -320,7 +391,7 @@ def check_frames(lines):
 
 def main():
     if len(sys.argv) != 3 or sys.argv[1] not in ("stats", "runs",
-                                                 "frames"):
+                                                 "frames", "throughput"):
         print(__doc__, file=sys.stderr)
         return 2
     mode, path = sys.argv[1], sys.argv[2]
@@ -341,6 +412,8 @@ def main():
         fail(f"cannot load {path}: {e}")
     if mode == "stats":
         check_stats(doc)
+    elif mode == "throughput":
+        check_throughput(doc)
     else:
         check_runs(doc)
     return 0
